@@ -1,0 +1,84 @@
+// Figure 9 — Dynamic adaptation timeline (paper §5.4).
+//
+// LR on 100 workers, 35 iterations:
+//   iterations  1-9 : templates manually disabled -> central scheduling dominates (~1s+)
+//   iteration   10  : driver enables templates; the block is captured while executing
+//                     centrally (controller-template installation cost on top)
+//   iteration   11  : controller generates its half of the worker templates, still
+//                     dispatching tasks individually
+//   iteration   12  : worker halves installed on the workers, still dispatching centrally
+//   iterations 13-19: steady-state template instantiation (~60 ms)
+//   iteration   20  : the cluster manager revokes 50 workers -> re-projection onto the
+//                     smaller schedule (+ patches moving data off revoked workers)
+//   iterations 21-29: steady state on 50 workers (~2x the work per worker)
+//   iteration   30  : the 50 workers return -> the cached 100-worker templates are reused
+//                     but must be explicitly validated once
+//   iterations 31-35: steady state on 100 workers again.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace nimbus::bench {
+namespace {
+
+void Run() {
+  constexpr int kWorkers = 100;
+  LrHarness h = MakeLrHarness(kWorkers, ControlMode::kTemplates);
+  h.job->SetTemplatesEnabled(false);
+  h.app->Setup();
+
+  // Half of the workers will be revoked at iteration 20 and restored at 30.
+  std::vector<WorkerId> revoked;
+  for (int w = 50; w < 100; ++w) {
+    revoked.push_back(WorkerId(static_cast<std::uint64_t>(w)));
+  }
+
+  const double compute_100 =
+      h.app->TasksPerInnerBlock() * sim::ToSeconds(h.app->GradientTaskDuration()) /
+      (kWorkers * h.cluster->costs().worker_cores);
+
+  std::printf("Figure 9: control overhead while resources change (LR, 100 workers)\n");
+  std::printf("Paper: ~1.07s central; install spike at 10; 60ms steady; 2x after eviction; "
+              "validation blip at 30.\n\n");
+  std::printf("%5s %12s %12s %12s  %s\n", "iter", "time_s", "compute_s", "control_s",
+              "event");
+
+  for (int iter = 1; iter <= 35; ++iter) {
+    std::string event;
+    if (iter == 10) {
+      h.job->SetTemplatesEnabled(true);
+      event = "driver enables templates (capture)";
+    } else if (iter == 11) {
+      event = "generating worker templates (controller half)";
+    } else if (iter == 12) {
+      event = "installing templates on 100 workers";
+    } else if (iter == 13) {
+      event = "steady state: full template path";
+    } else if (iter == 20) {
+      h.cluster->controller().RevokeWorkers(revoked);
+      event = "resource manager evicts 50 workers";
+    } else if (iter == 30) {
+      h.cluster->controller().RestoreWorkers(revoked);
+      event = "workers return; cached templates validated";
+    }
+
+    const int active =
+        static_cast<int>(h.cluster->controller().ActiveWorkers().size());
+    const double compute = compute_100 * kWorkers / active;
+    const sim::TimePoint start = h.cluster->simulation().now();
+    h.app->RunInnerIteration();
+    const double elapsed = sim::ToSeconds(h.cluster->simulation().now() - start);
+    std::printf("%5d %12.3f %12.3f %12.3f  %s\n", iter, elapsed, compute,
+                elapsed - compute, event.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::bench
+
+int main() {
+  nimbus::bench::Run();
+  return 0;
+}

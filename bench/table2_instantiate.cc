@@ -1,0 +1,117 @@
+// Table 2 — Template instantiation costs (paper §5.2).
+//
+// The paper reports: instantiate controller template 0.2µs/task; instantiate worker
+// template 1.7µs/task when auto-validation applies (back-to-back repetition of the same
+// block) and 7.3µs/task with full validation — i.e. over 500k tasks/s in steady state and
+// 130k tasks/s under dynamic control flow. We measure our implementation's equivalents:
+// the per-instantiation bookkeeping (version-map delta application), the auto-validation
+// fast path, and the full validation sweep over all preconditions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace nimbus::bench {
+namespace {
+
+constexpr int kWorkers = 100;
+constexpr int kPartitions = 7899;
+
+// Per-instantiation controller-template bookkeeping: fill parameters + apply the cached
+// write delta (paper row: 0.2µs/task).
+void BM_InstantiateControllerTemplate(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+  core::Patch patch;
+  for (auto _ : state) {
+    block->manager.ApplyInstantiationEffects(set, patch, &versions);
+  }
+  state.counters["per_task_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8000.0,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_InstantiateControllerTemplate)->Unit(benchmark::kMillisecond);
+
+// Auto-validation fast path: repeated execution of a self-validating template skips the
+// precondition sweep entirely (paper row: 1.7µs/task).
+void BM_InstantiateWorkerTemplateAutoValidation(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+  core::Patch patch;
+  for (auto _ : state) {
+    // Steady state: prev == self && self-validating => only bookkeeping + param fill.
+    const bool auto_ok = set.self_validating();
+    benchmark::DoNotOptimize(auto_ok);
+    block->manager.ApplyInstantiationEffects(set, patch, &versions);
+  }
+  state.counters["per_task_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8000.0,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_InstantiateWorkerTemplateAutoValidation)->Unit(benchmark::kMillisecond);
+
+// Full validation: check every precondition against the version map (paper row: 7.3µs/task,
+// the dynamic-control-flow path).
+void BM_InstantiateWorkerTemplateFullValidation(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+  core::Patch patch;
+  for (auto _ : state) {
+    auto needed = block->manager.Validate(set, versions);
+    benchmark::DoNotOptimize(needed);
+    block->manager.ApplyInstantiationEffects(set, patch, &versions);
+  }
+  state.counters["per_task_us"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8000.0,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_InstantiateWorkerTemplateFullValidation)->Unit(benchmark::kMillisecond);
+
+// Patch-cache hit: resolve a failing precondition set via the cached patch (paper §4.2's
+// second optimization; hit rates are high because control flow is narrow).
+void BM_ResolvePatchCacheHit(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+  // Invalidate the broadcast object everywhere but its writer: a realistic entry patch.
+  versions.RecordWrite(block->coeff, block->assignment.WorkerFor(0));
+  bool hit = false;
+  core::Patch first = block->manager.ResolvePatch(set, 12345, versions, &hit);
+  for (auto _ : state) {
+    core::Patch patch = block->manager.ResolvePatch(set, 12345, versions, &hit);
+    benchmark::DoNotOptimize(patch);
+  }
+  state.counters["cache_hit"] = hit ? 1 : 0;
+  state.counters["directives"] = static_cast<double>(first.size());
+}
+BENCHMARK(BM_ResolvePatchCacheHit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nimbus::bench
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Table 2 (paper, EC2): instantiate controller template 0.2us/task; worker template\n"
+      "1.7us/task (auto-validation) / 7.3us/task (full validation) -- i.e. >500k tasks/s\n"
+      "steady-state, 130k tasks/s under dynamic control flow. Below: measured per-task\n"
+      "costs of THIS implementation. Instantiation must be much cheaper than installation\n"
+      "(Table 1) and full validation must cost several times the auto-validated path.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

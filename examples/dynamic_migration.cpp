@@ -1,0 +1,63 @@
+// Dynamic task migration via edits (paper §4.3, Fig 6 / Fig 10): every few iterations the
+// scheduler moves tasks between workers; with execution templates the cost is a handful of
+// in-place edits piggybacked on the next instantiation — compare against the Naiad-style
+// static dataflow, which must reinstall the whole graph for any change.
+//
+//   $ ./examples/dynamic_migration
+
+#include <cstdio>
+
+#include "src/apps/logistic_regression.h"
+#include "src/driver/cluster.h"
+#include "src/driver/job.h"
+
+namespace {
+
+double RunScenario(nimbus::ControlMode mode, const char* label) {
+  using namespace nimbus;
+  using apps::LogisticRegressionApp;
+
+  // Paper-like proportions: a large template (1300+ tasks) so a reinstall is expensive,
+  // and 5% of the tasks migrated per scheduling change.
+  ClusterOptions options;
+  options.workers = 16;
+  options.partitions = 79 * 16;
+  options.mode = mode;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  LogisticRegressionApp::Config config;
+  config.partitions = options.partitions;
+  config.reduce_groups = 16;
+  config.rows_per_partition = 4;
+  config.virtual_bytes_total = 1LL * 1000 * 1000 * 1000;
+  LogisticRegressionApp app(&job, config);
+  app.Setup();
+  app.RunInnerLoop(4);  // capture + install + warm
+
+  const int migrate = app.TasksPerInnerBlock() / 20;  // 5%
+  Rng rng(12);
+  const sim::TimePoint start = cluster.simulation().now();
+  std::printf("\n%s:\n", label);
+  for (int iter = 1; iter <= 15; ++iter) {
+    if (iter % 5 == 0) {
+      cluster.controller().PlanRandomMigrations(app.InnerBlockName(), migrate, &rng);
+      std::printf("  iteration %2d: migrating %d tasks (5%%)\n", iter, migrate);
+    }
+    app.RunInnerIteration();
+  }
+  const double total = nimbus::sim::ToSeconds(cluster.simulation().now() - start);
+  std::printf("  15 iterations with 3 migration events: %.3f s\n", total);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const double nimbus =
+      RunScenario(nimbus::ControlMode::kTemplates, "Nimbus (edits, in place)");
+  const double naiad = RunScenario(nimbus::ControlMode::kStaticDataflow,
+                                   "Naiad-style (full reinstall per change)");
+  std::printf("\nedits vs reinstall: %.2fx faster under churn\n", naiad / nimbus);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The particle-levelset water simulation proxy (paper §5.5): a triply nested loop with
+// data-dependent CFL substeps and a distributed conjugate-gradient pressure solve whose
+// iteration count depends on the data. Exactly the control flow static dataflow systems
+// cannot run efficiently — and templates can.
+//
+//   $ ./examples/water_simulation
+
+#include <cstdio>
+
+#include "src/apps/watersim.h"
+#include "src/driver/cluster.h"
+#include "src/driver/job.h"
+
+int main() {
+  using namespace nimbus;
+  using apps::WaterSimApp;
+
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  options.mode = ControlMode::kTemplates;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  WaterSimApp::Config config;
+  config.partitions = 8;
+  config.reduce_groups = 4;
+  config.nx = 6;
+  config.ny = 6;
+  config.nz_local = 4;
+  config.frame_duration = 0.5;
+  config.max_substeps = 8;
+  config.advect_task = sim::Millis(10);
+  config.small_task = sim::Millis(3);
+  config.cg_task = sim::Millis(1);
+  WaterSimApp app(&job, config);
+  app.Setup();
+
+  std::printf("water pouring into a glass: %dx%dx%d grid, %d partitions, %d workers\n",
+              config.nx, config.ny, config.nz_local * config.partitions, config.partitions,
+              options.workers);
+  std::printf("variables: %zu, templates will cover 5 basic blocks\n\n",
+              cluster.directory().variable_count());
+
+  const double volume_before = app.MeasureVolume();
+  for (int frame = 1; frame <= 3; ++frame) {
+    const sim::TimePoint start = cluster.simulation().now();
+    const auto stats = app.RunFrame();
+    std::printf(
+        "frame %d: %d substeps, %d CG iterations, last residual %.2e, max speed %.3f "
+        "(%.1f ms simulated)\n",
+        frame, stats.substeps, stats.total_cg_iterations, stats.last_residual,
+        stats.max_speed, sim::ToMillis(cluster.simulation().now() - start));
+  }
+  const double volume_after = app.MeasureVolume();
+  std::printf("\nwater volume: %.0f -> %.0f cells\n", volume_before, volume_after);
+
+  const auto& tm = cluster.controller().templates();
+  std::printf("templates captured: %zu | patch cache hit rate: %llu/%llu\n",
+              tm.template_count(),
+              static_cast<unsigned long long>(tm.patch_cache().hits()),
+              static_cast<unsigned long long>(tm.patch_cache().hits() +
+                                              tm.patch_cache().misses()));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// MPI-style baseline (paper §5.5, Fig 11: "PhysBAM's hand-tuned MPI libraries").
+//
+// MPI applications schedule themselves: there is no controller, no per-task dispatch, no
+// template machinery — just statically-placed ranks exchanging data directly, with loop
+// control decided by cheap collectives. We model this by running the same job on the same
+// simulated cluster with every control-plane cost zeroed: what remains is pure data-plane
+// time (computation, copies, synchronization latency), which is exactly MPI's cost
+// structure. The paper notes the trade-off: the MPI version "cannot rebalance load ... and
+// lacks fault tolerance", which is also true of this configuration (no checkpoints, no
+// edits, no patches are charged or needed).
+
+#ifndef NIMBUS_SRC_BASELINES_MPI_STYLE_H_
+#define NIMBUS_SRC_BASELINES_MPI_STYLE_H_
+
+#include "src/sim/cost_model.h"
+
+namespace nimbus::baselines {
+
+inline sim::CostModel MpiStyleCosts(sim::CostModel base = {}) {
+  sim::CostModel costs = base;
+  costs.nimbus_central_schedule_per_task = 0;
+  costs.spark_schedule_per_task = 0;
+  costs.worker_receive_task = 0;
+  costs.install_controller_template_per_task = 0;
+  costs.install_worker_template_controller_per_task = 0;
+  costs.install_worker_template_worker_per_task = 0;
+  costs.instantiate_controller_template_per_task = 0;
+  costs.instantiate_worker_template_auto_per_task = 0;
+  costs.instantiate_worker_template_validate_per_task = 0;
+  costs.edit_per_task = 0;
+  costs.patch_directive_cost = 0;
+  costs.patch_compute_per_entry = 0;
+  costs.validate_per_entry = 0;
+  costs.naiad_install_per_task = 0;
+  // Rank-local scheduling is a function call, not a queue operation.
+  costs.worker_dispatch_per_task = sim::Nanos(500);
+  return costs;
+}
+
+}  // namespace nimbus::baselines
+
+#endif  // NIMBUS_SRC_BASELINES_MPI_STYLE_H_

@@ -1,0 +1,75 @@
+// Minimal leveled logging and invariant checking.
+//
+// The simulator is deterministic and single-threaded, so failed invariants are programming
+// errors: CHECK aborts with a message. Logging goes to stderr and is filtered by a global
+// level so benchmarks stay quiet by default.
+
+#ifndef NIMBUS_SRC_COMMON_LOGGING_H_
+#define NIMBUS_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nimbus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global log threshold; messages below this level are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression when logging is disabled at compile of the macro site.
+struct LogSink {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace nimbus
+
+#define NIMBUS_LOG(level)                                                            \
+  ::nimbus::internal::LogMessage(::nimbus::LogLevel::k##level, __FILE__, __LINE__)   \
+      .stream()
+
+#define NIMBUS_CHECK(cond)                                                           \
+  (cond) ? (void)0                                                                   \
+         : ::nimbus::internal::LogSink{} &                                           \
+               ::nimbus::internal::LogMessage(::nimbus::LogLevel::kError, __FILE__,  \
+                                              __LINE__, /*fatal=*/true)              \
+                   .stream()                                                         \
+               << "Check failed: " #cond " "
+
+#define NIMBUS_CHECK_EQ(a, b) NIMBUS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBUS_CHECK_NE(a, b) NIMBUS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBUS_CHECK_LT(a, b) NIMBUS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBUS_CHECK_LE(a, b) NIMBUS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBUS_CHECK_GT(a, b) NIMBUS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NIMBUS_CHECK_GE(a, b) NIMBUS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // NIMBUS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,19 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace nimbus {
+
+double Rng::NextGaussian() {
+  // Box-Muller transform. Guard against log(0).
+  double u1 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 6.283185307179586476925286766559 * u2;
+  return r * std::cos(theta);
+}
+
+}  // namespace nimbus

@@ -1,0 +1,71 @@
+// Small statistics helpers used by benchmarks and the trace recorder.
+
+#ifndef NIMBUS_SRC_COMMON_STATS_H_
+#define NIMBUS_SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace nimbus {
+
+// Accumulates samples and answers summary queries. Percentile queries sort a copy lazily.
+class SampleStats {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sum_ += v;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+
+  double Mean() const { return samples_.empty() ? 0.0 : sum_ / samples_.size(); }
+
+  double Min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double Max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double StdDev() const {
+    if (samples_.size() < 2) {
+      return 0.0;
+    }
+    const double mean = Mean();
+    double acc = 0.0;
+    for (double v : samples_) {
+      acc += (v - mean) * (v - mean);
+    }
+    return std::sqrt(acc / (samples_.size() - 1));
+  }
+
+  // p in [0, 1]; nearest-rank percentile.
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0.0;
+  }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_COMMON_STATS_H_

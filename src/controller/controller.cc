@@ -1,0 +1,871 @@
+#include "src/controller/controller.h"
+
+#include <algorithm>
+
+namespace nimbus {
+
+namespace {
+
+CopyId MakeCopyId(std::uint64_t group_seq, std::int32_t copy_index) {
+  return CopyId((group_seq << 24) | static_cast<std::uint64_t>(copy_index));
+}
+
+}  // namespace
+
+NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* network,
+                                   const sim::CostModel* costs, ObjectDirectory* directory,
+                                   DurableStore* durable, sim::TraceRecorder* trace,
+                                   ControlMode mode)
+    : simulation_(simulation),
+      network_(network),
+      costs_(costs),
+      directory_(directory),
+      durable_(durable),
+      trace_(trace),
+      mode_(mode),
+      control_thread_(simulation) {}
+
+// -----------------------------------------------------------------------------------------
+// Membership & placement
+// -----------------------------------------------------------------------------------------
+
+void NimbusController::AttachWorker(Worker* worker) {
+  workers_.push_back(worker);
+  last_heard_[worker->id()] = simulation_->now();
+}
+
+void NimbusController::RevokeWorkers(const std::vector<WorkerId>& workers) {
+  for (WorkerId w : workers) {
+    revoked_.insert(w);
+  }
+  Rebalance();
+}
+
+void NimbusController::RestoreWorkers(const std::vector<WorkerId>& workers) {
+  for (WorkerId w : workers) {
+    revoked_.erase(w);
+  }
+  Rebalance();
+}
+
+std::vector<WorkerId> NimbusController::ActiveWorkers() const {
+  std::vector<WorkerId> out;
+  for (const Worker* w : workers_) {
+    if (revoked_.count(w->id()) == 0 && failed_.count(w->id()) == 0) {
+      out.push_back(w->id());
+    }
+  }
+  return out;
+}
+
+Worker* NimbusController::FindWorker(WorkerId id) {
+  for (Worker* w : workers_) {
+    if (w->id() == id) {
+      return w;
+    }
+  }
+  return nullptr;
+}
+
+const Worker* NimbusController::worker(WorkerId id) const {
+  for (const Worker* w : workers_) {
+    if (w->id() == id) {
+      return w;
+    }
+  }
+  return nullptr;
+}
+
+void NimbusController::SetPartitions(int partitions) {
+  partitions_ = partitions;
+  Rebalance();
+}
+
+void NimbusController::Rebalance() {
+  const std::vector<WorkerId> active = ActiveWorkers();
+  NIMBUS_CHECK(!active.empty()) << "no active workers";
+  if (partitions_ > 0) {
+    assignment_ = core::Assignment::RoundRobin(partitions_, active);
+  }
+}
+
+VariableId NimbusController::DefineVariable(const std::string& name, int variable_partitions,
+                                            std::int64_t virtual_bytes_per_partition) {
+  return directory_->DefineVariable(name, variable_partitions, virtual_bytes_per_partition);
+}
+
+std::int64_t NimbusController::ObjectBytes(LogicalObjectId object) const {
+  return directory_->object(object).virtual_bytes;
+}
+
+core::ObjectBytesFn NimbusController::BytesFn() const {
+  return [this](LogicalObjectId object) { return ObjectBytes(object); };
+}
+
+// -----------------------------------------------------------------------------------------
+// Pending-block bookkeeping
+// -----------------------------------------------------------------------------------------
+
+NimbusController::PendingBlock* NimbusController::NewPendingBlock(BlockDone done) {
+  auto block = std::make_unique<PendingBlock>();
+  block->done = std::move(done);
+  PendingBlock* out = block.get();
+  pending_blocks_.push_back(std::move(block));
+  return out;
+}
+
+void NimbusController::OnGroupComplete(WorkerId worker_id, std::uint64_t seq,
+                                       std::vector<ScalarResult> scalars) {
+  last_heard_[worker_id] = simulation_->now();
+  auto it = group_to_block_.find(seq);
+  if (it == group_to_block_.end()) {
+    return;  // stale (pre-recovery) groups are untracked
+  }
+  PendingBlock* block = it->second;
+  for (ScalarResult& s : scalars) {
+    block->scalars.push_back(s);
+  }
+  // The same seq is shared by all workers participating in a block group: wait for all.
+  auto rit = seq_remaining_.find(seq);
+  NIMBUS_CHECK(rit != seq_remaining_.end());
+  if (--rit->second > 0) {
+    return;
+  }
+  seq_remaining_.erase(rit);
+  group_to_block_.erase(it);
+  block->outstanding_groups.erase(seq);
+  if (block->outstanding_groups.empty() && block->done) {
+    BlockDone done = std::move(block->done);
+    block->done = nullptr;
+    std::vector<ScalarResult> collected = std::move(block->scalars);
+    ErasePendingBlock(block);
+    done(std::move(collected));
+  }
+}
+
+void NimbusController::ErasePendingBlock(PendingBlock* block) {
+  for (auto it = pending_blocks_.begin(); it != pending_blocks_.end(); ++it) {
+    if (it->get() == block) {
+      pending_blocks_.erase(it);
+      return;
+    }
+  }
+}
+
+// -----------------------------------------------------------------------------------------
+// Central scheduling path
+// -----------------------------------------------------------------------------------------
+
+void NimbusController::EnsureObjectsExist(const core::WorkerTemplateSet& set) {
+  for (const core::WriteDelta& delta : set.write_deltas()) {
+    if (!versions_.Exists(delta.object)) {
+      NIMBUS_CHECK(!delta.final_holders.empty());
+      versions_.CreateObject(delta.object, delta.final_holders.front());
+    }
+  }
+}
+
+void NimbusController::SubmitStages(const std::vector<StageDescriptor>& stages,
+                                    BlockDone done) {
+  PendingBlock* block = NewPendingBlock(std::move(done));
+  ExecuteStagesCentrally(stages, block);
+  if (block->outstanding_groups.empty() && block->done) {
+    // Degenerate empty block.
+    BlockDone cb = std::move(block->done);
+    block->done = nullptr;
+    cb({});
+  }
+}
+
+void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>& stages,
+                                              PendingBlock* block) {
+  for (const StageDescriptor& stage : stages) {
+    // Build a throwaway single-stage template and run the full dependency analysis through
+    // the same projection code the template path uses.
+    core::ControllerTemplate adhoc(TemplateId::Invalid(), stage.name);
+    for (const TaskDescriptor& task : stage.tasks) {
+      core::TemplateEntry entry;
+      entry.function = task.function;
+      for (const ObjRef& r : task.reads) {
+        entry.reads.push_back(directory_->ObjectFor(r.variable, r.partition));
+      }
+      for (const ObjRef& w : task.writes) {
+        entry.writes.push_back(directory_->ObjectFor(w.variable, w.partition));
+      }
+      entry.placement_partition =
+          task.placement_partition >= 0
+              ? task.placement_partition
+              : (task.writes.empty() ? 0 : task.writes.front().partition % partitions_);
+      entry.duration = task.duration;
+      entry.returns_scalar = task.returns_scalar;
+      entry.cached_params = task.params;
+      adhoc.AppendEntry(std::move(entry));
+
+      // Capture feeds the template being recorded, charging the Table 1 install cost.
+      if (templates_.capturing()) {
+        const core::TemplateEntry& e = adhoc.entries().back();
+        templates_.CaptureTask(e.function, e.reads, e.writes, e.placement_partition,
+                               e.duration, e.returns_scalar, e.cached_params);
+        control_thread_.Charge(costs_->install_controller_template_per_task);
+      }
+    }
+    adhoc.MarkFinished();
+
+    core::WorkerTemplateSet set = core::ProjectBlock(
+        adhoc, assignment_, WorkerTemplateId::Invalid(), BytesFn());
+    EnsureObjectsExist(set);
+
+    // Cross-worker block inputs become explicit copies (no templates => no preconditions).
+    const std::vector<core::PatchDirective> needed = templates_.Validate(set, versions_);
+    if (!needed.empty()) {
+      core::Patch patch;
+      patch.directives = needed;
+      DispatchPatch(patch, block);
+      for (const core::PatchDirective& d : needed) {
+        versions_.RecordCopyToLatest(d.object, d.dst);
+      }
+    }
+
+    // Sparse per-entry params come from the stage descriptors themselves on this path.
+    std::vector<std::pair<std::int32_t, ParameterBlob>> params;
+    for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
+      if (!stage.tasks[i].params.empty()) {
+        params.emplace_back(static_cast<std::int32_t>(i), stage.tasks[i].params);
+      }
+    }
+    DispatchSetCentrally(set, params, block);
+
+    core::Patch no_patch;
+    // Patch effects were applied above; only the write deltas remain.
+    templates_.ApplyInstantiationEffects(set, no_patch, &versions_);
+  }
+  prev_executed_ = core::PatchCache::kEntryFromOutside;
+}
+
+void NimbusController::DispatchSetCentrally(
+    const core::WorkerTemplateSet& set,
+    const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
+  const std::uint64_t seq = NewGroupSeq();
+  const TaskId task_base = task_ids_.NextRange(set.entry_meta().size());
+
+  std::unordered_map<std::int32_t, const ParameterBlob*> param_of;
+  for (const auto& [slot, blob] : params) {
+    param_of.emplace(slot, &blob);
+  }
+
+  const sim::Duration per_task = mode_ == ControlMode::kCentralOnly ||
+                                         mode_ == ControlMode::kTemplates
+                                     ? costs_->nimbus_central_schedule_per_task
+                                     : costs_->spark_schedule_per_task;
+
+  int participating = 0;
+  for (const core::WorkerHalf& half : set.halves()) {
+    if (half.entries.empty()) {
+      continue;
+    }
+    ++participating;
+    Worker* worker = FindWorker(half.worker);
+    NIMBUS_CHECK(worker != nullptr) << "dispatch to unknown worker " << half.worker;
+    const CommandId base = command_ids_.NextRange(half.entries.size());
+
+    const std::size_t total = half.entries.size();
+    for (std::size_t i = 0; i < half.entries.size(); ++i) {
+      const core::WtEntry& e = half.entries[i];
+      Command cmd;
+      cmd.id = CommandId(base.value() + i);
+      for (std::int32_t bidx : e.before) {
+        cmd.before.push_back(CommandId(base.value() + static_cast<std::uint64_t>(bidx)));
+      }
+      cmd.type = e.type;
+      switch (e.type) {
+        case CommandType::kTask: {
+          cmd.function = e.function;
+          cmd.task_id =
+              TaskId(task_base.value() + static_cast<std::uint64_t>(e.global_entry));
+          cmd.duration = e.duration;
+          cmd.returns_scalar = e.returns_scalar;
+          cmd.read_set = e.reads;
+          cmd.write_set = e.writes;
+          auto pit = param_of.find(e.global_entry);
+          if (pit != param_of.end()) {
+            cmd.params = *pit->second;
+          } else {
+            cmd.params = e.cached_params;
+          }
+          ++tasks_dispatched_;
+          break;
+        }
+        case CommandType::kCopySend:
+        case CommandType::kCopyReceive:
+          cmd.copy_id = MakeCopyId(seq, e.copy_index);
+          cmd.peer = e.peer;
+          cmd.copy_object = e.object;
+          cmd.copy_bytes = e.bytes;
+          break;
+        default:
+          cmd.data_object = e.object;
+          break;
+      }
+
+      // Each command is individually scheduled (per-task controller cost) and sent as its
+      // own message: this is exactly the bottleneck the paper's Fig 1/8 demonstrate.
+      const bool final = i + 1 == half.entries.size();
+      const std::int64_t wire = cmd.WireSize();
+      control_thread_.Submit(per_task, [this, worker, cmd = std::move(cmd), seq, total,
+                                        final, wire]() mutable {
+        network_->Send(sim::kControllerAddress, worker->address(), wire,
+                       [worker, cmd = std::move(cmd), seq, total, final]() mutable {
+                         std::vector<Command> one;
+                         one.push_back(std::move(cmd));
+                         worker->OnCommands(seq, std::move(one), total, final,
+                                            /*barrier=*/true);
+                       });
+      });
+    }
+  }
+  if (participating > 0) {
+    block->outstanding_groups.insert(seq);
+    group_to_block_[seq] = block;
+    // Every participating worker reports completion for `seq`; we need all of them.
+    // Track via a per-seq countdown embedded in group_to_block_: emulate by counting.
+    seq_remaining_[seq] = participating;
+  }
+}
+
+void NimbusController::DispatchPatch(const core::Patch& patch, PendingBlock* block) {
+  if (patch.empty()) {
+    return;
+  }
+  const std::uint64_t seq = NewGroupSeq();
+  // Group the directives by src (sends) and dst (receives).
+  std::unordered_map<WorkerId, std::vector<Command>> sends;
+  std::unordered_map<WorkerId, std::vector<Command>> recvs;
+  std::int32_t copy_index = 0;
+  for (const core::PatchDirective& d : patch.directives) {
+    Command send;
+    send.id = command_ids_.Next();
+    send.type = CommandType::kCopySend;
+    send.copy_id = MakeCopyId(seq, copy_index);
+    send.peer = d.dst;
+    send.copy_object = d.object;
+    send.copy_bytes = d.bytes;
+    sends[d.src].push_back(std::move(send));
+
+    Command recv;
+    recv.id = command_ids_.Next();
+    recv.type = CommandType::kCopyReceive;
+    recv.copy_id = MakeCopyId(seq, copy_index);
+    recv.peer = d.src;
+    recv.copy_object = d.object;
+    recv.copy_bytes = d.bytes;
+    recvs[d.dst].push_back(std::move(recv));
+    ++copy_index;
+  }
+
+  // A worker may be both a copy source and destination within one patch: merge its send
+  // and receive commands into a single group message so the group total is consistent.
+  std::unordered_map<WorkerId, std::vector<Command>> merged = std::move(sends);
+  for (auto& [wid, cmds] : recvs) {
+    auto& dst = merged[wid];
+    for (Command& c : cmds) {
+      dst.push_back(std::move(c));
+    }
+  }
+
+  int participating = 0;
+  for (auto& [wid, cmds] : merged) {
+    Worker* worker = FindWorker(wid);
+    if (worker == nullptr) {
+      continue;
+    }
+    ++participating;
+    const std::size_t total = cmds.size();
+    std::int64_t wire = 0;
+    for (const Command& c : cmds) {
+      wire += c.WireSize();
+    }
+    // Route through the control thread so patches keep FIFO order with respect to any
+    // still-draining per-task dispatches of earlier stages (workers rely on arrival
+    // order to sequence barrier groups).
+    control_thread_.Submit(
+        0, [this, worker, cmds = std::move(cmds), seq, total, wire]() mutable {
+          network_->Send(sim::kControllerAddress, worker->address(), wire,
+                         [worker, cmds = std::move(cmds), seq, total]() mutable {
+                           worker->OnCommands(seq, std::move(cmds), total,
+                                              /*finalize=*/true, /*barrier=*/true);
+                         });
+        });
+  }
+
+  if (participating > 0) {
+    block->outstanding_groups.insert(seq);
+    group_to_block_[seq] = block;
+    seq_remaining_[seq] = participating;
+  }
+}
+
+// -----------------------------------------------------------------------------------------
+// Template lifecycle
+// -----------------------------------------------------------------------------------------
+
+TemplateId NimbusController::BeginTemplate(const std::string& name) {
+  NIMBUS_CHECK(mode_ != ControlMode::kCentralOnly)
+      << "templates are disabled in kCentralOnly mode";
+  return templates_.BeginCapture(name);
+}
+
+void NimbusController::EndTemplate() { templates_.FinishCapture(); }
+
+bool NimbusController::HasTemplate(const std::string& name) const {
+  return templates_.FindByName(name).valid();
+}
+
+void NimbusController::InstantiateTemplate(
+    const std::string& name, std::vector<std::pair<std::int32_t, ParameterBlob>> params,
+    BlockDone done) {
+  const TemplateId tid = templates_.FindByName(name);
+  NIMBUS_CHECK(tid.valid()) << "unknown template '" << name << "'";
+  core::ControllerTemplate* tmpl = templates_.Find(tid);
+  NIMBUS_CHECK(tmpl->finished()) << "instantiating unfinished template '" << name << "'";
+
+  PendingBlock* block = NewPendingBlock(std::move(done));
+
+  // Stage 1: first touch of this (template, schedule) pair projects the controller half of
+  // the worker templates while the block still runs via central dispatch (paper Fig 9,
+  // iteration 11).
+  bool newly = false;
+  core::WorkerTemplateSet* set = templates_.GetOrProject(tid, assignment_, BytesFn(), &newly);
+  SetState& state = set_states_[set->id()];
+  if (newly) {
+    control_thread_.Charge(costs_->install_worker_template_controller_per_task *
+                           static_cast<sim::Duration>(tmpl->task_count()));
+    if (mode_ == ControlMode::kStaticDataflow) {
+      // Naiad-style installation bundles the whole dataflow build.
+      control_thread_.Charge(costs_->naiad_install_per_task *
+                             static_cast<sim::Duration>(tmpl->task_count()));
+    }
+    EnsureObjectsExist(*set);
+    RunSetCentrallyWithPatches(*set, params, block);
+    prev_executed_ = core::PatchCache::kEntryFromOutside;
+    return;
+  }
+
+  // Stage 2: install the worker halves (paper Fig 9, iteration 12) while dispatching
+  // centrally one more time.
+  if (!state.installed_on_workers) {
+    for (const core::WorkerHalf& half : set->halves()) {
+      Worker* worker = FindWorker(half.worker);
+      NIMBUS_CHECK(worker != nullptr);
+      const std::int64_t wire = static_cast<std::int64_t>(half.entries.size()) * 64;
+      core::WorkerHalf copy = half;
+      const WorkerTemplateId wtid = set->id();
+      control_thread_.Submit(0, [this, worker, copy = std::move(copy), wtid, wire]() mutable {
+        network_->Send(sim::kControllerAddress, worker->address(), wire,
+                       [worker, copy = std::move(copy), wtid]() mutable {
+                         worker->OnInstallTemplate(std::move(copy), wtid);
+                       });
+      });
+    }
+    state.installed_on_workers = true;
+    EnsureObjectsExist(*set);
+    RunSetCentrallyWithPatches(*set, params, block);
+    prev_executed_ = core::PatchCache::kEntryFromOutside;
+    return;
+  }
+
+  // Stage 3: the fast path (paper Fig 9, iteration 13+).
+  InstantiateSet(set, &state, std::move(params), block);
+}
+
+void NimbusController::RunSetCentrallyWithPatches(
+    const core::WorkerTemplateSet& set,
+    const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
+  const std::vector<core::PatchDirective> needed = templates_.Validate(set, versions_);
+  if (!needed.empty()) {
+    core::Patch patch;
+    patch.directives = needed;
+    DispatchPatch(patch, block);
+    for (const core::PatchDirective& d : needed) {
+      versions_.RecordCopyToLatest(d.object, d.dst);
+    }
+  }
+  DispatchSetCentrally(set, params, block);
+  core::Patch no_patch;
+  templates_.ApplyInstantiationEffects(set, no_patch, &versions_);
+}
+
+void NimbusController::InstantiateSet(
+    core::WorkerTemplateSet* set, SetState* state,
+    std::vector<std::pair<std::int32_t, ParameterBlob>> params, PendingBlock* block) {
+  const std::size_t n_tasks = set->entry_meta().size();
+
+  // Controller-template instantiation cost (Table 2 row 1).
+  control_thread_.Charge(costs_->instantiate_controller_template_per_task *
+                         static_cast<sim::Duration>(n_tasks));
+
+  // Edits planned since the last instantiation ride along now (paper §4.3).
+  core::EditPlan edits = std::move(state->pending_edits);
+  state->pending_edits = core::EditPlan{};
+  const bool has_edits = edits.tasks_touched > 0;
+  if (has_edits) {
+    control_thread_.Charge(costs_->edit_per_task *
+                           static_cast<sim::Duration>(edits.tasks_touched));
+  }
+
+  // Validation: skipped when this template directly follows itself and is self-validating
+  // (Table 2 row 2 vs row 3). Edits force a full validation.
+  core::Patch patch;
+  const bool follows_self =
+      set->self_validating() && prev_executed_ == set->id().value();
+  const bool auto_validates = !force_full_validation_ && !has_edits && follows_self &&
+                              mode_ != ControlMode::kCentralOnly;
+  if (!auto_validates) {
+    if (has_edits && follows_self) {
+      // Edits name exactly the preconditions they touched, so only those entries need
+      // re-checking (paper §4.3: edit cost scales with the size of the change).
+      control_thread_.Charge(costs_->validate_per_entry *
+                             static_cast<sim::Duration>(edits.tasks_touched));
+    } else {
+      control_thread_.Charge((costs_->instantiate_worker_template_validate_per_task -
+                              costs_->instantiate_worker_template_auto_per_task) *
+                             static_cast<sim::Duration>(n_tasks));
+    }
+    bool cache_hit = false;
+    const std::uint64_t cache_key =
+        disable_patch_cache_ ? core::PatchCache::kEntryFromOutside - 1 - next_group_seq_
+                             : prev_executed_;
+    patch = templates_.ResolvePatch(*set, cache_key, versions_, &cache_hit);
+    if (!patch.empty()) {
+      control_thread_.Charge((cache_hit ? costs_->patch_directive_cost
+                                        : costs_->patch_compute_per_entry)
+                             * static_cast<sim::Duration>(patch.size()));
+      DispatchPatch(patch, block);
+    }
+  }
+
+  EnsureObjectsExist(*set);
+
+  // One instantiation message per worker (steady state: n+1 messages total, §2.2).
+  const std::uint64_t seq = NewGroupSeq();
+  const TaskId task_base = task_ids_.NextRange(n_tasks);
+  int participating = 0;
+  for (const core::WorkerHalf& half : set->halves()) {
+    if (half.entries.empty()) {
+      continue;
+    }
+    Worker* worker = FindWorker(half.worker);
+    NIMBUS_CHECK(worker != nullptr);
+    ++participating;
+
+    InstantiateMsg msg;
+    msg.worker_template = set->id();
+    msg.group_seq = seq;
+    msg.command_base = command_ids_.NextRange(half.entries.size());
+    msg.task_base = task_base;
+    msg.params = params;  // sparse; workers ignore entries not on them
+    auto eit = edits.per_worker.find(half.worker);
+    if (eit != edits.per_worker.end()) {
+      msg.edits = eit->second;
+    }
+    const std::int64_t wire = msg.WireSize();
+    control_thread_.Submit(0, [this, worker, msg = std::move(msg), wire]() mutable {
+      network_->Send(sim::kControllerAddress, worker->address(), wire,
+                     [worker, msg = std::move(msg)]() mutable {
+                       worker->OnInstantiate(std::move(msg));
+                     });
+    });
+  }
+  tasks_via_templates_ += n_tasks;
+  tasks_dispatched_ += n_tasks;
+
+  if (participating > 0) {
+    block->outstanding_groups.insert(seq);
+    group_to_block_[seq] = block;
+    seq_remaining_[seq] = participating;
+  } else if (block->done) {
+    BlockDone cb = std::move(block->done);
+    block->done = nullptr;
+    cb({});
+  }
+
+  templates_.ApplyInstantiationEffects(*set, patch, &versions_);
+  prev_executed_ = set->id().value();
+}
+
+// -----------------------------------------------------------------------------------------
+// Scheduling changes
+// -----------------------------------------------------------------------------------------
+
+void NimbusController::PlanRandomMigrations(const std::string& name, int count, Rng* rng) {
+  const TemplateId tid = templates_.FindByName(name);
+  NIMBUS_CHECK(tid.valid());
+  core::WorkerTemplateSet* set = templates_.FindProjection(tid, assignment_);
+  NIMBUS_CHECK(set != nullptr) << "migrations require an installed worker template";
+
+  if (mode_ == ControlMode::kStaticDataflow) {
+    // Naiad has no in-place flexibility: any change reinstalls the full dataflow graph.
+    const core::ControllerTemplate* tmpl = templates_.Find(tid);
+    control_thread_.Charge(costs_->naiad_install_per_task *
+                           static_cast<sim::Duration>(tmpl->task_count()));
+    trace_->IncrementCounter("naiad_reinstalls");
+    return;
+  }
+
+  SetState& state = set_states_[set->id()];
+  const auto n_entries = static_cast<std::int64_t>(set->entry_meta().size());
+  const std::vector<WorkerId> active = ActiveWorkers();
+  NIMBUS_CHECK_GE(active.size(), 2u);
+
+  // Track per-worker load so targets are chosen like a rebalancing scheduler would.
+  std::unordered_map<WorkerId, int> load;
+  for (WorkerId w : active) {
+    load[w] = 0;
+  }
+  for (const core::EntryMeta& em : set->entry_meta()) {
+    ++load[em.worker];
+  }
+
+  int planned = 0;
+  int attempts = 0;
+  while (planned < count && attempts < count * 16) {
+    ++attempts;
+    const auto g = static_cast<std::int32_t>(rng->NextBounded(static_cast<std::uint64_t>(n_entries)));
+    const WorkerId from = set->entry_meta()[static_cast<std::size_t>(g)].worker;
+    // Least-loaded target, with random tie-breaking via scan start.
+    WorkerId to = active[rng->NextBounded(active.size())];
+    for (WorkerId w : active) {
+      if (w != from && load[w] < load[to]) {
+        to = w;
+      }
+    }
+    if (to == from) {
+      continue;
+    }
+    core::EditPlan plan = templates_.PlanMigration(set, g, to);
+    if (plan.tasks_touched == 0) {
+      continue;
+    }
+    // Merge into the pending plan.
+    for (auto& [worker_id, ops_in] : plan.per_worker) {
+      auto* ops = state.pending_edits.OpsFor(worker_id);
+      ops->insert(ops->end(), ops_in.begin(), ops_in.end());
+    }
+    state.pending_edits.tasks_touched += plan.tasks_touched;
+    --load[from];
+    ++load[to];
+    ++planned;
+  }
+  trace_->IncrementCounter("migrations_planned", planned);
+}
+
+bool NimbusController::PlanRemoveTask(const std::string& name, std::int32_t global_entry) {
+  const TemplateId tid = templates_.FindByName(name);
+  NIMBUS_CHECK(tid.valid());
+  core::WorkerTemplateSet* set = templates_.FindProjection(tid, assignment_);
+  NIMBUS_CHECK(set != nullptr) << "edits require an installed worker template";
+  core::EditPlan plan = templates_.PlanRemoveTask(set, global_entry);
+  if (plan.tasks_touched == 0) {
+    return false;
+  }
+  SetState& state = set_states_[set->id()];
+  for (auto& [worker_id, ops_in] : plan.per_worker) {
+    auto* ops = state.pending_edits.OpsFor(worker_id);
+    ops->insert(ops->end(), ops_in.begin(), ops_in.end());
+  }
+  state.pending_edits.tasks_touched += plan.tasks_touched;
+  return true;
+}
+
+void NimbusController::PlanAddTask(const std::string& name, WorkerId worker,
+                                   FunctionId function, std::vector<ObjRef> reads,
+                                   std::vector<ObjRef> writes, sim::Duration duration) {
+  const TemplateId tid = templates_.FindByName(name);
+  NIMBUS_CHECK(tid.valid());
+  core::WorkerTemplateSet* set = templates_.FindProjection(tid, assignment_);
+  NIMBUS_CHECK(set != nullptr) << "edits require an installed worker template";
+  std::vector<LogicalObjectId> read_objects, write_objects;
+  for (const ObjRef& r : reads) {
+    read_objects.push_back(directory_->ObjectFor(r.variable, r.partition));
+  }
+  for (const ObjRef& w : writes) {
+    write_objects.push_back(directory_->ObjectFor(w.variable, w.partition));
+  }
+  core::EditPlan plan = templates_.PlanAddTask(set, worker, function,
+                                               std::move(read_objects),
+                                               std::move(write_objects), duration);
+  SetState& state = set_states_[set->id()];
+  for (auto& [worker_id, ops_in] : plan.per_worker) {
+    auto* ops = state.pending_edits.OpsFor(worker_id);
+    ops->insert(ops->end(), ops_in.begin(), ops_in.end());
+  }
+  state.pending_edits.tasks_touched += plan.tasks_touched;
+}
+
+// -----------------------------------------------------------------------------------------
+// Fault tolerance
+// -----------------------------------------------------------------------------------------
+
+void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
+                                         std::function<void()> done) {
+  // Caller (driver glue) invokes this between blocks, so worker queues are drained.
+  checkpoint_.driver_marker = driver_marker;
+  checkpoint_.version_snapshot = versions_.Snapshot();
+  checkpoint_.valid = false;
+
+  // Ask one latest-holder of every live object to persist it.
+  std::unordered_map<WorkerId, std::vector<Command>> per_worker;
+  for (const auto& [object, state] : checkpoint_.version_snapshot) {
+    const WorkerId holder = versions_.AnyLatestHolder(object);
+    if (!holder.valid()) {
+      continue;
+    }
+    Command cmd;
+    cmd.id = command_ids_.Next();
+    cmd.type = CommandType::kFileSave;
+    cmd.data_object = object;
+    cmd.copy_version = state.latest;
+    cmd.copy_bytes = ObjectBytes(object);
+    per_worker[holder].push_back(std::move(cmd));
+  }
+
+  PendingBlock* block = NewPendingBlock([this, done = std::move(done)](auto) {
+    checkpoint_.valid = true;
+    trace_->IncrementCounter("checkpoints");
+    if (done) {
+      done();
+    }
+  });
+
+  const std::uint64_t seq = NewGroupSeq();
+  int participating = 0;
+  for (auto& [wid, cmds] : per_worker) {
+    Worker* w = FindWorker(wid);
+    if (w == nullptr) {
+      continue;
+    }
+    ++participating;
+    const std::size_t total = cmds.size();
+    network_->Send(sim::kControllerAddress, w->address(), 64,
+                   [w, cmds = std::move(cmds), seq, total]() mutable {
+                     w->OnCommands(seq, std::move(cmds), total, true, /*barrier=*/true);
+                   });
+  }
+  if (participating > 0) {
+    block->outstanding_groups.insert(seq);
+    group_to_block_[seq] = block;
+    seq_remaining_[seq] = participating;
+  } else if (block->done) {
+    BlockDone cb = std::move(block->done);
+    block->done = nullptr;
+    cb({});
+  }
+}
+
+void NimbusController::EnableFailureDetection(sim::Duration heartbeat_period,
+                                              sim::Duration timeout) {
+  failure_detection_ = true;
+  heartbeat_timeout_ = timeout;
+  for (Worker* w : workers_) {
+    w->StartHeartbeats(heartbeat_period);
+    last_heard_[w->id()] = simulation_->now();
+  }
+  simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
+}
+
+void NimbusController::CheckHeartbeats() {
+  if (!failure_detection_) {
+    return;
+  }
+  for (Worker* w : workers_) {
+    if (failed_.count(w->id()) > 0 || revoked_.count(w->id()) > 0) {
+      continue;
+    }
+    if (simulation_->now() - last_heard_[w->id()] > heartbeat_timeout_) {
+      NIMBUS_LOG(Info) << "worker " << w->id() << " missed heartbeats; starting recovery";
+      OnWorkerFailed(w->id());
+      return;  // recovery re-arms the check
+    }
+  }
+  simulation_->ScheduleAfter(heartbeat_timeout_ / 2, [this]() { CheckHeartbeats(); });
+}
+
+void NimbusController::OnHeartbeat(WorkerId worker_id) {
+  last_heard_[worker_id] = simulation_->now();
+}
+
+void NimbusController::OnWorkerFailed(WorkerId worker_id) {
+  if (recovering_) {
+    return;
+  }
+  recovering_ = true;
+  failed_.insert(worker_id);
+  versions_.DropWorker(worker_id);
+
+  // Abandon all in-flight blocks: the driver reruns from the checkpoint marker.
+  group_to_block_.clear();
+  seq_remaining_.clear();
+  for (auto& block : pending_blocks_) {
+    block->done = nullptr;
+  }
+
+  // Halt every surviving worker (paper §4.4: terminate tasks, flush queues).
+  for (Worker* w : workers_) {
+    if (failed_.count(w->id()) > 0) {
+      continue;
+    }
+    network_->Send(sim::kControllerAddress, w->address(), 16, [w]() { w->OnHalt(); });
+  }
+  Rebalance();
+
+  // Give the halt round trip time to settle, then reload the checkpoint.
+  simulation_->ScheduleAfter(costs_->network_latency * 4, [this]() { RunRecovery(); });
+}
+
+void NimbusController::RunRecovery() {
+  NIMBUS_CHECK(checkpoint_.valid) << "worker failed with no valid checkpoint";
+
+  // Revert the version map to the snapshot, with every object now resident only on its
+  // reload target (instances on live workers are stale relative to the restored graph).
+  std::unordered_map<LogicalObjectId, VersionMap::ObjectState> restored;
+  std::unordered_map<WorkerId, std::vector<LogicalObjectId>> reload;
+  for (const auto& [object, snap_state] : checkpoint_.version_snapshot) {
+    const auto& info = directory_->object(object);
+    const WorkerId owner = assignment_.WorkerFor(info.partition % partitions_);
+    VersionMap::ObjectState state;
+    state.latest = snap_state.latest;
+    state.held[owner] = snap_state.latest;
+    restored.emplace(object, std::move(state));
+    reload[owner].push_back(object);
+  }
+  versions_.Restore(std::move(restored));
+
+  PendingBlock* block = NewPendingBlock([this](auto) {
+    recovering_ = false;
+    prev_executed_ = core::PatchCache::kEntryFromOutside;
+    trace_->IncrementCounter("recoveries");
+    if (failure_detection_) {
+      simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
+    }
+    if (recovery_handler_) {
+      recovery_handler_(checkpoint_.driver_marker);
+    }
+  });
+
+  const std::uint64_t seq = NewGroupSeq();
+  int participating = 0;
+  for (auto& [wid, objects] : reload) {
+    Worker* w = FindWorker(wid);
+    NIMBUS_CHECK(w != nullptr);
+    ++participating;
+    network_->Send(sim::kControllerAddress, w->address(), 64,
+                   [w, seq, objects = std::move(objects)]() mutable {
+                     w->OnLoadObjects(seq, std::move(objects));
+                   });
+  }
+  NIMBUS_CHECK_GT(participating, 0);
+  block->outstanding_groups.insert(seq);
+  group_to_block_[seq] = block;
+  seq_remaining_[seq] = participating;
+}
+
+}  // namespace nimbus

@@ -1,0 +1,244 @@
+// The Nimbus controller (paper §3.2, §4).
+//
+// A centralized controller that receives stages from a driver program, transforms them into
+// an execution plan (placement, dependency analysis, copy insertion), and dispatches
+// commands to workers. With templates enabled it caches that work: repeated basic blocks are
+// captured into controller templates, projected into worker templates per schedule,
+// validated/patched at instantiation, and edited in place for small scheduling changes.
+//
+// The same class also runs in two degraded modes used by the evaluation:
+//  * kCentralOnly  — "Nimbus w/o templates": every task is centrally scheduled every time.
+//  * kStaticDataflow — Naiad-style: the block's dataflow is installed once (expensive) and
+//    instantiated with no per-iteration control work, but *any* scheduling change forces a
+//    full reinstall (paper Table 3 / Fig 10).
+
+#ifndef NIMBUS_SRC_CONTROLLER_CONTROLLER_H_
+#define NIMBUS_SRC_CONTROLLER_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/core/template_manager.h"
+#include "src/data/durable_store.h"
+#include "src/data/object_directory.h"
+#include "src/data/version_map.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+#include "src/task/command.h"
+#include "src/worker/worker.h"
+
+namespace nimbus {
+
+enum class ControlMode {
+  kTemplates,       // full Nimbus: execution templates
+  kCentralOnly,     // Nimbus with templates disabled
+  kStaticDataflow,  // Naiad-style static dataflow graphs
+};
+
+// Scalars collected from one block execution, delivered to the driver.
+using BlockDone = std::function<void(std::vector<ScalarResult>)>;
+
+class NimbusController {
+ public:
+  NimbusController(sim::Simulation* simulation, sim::Network* network,
+                   const sim::CostModel* costs, ObjectDirectory* directory,
+                   DurableStore* durable, sim::TraceRecorder* trace, ControlMode mode);
+
+  ControlMode mode() const { return mode_; }
+  void set_mode(ControlMode mode) { mode_ = mode; }
+
+  // --- Ablation switches (DESIGN.md §5; see bench/ablation_templates) ---
+  // Forces the full precondition sweep on every instantiation, disabling the
+  // auto-validation fast path of §4.2.
+  void set_force_full_validation(bool v) { force_full_validation_ = v; }
+  // Recomputes every patch from scratch, disabling the patch cache of §4.2.
+  void set_disable_patch_cache(bool v) { disable_patch_cache_ = v; }
+
+  // ---- Cluster membership (resource manager interface, Fig 2) ----
+  void AttachWorker(Worker* worker);
+  // Gracefully revokes workers: they stop receiving tasks but can still source data copies.
+  void RevokeWorkers(const std::vector<WorkerId>& workers);
+  // Returns previously revoked workers to the allocation.
+  void RestoreWorkers(const std::vector<WorkerId>& workers);
+  std::vector<WorkerId> ActiveWorkers() const;
+
+  void SetPartitions(int partitions);
+  int partitions() const { return partitions_; }
+
+  // ---- Driver-facing interface ----
+  VariableId DefineVariable(const std::string& name, int variable_partitions,
+                            std::int64_t virtual_bytes_per_partition);
+
+  // Executes one block of stages via central scheduling (also feeds template capture).
+  void SubmitStages(const std::vector<StageDescriptor>& stages, BlockDone done);
+
+  // Template lifecycle markers (paper §4.1: the programmer marks basic blocks).
+  TemplateId BeginTemplate(const std::string& name);
+  void EndTemplate();
+  bool HasTemplate(const std::string& name) const;
+
+  // Instantiates a previously captured block. Handles the staged bring-up the paper's Fig 9
+  // shows: first call projects the controller half (while dispatching centrally), second
+  // call installs worker halves (while dispatching centrally), later calls run the fast
+  // template path with validation/patching/edits.
+  void InstantiateTemplate(const std::string& name,
+                           std::vector<std::pair<std::int32_t, ParameterBlob>> params,
+                           BlockDone done);
+
+  // ---- Scheduling changes ----
+  // Plans migration of `count` randomly-chosen tasks of `name`'s current worker-template
+  // set to random other active workers. With kTemplates this becomes edits attached to the
+  // next instantiation; with kStaticDataflow it forces a full reinstall.
+  void PlanRandomMigrations(const std::string& name, int count, Rng* rng);
+
+  // Plans removing the task at `global_entry` of `name`'s current worker-template set;
+  // the tombstone ships with the next instantiation. Returns false if the task has
+  // in-block consumers (not removable).
+  bool PlanRemoveTask(const std::string& name, std::int32_t global_entry);
+
+  // Plans appending a fresh task to `name`'s current worker-template set on `worker`.
+  void PlanAddTask(const std::string& name, WorkerId worker, FunctionId function,
+                   std::vector<ObjRef> reads, std::vector<ObjRef> writes,
+                   sim::Duration duration);
+
+  // Recomputes the partition assignment over the active workers (after membership change).
+  void Rebalance();
+
+  // ---- Fault tolerance (paper §4.4) ----
+  void TriggerCheckpoint(std::uint64_t driver_marker, std::function<void()> done);
+  // Failure detection entry (driven by heartbeat timeout or injected by tests).
+  void OnWorkerFailed(WorkerId worker);
+  // Invoked after recovery completes; receives the marker of the restored checkpoint.
+  void SetRecoveryHandler(std::function<void(std::uint64_t)> handler) {
+    recovery_handler_ = std::move(handler);
+  }
+  void EnableFailureDetection(sim::Duration heartbeat_period, sim::Duration timeout);
+
+  // ---- Worker-facing callbacks (invoked at message delivery) ----
+  void OnGroupComplete(WorkerId worker, std::uint64_t seq, std::vector<ScalarResult> scalars);
+  void OnHeartbeat(WorkerId worker);
+
+  // ---- Introspection ----
+  const VersionMap& versions() const { return versions_; }
+  core::TemplateManager& templates() { return templates_; }
+  sim::Duration control_busy() const { return control_thread_.total_busy(); }
+  std::uint64_t tasks_dispatched() const { return tasks_dispatched_; }
+  std::uint64_t tasks_via_templates() const { return tasks_via_templates_; }
+  const Worker* worker(WorkerId id) const;
+  sim::TraceRecorder* trace() { return trace_; }
+
+ private:
+  struct PendingBlock {
+    std::unordered_set<std::uint64_t> outstanding_groups;
+    std::vector<ScalarResult> scalars;
+    BlockDone done;
+  };
+
+  struct SetState {
+    bool installed_on_workers = false;
+    // Edits planned since the last instantiation, to be attached to the next one.
+    core::EditPlan pending_edits;
+  };
+
+  struct CheckpointState {
+    std::uint64_t driver_marker = 0;
+    std::unordered_map<LogicalObjectId, VersionMap::ObjectState> version_snapshot;
+    bool valid = false;
+  };
+
+  Worker* FindWorker(WorkerId id);
+  std::int64_t ObjectBytes(LogicalObjectId object) const;
+  core::ObjectBytesFn BytesFn() const;
+
+  // First write creates an object in the version map on its in-block home (paper: data
+  // commands; we fold creation into dispatch).
+  void EnsureObjectsExist(const core::WorkerTemplateSet& set);
+
+  // Runs one block of stages through the central-scheduling path, optionally while a
+  // template capture is recording.
+  void ExecuteStagesCentrally(const std::vector<StageDescriptor>& stages, PendingBlock* block);
+
+  // Dispatches the commands of `set` individually (central path), charging per-task costs.
+  void DispatchSetCentrally(const core::WorkerTemplateSet& set,
+                            const std::vector<std::pair<std::int32_t, ParameterBlob>>& params,
+                            PendingBlock* block);
+
+  // Sends the patch as barrier command groups (send half on src, receive half on dst).
+  void DispatchPatch(const core::Patch& patch, PendingBlock* block);
+
+  // Validates + patches + dispatches `set` through the central path (used during the
+  // template bring-up iterations).
+  void RunSetCentrallyWithPatches(
+      const core::WorkerTemplateSet& set,
+      const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block);
+
+  // Template fast path.
+  void InstantiateSet(core::WorkerTemplateSet* set, SetState* state,
+                      std::vector<std::pair<std::int32_t, ParameterBlob>> params,
+                      PendingBlock* block);
+
+  std::uint64_t NewGroupSeq() { return next_group_seq_++; }
+  PendingBlock* NewPendingBlock(BlockDone done);
+  void ErasePendingBlock(PendingBlock* block);
+
+  void RunRecovery();
+  void CheckHeartbeats();
+
+  sim::Simulation* simulation_;
+  sim::Network* network_;
+  const sim::CostModel* costs_;
+  ObjectDirectory* directory_;
+  DurableStore* durable_;
+  sim::TraceRecorder* trace_;
+  ControlMode mode_;
+
+  sim::Processor control_thread_;
+  core::TemplateManager templates_;
+  VersionMap versions_;
+
+  int partitions_ = 0;
+  core::Assignment assignment_;
+  std::vector<Worker*> workers_;            // all attached
+  std::unordered_set<WorkerId> revoked_;    // temporarily out of the allocation
+  std::unordered_set<WorkerId> failed_;
+
+  std::uint64_t next_group_seq_ = 1;
+  std::unordered_map<std::uint64_t, PendingBlock*> group_to_block_;
+  // How many workers still have to report completion for each group seq.
+  std::unordered_map<std::uint64_t, int> seq_remaining_;
+  std::vector<std::unique_ptr<PendingBlock>> pending_blocks_;
+
+  std::unordered_map<WorkerTemplateId, SetState> set_states_;
+  std::uint64_t prev_executed_ = core::PatchCache::kEntryFromOutside;
+
+  CheckpointState checkpoint_;
+  std::function<void(std::uint64_t)> recovery_handler_;
+  bool recovering_ = false;
+
+  // Heartbeat-based failure detection.
+  bool failure_detection_ = false;
+  sim::Duration heartbeat_timeout_ = 0;
+  std::unordered_map<WorkerId, sim::TimePoint> last_heard_;
+
+  std::uint64_t tasks_dispatched_ = 0;
+  std::uint64_t tasks_via_templates_ = 0;
+  bool force_full_validation_ = false;
+  bool disable_patch_cache_ = false;
+
+  IdAllocator<TaskId> task_ids_;
+  IdAllocator<CommandId> command_ids_;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_CONTROLLER_CONTROLLER_H_

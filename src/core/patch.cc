@@ -1,0 +1,32 @@
+#include "src/core/patch.h"
+
+namespace nimbus::core {
+
+bool PatchStillCorrect(const Patch& patch, const std::vector<PatchDirective>& required,
+                       const VersionMap& versions) {
+  if (patch.directives.size() != required.size()) {
+    return false;
+  }
+  // The cached patch must cover exactly the currently-failing preconditions...
+  for (const PatchDirective& need : required) {
+    bool covered = false;
+    for (const PatchDirective& have : patch.directives) {
+      if (have.object == need.object && have.dst == need.dst) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return false;
+    }
+  }
+  // ...and every directive's source must still hold the latest version.
+  for (const PatchDirective& have : patch.directives) {
+    if (!versions.WorkerHasLatest(have.object, have.src)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nimbus::core

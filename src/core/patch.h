@@ -1,0 +1,86 @@
+// Patches: precondition-fixing copy directives, and the patch cache (paper §2.4, §4.2).
+//
+// When a worker template is instantiated after *different* preceding control flow, some of
+// its preconditions may not hold (e.g. the first entry into an inner loop: `param` exists
+// only on the worker that computed it). The controller patches system state by directing
+// copies of the latest versions to where the template expects them.
+//
+// Computing a patch requires checking every precondition against the version map, which is
+// sequential controller overhead. Because dynamic control flow is typically narrow, the
+// controller caches patches keyed by (what executed before, which template is entered); a
+// cache hit re-validates the stored directives cheaply instead of recomputing from scratch.
+
+#ifndef NIMBUS_SRC_CORE_PATCH_H_
+#define NIMBUS_SRC_CORE_PATCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/data/version_map.h"
+
+namespace nimbus::core {
+
+struct PatchDirective {
+  LogicalObjectId object;
+  WorkerId src;
+  WorkerId dst;
+  std::int64_t bytes = 0;
+};
+
+struct Patch {
+  std::vector<PatchDirective> directives;
+
+  bool empty() const { return directives.empty(); }
+  std::size_t size() const { return directives.size(); }
+};
+
+// Key: which worker-template (or kEntryFromOutside) executed immediately before, and which
+// worker-template is being entered.
+class PatchCache {
+ public:
+  static constexpr std::uint64_t kEntryFromOutside = ~std::uint64_t{0};
+
+  void Store(std::uint64_t prev, WorkerTemplateId entering, Patch patch) {
+    cache_[Key(prev, entering)] = std::move(patch);
+  }
+
+  const Patch* Lookup(std::uint64_t prev, WorkerTemplateId entering) const {
+    auto it = cache_.find(Key(prev, entering));
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return cache_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void RecordHit() { ++hits_; }
+  void RecordMiss() { ++misses_; }
+
+  void Clear() {
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  static std::uint64_t Key(std::uint64_t prev, WorkerTemplateId entering) {
+    return prev * 1000003ull ^ entering.value();
+  }
+
+  std::unordered_map<std::uint64_t, Patch> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Checks that `patch`, applied to the current version map, would fix exactly the failing
+// preconditions in `failures`, and that every directive's source still holds the latest
+// version. Used to decide whether a cached patch is reusable.
+bool PatchStillCorrect(const Patch& patch,
+                       const std::vector<PatchDirective>& required,
+                       const VersionMap& versions);
+
+}  // namespace nimbus::core
+
+#endif  // NIMBUS_SRC_CORE_PATCH_H_

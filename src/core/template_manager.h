@@ -1,0 +1,142 @@
+// TemplateManager: the controller-side brain of the execution-template machinery.
+//
+// Pure control-plane logic with no simulator dependencies, so it can be exercised directly
+// by unit tests and measured directly by the Table 1-3 microbenchmarks. The Controller
+// wraps each operation with cost accounting and message traffic.
+//
+// Responsibilities:
+//  * capture: record the task stream between template-start and template-finish markers and
+//    post-process it into a ControllerTemplate (paper §4.1);
+//  * projection cache: one WorkerTemplateSet per (template, assignment signature) — workers
+//    cache multiple worker templates, so moving between schedules is a lookup (§2.3);
+//  * validation: check a set's preconditions against the version map, with the
+//    auto-validation fast path for back-to-back instantiation of the same template (§4.2);
+//  * patching: compute or reuse cached patches for failed preconditions (§4.2);
+//  * edits: in-place task migration between workers (§4.3, Fig 6);
+//  * instantiation bookkeeping: apply the cached version-map delta.
+
+#ifndef NIMBUS_SRC_CORE_TEMPLATE_MANAGER_H_
+#define NIMBUS_SRC_CORE_TEMPLATE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/controller_template.h"
+#include "src/core/patch.h"
+#include "src/core/worker_template.h"
+#include "src/data/version_map.h"
+
+namespace nimbus::core {
+
+// The per-worker mutations produced by planning an edit, to be shipped with the next
+// instantiation message and applied to the cached controller-half in place.
+struct EditPlan {
+  // Keyed container: references into it stay valid while new workers are added.
+  std::map<WorkerId, std::vector<WorkerEditOp>> per_worker;
+  int tasks_touched = 0;
+
+  std::vector<WorkerEditOp>* OpsFor(WorkerId w) { return &per_worker[w]; }
+};
+
+class TemplateManager {
+ public:
+  TemplateManager() = default;
+
+  // --- Capture (driver-controller interface) ---
+
+  // Starts recording a basic block. Returns the new template's id.
+  TemplateId BeginCapture(const std::string& name);
+
+  bool capturing() const { return capturing_ != nullptr; }
+  ControllerTemplate* capturing_template() { return capturing_; }
+
+  // Appends one task to the block being captured. Reads/writes are already resolved to
+  // logical objects. Returns the entry's param slot.
+  std::int32_t CaptureTask(FunctionId function, std::vector<LogicalObjectId> reads,
+                           std::vector<LogicalObjectId> writes, int placement_partition,
+                           sim::Duration duration, bool returns_scalar,
+                           ParameterBlob params);
+
+  // Ends recording; post-processes and returns the finished template.
+  ControllerTemplate* FinishCapture();
+
+  ControllerTemplate* Find(TemplateId id);
+  const ControllerTemplate* Find(TemplateId id) const;
+  TemplateId FindByName(const std::string& name) const;
+
+  // --- Projection cache ---
+
+  // Returns the worker-template set for (template, assignment), projecting on first use.
+  // `newly_projected` (optional out) reports whether installation work happened.
+  WorkerTemplateSet* GetOrProject(TemplateId id, const Assignment& assignment,
+                                  const ObjectBytesFn& object_bytes,
+                                  bool* newly_projected = nullptr);
+
+  // Looks up a cached projection without building one.
+  WorkerTemplateSet* FindProjection(TemplateId id, const Assignment& assignment);
+
+  // --- Validation & patching ---
+
+  // Returns the copy directives required to make all preconditions of `set` hold. Empty
+  // means the template validates as-is.
+  std::vector<PatchDirective> Validate(const WorkerTemplateSet& set,
+                                       const VersionMap& versions) const;
+
+  // Resolves the patch for instantiating `set` given what executed before. Uses the patch
+  // cache; `cache_hit` (optional out) reports whether the cached patch was reused.
+  Patch ResolvePatch(const WorkerTemplateSet& set, std::uint64_t prev_executed,
+                     const VersionMap& versions, bool* cache_hit = nullptr);
+
+  // --- Instantiation bookkeeping ---
+
+  // Applies the set's cached version-map delta (write counts + final holders) and the
+  // patch's copy effects. Mirrors what executing the block does to global state.
+  void ApplyInstantiationEffects(const WorkerTemplateSet& set, const Patch& patch,
+                                 VersionMap* versions) const;
+
+  // --- Edits (paper §4.3) ---
+
+  // Plans moving the task at `global_entry` from its current worker to `to`, mutating the
+  // controller half of `set` in place and returning the per-worker ops for worker halves.
+  EditPlan PlanMigration(WorkerTemplateSet* set, std::int32_t global_entry, WorkerId to);
+
+  // Plans removing the task at `global_entry` ("an edit can remove and add tasks", §4.3).
+  // Its slot becomes a tombstone, preserving every other entry's index. Only legal for
+  // tasks with no in-block consumers (otherwise downstream reads would dangle); returns an
+  // empty plan and leaves the set untouched if that does not hold.
+  EditPlan PlanRemoveTask(WorkerTemplateSet* set, std::int32_t global_entry);
+
+  // Plans appending a fresh task at the end of `worker`'s table. In-block-produced reads
+  // get copy pairs / provider edges; block-input reads become preconditions; writes join
+  // the set's deltas. Returns the plan (one add = one edit).
+  EditPlan PlanAddTask(WorkerTemplateSet* set, WorkerId worker, FunctionId function,
+                       std::vector<LogicalObjectId> reads,
+                       std::vector<LogicalObjectId> writes, sim::Duration duration);
+
+  const PatchCache& patch_cache() const { return patch_cache_; }
+  std::size_t template_count() const { return templates_.size(); }
+  std::size_t projection_count() const { return projections_.size(); }
+  IdAllocator<WorkerTemplateId>& worker_template_ids() { return worker_template_ids_; }
+
+ private:
+  static std::uint64_t ProjectionKey(TemplateId id, std::uint64_t signature) {
+    return id.value() * 1000003ull ^ signature;
+  }
+
+  IdAllocator<TemplateId> template_ids_;
+  IdAllocator<WorkerTemplateId> worker_template_ids_;
+  std::unordered_map<TemplateId, std::unique_ptr<ControllerTemplate>> templates_;
+  std::unordered_map<std::string, TemplateId> by_name_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<WorkerTemplateSet>> projections_;
+  ControllerTemplate* capturing_ = nullptr;
+  PatchCache patch_cache_;
+};
+
+}  // namespace nimbus::core
+
+#endif  // NIMBUS_SRC_CORE_TEMPLATE_MANAGER_H_

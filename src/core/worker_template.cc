@@ -1,0 +1,330 @@
+#include "src/core/worker_template.h"
+
+#include <algorithm>
+
+namespace nimbus::core {
+
+Assignment Assignment::RoundRobin(int partitions, const std::vector<WorkerId>& workers) {
+  NIMBUS_CHECK(!workers.empty());
+  std::vector<WorkerId> map(static_cast<std::size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) {
+    map[static_cast<std::size_t>(p)] = workers[static_cast<std::size_t>(p) % workers.size()];
+  }
+  return Assignment(std::move(map));
+}
+
+std::vector<WorkerId> Assignment::Workers() const {
+  std::vector<WorkerId> out;
+  for (WorkerId w : partition_to_worker_) {
+    if (std::find(out.begin(), out.end(), w) == out.end()) {
+      out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t Assignment::Signature() const {
+  // FNV-1a over the worker ids.
+  std::uint64_t h = 1469598103934665603ull;
+  for (WorkerId w : partition_to_worker_) {
+    h ^= w.value() + 1;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+// Per-(worker, object) bookkeeping during projection.
+struct LocalObjState {
+  // Local index of the command that produced this worker's current value (-1: block input).
+  std::int32_t provider = -1;
+  // Local indexes that read the current value since `provider` (WAR ordering).
+  std::vector<std::int32_t> readers_since;
+};
+
+// Per-object global bookkeeping during projection.
+struct GlobalObjState {
+  bool written = false;
+  std::uint32_t write_count = 0;
+  std::int32_t last_writer_entry = -1;
+  WorkerId last_writer_worker;
+  // Workers holding the current in-block value (after a write: writer + copy recipients;
+  // before any write: workers granted a precondition).
+  std::vector<WorkerId> resident;
+
+  bool IsResident(WorkerId w) const {
+    return std::find(resident.begin(), resident.end(), w) != resident.end();
+  }
+};
+
+struct Builder {
+  WorkerTemplateSet* set;
+  const ObjectBytesFn* object_bytes;
+  std::unordered_map<WorkerId, std::size_t> half_index;
+  std::unordered_map<LogicalObjectId, GlobalObjState> objects;
+  std::unordered_map<WorkerId, std::unordered_map<LogicalObjectId, LocalObjState>> local;
+
+  WorkerHalf& Half(WorkerId w) {
+    auto it = half_index.find(w);
+    if (it == half_index.end()) {
+      it = half_index.emplace(w, set->halves().size()).first;
+      set->AddHalf(w);
+    }
+    return set->mutable_halves()[it->second];
+  }
+
+  LocalObjState& Local(WorkerId w, LogicalObjectId o) { return local[w][o]; }
+
+  std::int64_t BytesOf(LogicalObjectId o) {
+    const std::int64_t b = (*object_bytes)(o);
+    set->SetObjectBytes(o, b);
+    return b;
+  }
+
+  // Emits a copy pair moving `o`'s current value from `src` to `dst`. Returns the local
+  // index of the receive on `dst`.
+  std::int32_t EmitCopy(LogicalObjectId o, WorkerId src, WorkerId dst) {
+    const std::int32_t copy_index = set->NextCopyIndex();
+    const std::int64_t bytes = BytesOf(o);
+
+    WorkerHalf& src_half = Half(src);
+    WtEntry send;
+    send.type = CommandType::kCopySend;
+    send.copy_index = copy_index;
+    send.peer = dst;
+    send.object = o;
+    send.bytes = bytes;
+    send.reads = {o};
+    LocalObjState& src_state = Local(src, o);
+    if (src_state.provider >= 0) {
+      send.before.push_back(src_state.provider);
+    }
+    const auto send_index = static_cast<std::int32_t>(src_half.entries.size());
+    src_half.entries.push_back(std::move(send));
+    src_state.readers_since.push_back(send_index);
+
+    WorkerHalf& dst_half = Half(dst);
+    WtEntry recv;
+    recv.type = CommandType::kCopyReceive;
+    recv.copy_index = copy_index;
+    recv.peer = src;
+    recv.object = o;
+    recv.bytes = bytes;
+    recv.writes = {o};
+    // WAR on the destination: the receive overwrites the local instance, so it must wait
+    // for local readers of the previous value.
+    LocalObjState& dst_state = Local(dst, o);
+    if (dst_state.provider >= 0) {
+      recv.before.push_back(dst_state.provider);
+    }
+    for (std::int32_t r : dst_state.readers_since) {
+      recv.before.push_back(r);
+    }
+    const auto recv_index = static_cast<std::int32_t>(dst_half.entries.size());
+    dst_half.entries.push_back(std::move(recv));
+    dst_state.provider = recv_index;
+    dst_state.readers_since.clear();
+
+    return recv_index;
+  }
+};
+
+void SortUnique(std::vector<std::int32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment& assignment,
+                               WorkerTemplateId set_id, const ObjectBytesFn& object_bytes) {
+  NIMBUS_CHECK(block.finished()) << "projecting an unfinished template";
+
+  WorkerTemplateSet set(set_id, block.id(), assignment);
+  Builder b;
+  b.set = &set;
+  b.object_bytes = &object_bytes;
+
+  auto& meta = set.mutable_entry_meta();
+  meta.resize(block.entries().size());
+
+  for (std::size_t g = 0; g < block.entries().size(); ++g) {
+    const TemplateEntry& entry = block.entries()[g];
+    NIMBUS_CHECK_GE(entry.placement_partition, 0)
+        << "entry " << g << " has no placement partition";
+    const WorkerId w = assignment.WorkerFor(entry.placement_partition);
+    b.Half(w);  // ensure the half exists
+
+    WtEntry task;
+    task.type = CommandType::kTask;
+    task.function = entry.function;
+    task.global_entry = static_cast<std::int32_t>(g);
+    task.duration = entry.duration;
+    task.returns_scalar = entry.returns_scalar;
+    task.reads = entry.reads;
+    task.writes = entry.writes;
+    task.cached_params = entry.cached_params;
+
+    EntryMeta& em = meta[g];
+    em.worker = w;
+    em.read_providers.reserve(entry.reads.size());
+
+    // --- Reads: RAW edges, copy insertion, precondition discovery ---
+    for (LogicalObjectId r : entry.reads) {
+      GlobalObjState& os = b.objects[r];
+      if (os.written) {
+        em.read_providers.push_back(os.last_writer_entry);
+        meta[static_cast<std::size_t>(os.last_writer_entry)].consumers.push_back(
+            static_cast<std::int32_t>(g));
+        if (!os.IsResident(w)) {
+          // Cross-worker read: move the value here with a copy pair.
+          const std::int32_t recv_index = b.EmitCopy(r, os.last_writer_worker, w);
+          os.resident.push_back(w);
+          task.before.push_back(recv_index);
+        } else {
+          const LocalObjState& ls = b.Local(w, r);
+          if (ls.provider >= 0) {
+            task.before.push_back(ls.provider);
+          }
+        }
+      } else {
+        // Block input: worker must hold the latest version at entry (precondition). The
+        // patching machinery enforces it at instantiation time if it does not hold.
+        em.read_providers.push_back(-1);
+        if (!os.IsResident(w)) {
+          os.resident.push_back(w);
+        }
+        set.AddPrecondition(r, w);
+        const LocalObjState& ls = b.Local(w, r);
+        if (ls.provider >= 0) {
+          task.before.push_back(ls.provider);
+        }
+      }
+    }
+
+    // b.Half(w) must be re-fetched here: EmitCopy during read processing may have created
+    // new halves and reallocated the vector.
+    const auto task_index_placeholder = static_cast<std::int32_t>(b.Half(w).entries.size());
+
+    // Record this entry as a reader for WAR tracking.
+    for (LogicalObjectId r : entry.reads) {
+      b.Local(w, r).readers_since.push_back(task_index_placeholder);
+    }
+
+    // --- Writes: WAW/WAR edges, residency reset ---
+    for (LogicalObjectId o : entry.writes) {
+      GlobalObjState& os = b.objects[o];
+      LocalObjState& ls = b.Local(w, o);
+      if (ls.provider >= 0) {
+        task.before.push_back(ls.provider);
+      }
+      for (std::int32_t r : ls.readers_since) {
+        if (r != task_index_placeholder) {
+          task.before.push_back(r);
+        }
+      }
+      // Note: other workers' LocalObjState entries are intentionally preserved. Their
+      // provider/readers describe commands touching the *previous* version; if a copy of
+      // the new version later lands there, the receive needs WAR edges against exactly
+      // those commands (otherwise it can overwrite the instance while an old-version
+      // reader is still pending). Residency is tracked separately in os.resident.
+      os.written = true;
+      ++os.write_count;
+      os.last_writer_entry = static_cast<std::int32_t>(g);
+      os.last_writer_worker = w;
+      os.resident.clear();
+      os.resident.push_back(w);
+      ls.provider = task_index_placeholder;
+      ls.readers_since.clear();
+    }
+
+    SortUnique(&task.before);
+    em.local_index = task_index_placeholder;
+    b.Half(w).entries.push_back(std::move(task));
+  }
+
+  // --- Self-validation pass (paper §4.2): make the postcondition imply the precondition,
+  // so that back-to-back instantiations of this template skip validation entirely. For each
+  // precondition (o, w) where the block's final value of `o` ended up elsewhere, append an
+  // end-of-block copy to w (cf. Fig 5b: "adds a data copy of object 1 to worker 2 at the
+  // end of the template").
+  for (const auto& [pre, refcount] : set.preconditions()) {
+    auto it = b.objects.find(pre.object);
+    NIMBUS_CHECK(it != b.objects.end());
+    GlobalObjState& os = it->second;
+    if (os.written && !os.IsResident(pre.worker)) {
+      b.EmitCopy(pre.object, os.last_writer_worker, pre.worker);
+      os.resident.push_back(pre.worker);
+    }
+  }
+  set.SetSelfValidating(true);
+
+  // --- Per-object edit index (program-order writer/toucher lists) ---
+  {
+    auto& index = set.mutable_object_index();
+    for (std::size_t g = 0; g < block.entries().size(); ++g) {
+      const TemplateEntry& entry = block.entries()[g];
+      for (LogicalObjectId r : entry.reads) {
+        index[r].touchers.push_back(static_cast<std::int32_t>(g));
+      }
+      for (LogicalObjectId o : entry.writes) {
+        ObjectIndex& oi = index[o];
+        oi.writers.push_back(static_cast<std::int32_t>(g));
+        if (oi.touchers.empty() || oi.touchers.back() != static_cast<std::int32_t>(g)) {
+          oi.touchers.push_back(static_cast<std::int32_t>(g));
+        }
+      }
+    }
+  }
+
+  // --- Version-map delta ---
+  for (const auto& [object, os] : b.objects) {
+    if (os.written) {
+      WriteDelta delta;
+      delta.object = object;
+      delta.write_count = os.write_count;
+      delta.final_holders = os.resident;
+      set.mutable_write_deltas().push_back(std::move(delta));
+    }
+  }
+  // Deterministic order (unordered_map iteration is not).
+  std::sort(set.mutable_write_deltas().begin(), set.mutable_write_deltas().end(),
+            [](const WriteDelta& a, const WriteDelta& d) { return a.object < d.object; });
+
+  return set;
+}
+
+void ApplyWorkerEditOps(WorkerHalf* half, const std::vector<WorkerEditOp>& ops) {
+  for (const WorkerEditOp& op : ops) {
+    switch (op.kind) {
+      case WorkerEditOp::Kind::kAppendEntry:
+        half->entries.push_back(op.entry);
+        break;
+      case WorkerEditOp::Kind::kAddBeforeEdge: {
+        NIMBUS_CHECK_GE(op.index, 0);
+        NIMBUS_CHECK_LT(static_cast<std::size_t>(op.index), half->entries.size());
+        half->entries[static_cast<std::size_t>(op.index)].before.push_back(op.edge);
+        break;
+      }
+      case WorkerEditOp::Kind::kTombstone: {
+        NIMBUS_CHECK_GE(op.index, 0);
+        NIMBUS_CHECK_LT(static_cast<std::size_t>(op.index), half->entries.size());
+        half->entries[static_cast<std::size_t>(op.index)].dead = true;
+        break;
+      }
+      case WorkerEditOp::Kind::kReplaceWithReceive: {
+        NIMBUS_CHECK_GE(op.index, 0);
+        NIMBUS_CHECK_LT(static_cast<std::size_t>(op.index), half->entries.size());
+        WtEntry& slot = half->entries[static_cast<std::size_t>(op.index)];
+        std::vector<std::int32_t> old_before = std::move(slot.before);
+        slot = op.entry;
+        slot.before = std::move(old_before);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace nimbus::core

@@ -1,0 +1,300 @@
+// Worker templates: the controller-worker half of the execution-template abstraction.
+//
+// A worker template is the projection of a controller template onto one concrete schedule
+// (a partition -> worker assignment). It has two halves (paper §4.1):
+//
+//  * The controller half (`WorkerTemplateSet`) caches, for the whole block, how tasks are
+//    distributed across workers, the inter-worker copy structure, the preconditions that
+//    must hold at block entry, and the version-map delta the block applies. This is what
+//    lets the controller instantiate a block in O(tasks) trivial work instead of re-running
+//    dependency analysis.
+//
+//  * The worker half (`WorkerHalf`, installed per worker) caches that worker's local command
+//    table: an index-linked, table-based structure ("pointers are turned into indexes for
+//    fast lookups into arrays of values", §4.1) the worker schedules locally.
+//
+// Projection performs the complete dependency analysis once: worker-local before edges
+// (RAW, WAR, WAW), copy-pair insertion for cross-worker reads, precondition discovery for
+// objects read before any in-block write, and the self-validation pass that appends
+// end-of-block copies so the template's postcondition implies its own precondition (§4.2).
+
+#ifndef NIMBUS_SRC_CORE_WORKER_TEMPLATE_H_
+#define NIMBUS_SRC_CORE_WORKER_TEMPLATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+#include "src/core/controller_template.h"
+#include "src/sim/virtual_time.h"
+#include "src/task/command.h"
+
+namespace nimbus::core {
+
+// A concrete schedule: which worker owns each data partition (and therefore the tasks whose
+// placement affinity names that partition).
+class Assignment {
+ public:
+  Assignment() = default;
+  explicit Assignment(std::vector<WorkerId> partition_to_worker)
+      : partition_to_worker_(std::move(partition_to_worker)) {}
+
+  // Round-robin assignment of `partitions` over `workers`.
+  static Assignment RoundRobin(int partitions, const std::vector<WorkerId>& workers);
+
+  WorkerId WorkerFor(int partition) const {
+    NIMBUS_CHECK_GE(partition, 0);
+    NIMBUS_CHECK_LT(static_cast<std::size_t>(partition), partition_to_worker_.size());
+    return partition_to_worker_[static_cast<std::size_t>(partition)];
+  }
+
+  void SetWorkerFor(int partition, WorkerId worker) {
+    partition_to_worker_[static_cast<std::size_t>(partition)] = worker;
+  }
+
+  int partition_count() const { return static_cast<int>(partition_to_worker_.size()); }
+
+  // Distinct workers appearing in the assignment.
+  std::vector<WorkerId> Workers() const;
+
+  // Stable content hash used to look up the cached worker-template set for this schedule.
+  std::uint64_t Signature() const;
+
+  const std::vector<WorkerId>& raw() const { return partition_to_worker_; }
+
+ private:
+  std::vector<WorkerId> partition_to_worker_;
+};
+
+// One entry of a worker-local command table. `before` holds *local indexes* into the same
+// table; cross-worker dependencies never appear here (they are copy pairs).
+struct WtEntry {
+  CommandType type = CommandType::kTask;
+
+  // kTask fields.
+  FunctionId function;
+  std::int32_t global_entry = -1;  // index into the controller template (param/task-id slot)
+  sim::Duration duration = 0;
+  bool returns_scalar = false;
+  std::vector<LogicalObjectId> reads;
+  std::vector<LogicalObjectId> writes;
+
+  // Parameters baked into the block at capture; an instantiation-supplied parameter for
+  // the same slot overrides them (paper: templates cache structure, instantiation passes
+  // fresh parameters -- constants can stay cached).
+  ParameterBlob cached_params;
+
+  // Copy fields.
+  std::int32_t copy_index = -1;  // block-local copy sequence number (pairs send & receive)
+  WorkerId peer;
+  LogicalObjectId object;
+  std::int64_t bytes = 0;
+
+  // Local dependency edges (indexes into this worker's table).
+  std::vector<std::int32_t> before;
+
+  // Tombstone left by an edit that removed/replaced this slot without renumbering.
+  bool dead = false;
+};
+
+struct WorkerHalf {
+  WorkerId worker;
+  std::vector<WtEntry> entries;
+
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const auto& e : entries) {
+      if (!e.dead) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+// "Data object X must hold its latest version on worker W when the block starts."
+struct Precondition {
+  LogicalObjectId object;
+  WorkerId worker;
+
+  friend bool operator==(const Precondition& a, const Precondition& b) {
+    return a.object == b.object && a.worker == b.worker;
+  }
+};
+
+struct PreconditionHash {
+  std::size_t operator()(const Precondition& p) const {
+    return std::hash<std::uint64_t>{}(p.object.value() * 1000003u ^ p.worker.value());
+  }
+};
+
+// The version-map effect of executing the block once: each object's latest version advances
+// by `write_count` and ends resident on `final_holders`.
+struct WriteDelta {
+  LogicalObjectId object;
+  std::uint32_t write_count = 0;
+  std::vector<WorkerId> final_holders;
+};
+
+// Per-object index kept for dynamic edits: which entries write/touch each object, in
+// program order. Lets an edit find providers, consumers and WAR hazards in O(degree)
+// instead of scanning the whole template (the paper's requirement that edit cost scales
+// with the size of the change, §4.3).
+struct ObjectIndex {
+  std::vector<std::int32_t> writers;   // global entry indexes writing the object
+  std::vector<std::int32_t> touchers;  // global entry indexes reading or writing it
+};
+
+// Per-global-entry metadata kept for dynamic edits (paper §4.3).
+struct EntryMeta {
+  WorkerId worker;            // current placement
+  std::int32_t local_index = -1;
+  // For each read: the global entry that produced it in-block, or -1 if it is block input.
+  std::vector<std::int32_t> read_providers;
+  // Global entries that consume this entry's outputs.
+  std::vector<std::int32_t> consumers;
+};
+
+// An in-place mutation shipped to a worker half alongside an instantiation message
+// (paper §4.3: "edits are included as metadata in a worker template instantiation message").
+struct WorkerEditOp {
+  enum class Kind : std::uint8_t {
+    kReplaceWithReceive,  // turn slot `index` into a copy-receive (keeps the index stable)
+    kAppendEntry,         // append `entry` at the end of the table
+    kAddBeforeEdge,       // entries[index].before += edge
+    kTombstone,           // mark slot `index` dead (removed task; index stays allocated)
+  };
+
+  Kind kind = Kind::kAppendEntry;
+  std::int32_t index = -1;
+  std::int32_t edge = -1;
+  WtEntry entry;
+
+  std::int64_t WireSize() const { return 64; }
+};
+
+class WorkerTemplateSet {
+ public:
+  WorkerTemplateSet(WorkerTemplateId id, TemplateId parent, Assignment assignment)
+      : id_(id), parent_(parent), assignment_(std::move(assignment)) {}
+
+  WorkerTemplateId id() const { return id_; }
+  TemplateId parent() const { return parent_; }
+  const Assignment& assignment() const { return assignment_; }
+
+  const std::vector<WorkerHalf>& halves() const { return halves_; }
+  std::vector<WorkerHalf>& mutable_halves() { return halves_; }
+
+  WorkerHalf* HalfFor(WorkerId worker) {
+    for (auto& h : halves_) {
+      if (h.worker == worker) {
+        return &h;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::unordered_map<Precondition, std::int32_t, PreconditionHash>& preconditions()
+      const {
+    return preconditions_;
+  }
+
+  const std::vector<WriteDelta>& write_deltas() const { return write_deltas_; }
+  std::vector<WriteDelta>& mutable_write_deltas() { return write_deltas_; }
+
+  const std::vector<EntryMeta>& entry_meta() const { return entry_meta_; }
+  std::vector<EntryMeta>& mutable_entry_meta() { return entry_meta_; }
+
+  const ObjectIndex* FindObjectIndex(LogicalObjectId object) const {
+    auto it = object_index_.find(object);
+    return it == object_index_.end() ? nullptr : &it->second;
+  }
+  std::unordered_map<LogicalObjectId, ObjectIndex>& mutable_object_index() {
+    return object_index_;
+  }
+
+  std::size_t total_commands() const {
+    std::size_t n = 0;
+    for (const auto& h : halves_) {
+      n += h.live_count();
+    }
+    return n;
+  }
+
+  std::int32_t copy_count() const { return copy_count_; }
+  bool self_validating() const { return self_validating_; }
+
+  // Object virtual sizes for the network model (captured at projection).
+  std::int64_t ObjectBytes(LogicalObjectId object) const {
+    auto it = object_bytes_.find(object);
+    return it == object_bytes_.end() ? 0 : it->second;
+  }
+
+  // --- Mutation API used by projection and by edits ---
+
+  WorkerHalf& AddHalf(WorkerId worker) {
+    halves_.push_back(WorkerHalf{worker, {}});
+    return halves_.back();
+  }
+
+  void AddPrecondition(LogicalObjectId object, WorkerId worker) {
+    ++preconditions_[Precondition{object, worker}];
+  }
+
+  // Decrements the refcount; removes the precondition when no entry needs it any more.
+  void ReleasePrecondition(LogicalObjectId object, WorkerId worker) {
+    auto it = preconditions_.find(Precondition{object, worker});
+    if (it == preconditions_.end()) {
+      return;
+    }
+    if (--it->second <= 0) {
+      preconditions_.erase(it);
+    }
+  }
+
+  void SetSelfValidating(bool v) { self_validating_ = v; }
+  void SetCopyCount(std::int32_t n) { copy_count_ = n; }
+  std::int32_t NextCopyIndex() { return copy_count_++; }
+  void SetObjectBytes(LogicalObjectId object, std::int64_t bytes) {
+    object_bytes_[object] = bytes;
+  }
+
+ private:
+  WorkerTemplateId id_;
+  TemplateId parent_;
+  Assignment assignment_;
+  std::vector<WorkerHalf> halves_;
+  std::unordered_map<Precondition, std::int32_t, PreconditionHash> preconditions_;
+  std::vector<WriteDelta> write_deltas_;
+  std::vector<EntryMeta> entry_meta_;
+  std::unordered_map<LogicalObjectId, ObjectIndex> object_index_;
+  std::unordered_map<LogicalObjectId, std::int64_t> object_bytes_;
+  std::int32_t copy_count_ = 0;
+  bool self_validating_ = false;
+};
+
+// Resolves an object's virtual byte size during projection (supplied by the controller's
+// object directory).
+using ObjectBytesFn = std::function<std::int64_t(LogicalObjectId)>;
+
+// Projects `block` (a finished controller template) onto `assignment`, producing the
+// controller half of the worker templates. This runs the full dependency analysis described
+// in the header comment. `set_id` names the resulting worker-template set.
+WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment& assignment,
+                               WorkerTemplateId set_id, const ObjectBytesFn& object_bytes);
+
+// Applies edit ops to a worker half in place. The controller applies them to its cached
+// copy when planning; the worker applies the same ops when they arrive piggybacked on an
+// instantiation message, keeping both halves structurally identical.
+void ApplyWorkerEditOps(WorkerHalf* half, const std::vector<WorkerEditOp>& ops);
+
+}  // namespace nimbus::core
+
+#endif  // NIMBUS_SRC_CORE_WORKER_TEMPLATE_H_

@@ -1,0 +1,48 @@
+// Simulated durable storage (the checkpoint target, paper §4.4).
+//
+// Stands in for the distributed file system the paper's deployment writes checkpoints to.
+// Writes deep-copy payloads; the write *time* is charged by the cost model at the call site.
+
+#ifndef NIMBUS_SRC_DATA_DURABLE_STORE_H_
+#define NIMBUS_SRC_DATA_DURABLE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+#include "src/data/payload.h"
+
+namespace nimbus {
+
+class DurableStore {
+ public:
+  struct Entry {
+    Version version = 0;
+    std::unique_ptr<Payload> payload;
+  };
+
+  void Write(LogicalObjectId object, Version version, const Payload& payload) {
+    Entry& e = entries_[object];
+    e.version = version;
+    e.payload = payload.Clone();
+  }
+
+  bool Has(LogicalObjectId object) const { return entries_.count(object) > 0; }
+
+  const Entry& Read(LogicalObjectId object) const {
+    auto it = entries_.find(object);
+    NIMBUS_CHECK(it != entries_.end()) << "object not in durable store: " << object;
+    return it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<LogicalObjectId, Entry> entries_;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DATA_DURABLE_STORE_H_

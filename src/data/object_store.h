@@ -1,0 +1,87 @@
+// Worker-side object store: the physical instances resident in one worker's memory.
+//
+// Tasks read and write payloads in place. A data-copy receive swaps the stored payload
+// pointer once the transferred buffer is complete (paper §3.4).
+
+#ifndef NIMBUS_SRC_DATA_OBJECT_STORE_H_
+#define NIMBUS_SRC_DATA_OBJECT_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+#include "src/data/payload.h"
+
+namespace nimbus {
+
+class ObjectStore {
+ public:
+  struct Instance {
+    Version version = 0;
+    std::unique_ptr<Payload> payload;
+  };
+
+  bool Has(LogicalObjectId object) const { return instances_.count(object) > 0; }
+
+  // Installs or replaces the instance of `object` (pointer swap).
+  void Put(LogicalObjectId object, Version version, std::unique_ptr<Payload> payload) {
+    NIMBUS_CHECK(payload != nullptr);
+    Instance& inst = instances_[object];
+    inst.version = version;
+    inst.payload = std::move(payload);
+  }
+
+  Payload* GetMutable(LogicalObjectId object) {
+    auto it = instances_.find(object);
+    NIMBUS_CHECK(it != instances_.end()) << "object not resident: " << object;
+    return it->second.payload.get();
+  }
+
+  const Payload* Get(LogicalObjectId object) const {
+    auto it = instances_.find(object);
+    NIMBUS_CHECK(it != instances_.end()) << "object not resident: " << object;
+    return it->second.payload.get();
+  }
+
+  Version version(LogicalObjectId object) const {
+    auto it = instances_.find(object);
+    NIMBUS_CHECK(it != instances_.end()) << "object not resident: " << object;
+    return it->second.version;
+  }
+
+  void BumpVersion(LogicalObjectId object, Version version) {
+    auto it = instances_.find(object);
+    NIMBUS_CHECK(it != instances_.end()) << "object not resident: " << object;
+    it->second.version = version;
+  }
+
+  void Erase(LogicalObjectId object) { instances_.erase(object); }
+
+  void Clear() { instances_.clear(); }
+
+  std::size_t size() const { return instances_.size(); }
+
+  const std::unordered_map<LogicalObjectId, Instance>& instances() const { return instances_; }
+
+  // Deep-copies every resident instance (checkpoint persistence).
+  std::unordered_map<LogicalObjectId, Instance> SnapshotAll() const {
+    std::unordered_map<LogicalObjectId, Instance> out;
+    out.reserve(instances_.size());
+    for (const auto& [object, inst] : instances_) {
+      Instance copy;
+      copy.version = inst.version;
+      copy.payload = inst.payload->Clone();
+      out.emplace(object, std::move(copy));
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<LogicalObjectId, Instance> instances_;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DATA_OBJECT_STORE_H_

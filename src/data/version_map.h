@@ -1,0 +1,137 @@
+// Controller-side version map: which worker holds which version of every logical object.
+//
+// Mutable data objects mean multiple copies and versions coexist (paper §3.3). The version
+// map is the controller's source of truth for (a) last-writer dependency analysis, (b) copy
+// insertion when a reader is on a different worker than the latest version, and (c) template
+// precondition validation (paper §4.2).
+
+#ifndef NIMBUS_SRC_DATA_VERSION_MAP_H_
+#define NIMBUS_SRC_DATA_VERSION_MAP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+
+namespace nimbus {
+
+class VersionMap {
+ public:
+  struct ObjectState {
+    Version latest = 0;
+    // Versions held per worker. Only the newest instance per worker is tracked; a stale
+    // instance is overwritten in place when a copy lands (paper §3.4 pointer swap).
+    std::unordered_map<WorkerId, Version> held;
+  };
+
+  // Registers an object whose initial (version-0) instance lives on `home`.
+  void CreateObject(LogicalObjectId object, WorkerId home) {
+    NIMBUS_CHECK(states_.find(object) == states_.end()) << "object exists: " << object;
+    ObjectState state;
+    state.latest = 0;
+    state.held[home] = 0;
+    states_.emplace(object, std::move(state));
+  }
+
+  bool Exists(LogicalObjectId object) const { return states_.count(object) > 0; }
+
+  void DestroyObject(LogicalObjectId object) { states_.erase(object); }
+
+  // Records that a task on `writer` wrote the object: the global version advances and every
+  // other worker's instance becomes stale.
+  Version RecordWrite(LogicalObjectId object, WorkerId writer) {
+    ObjectState& state = State(object);
+    ++state.latest;
+    state.held[writer] = state.latest;
+    return state.latest;
+  }
+
+  // Records that the latest version was copied to `dst`.
+  void RecordCopyToLatest(LogicalObjectId object, WorkerId dst) {
+    ObjectState& state = State(object);
+    state.held[dst] = state.latest;
+  }
+
+  // Removes any instance of `object` on `worker` (eviction / failure).
+  void DropInstance(LogicalObjectId object, WorkerId worker) {
+    auto it = states_.find(object);
+    if (it != states_.end()) {
+      it->second.held.erase(worker);
+    }
+  }
+
+  // Drops every instance held by `worker` (worker failure).
+  void DropWorker(WorkerId worker) {
+    for (auto& [object, state] : states_) {
+      state.held.erase(worker);
+    }
+  }
+
+  Version latest(LogicalObjectId object) const { return State(object).latest; }
+
+  bool WorkerHasLatest(LogicalObjectId object, WorkerId worker) const {
+    const ObjectState& state = State(object);
+    auto it = state.held.find(worker);
+    return it != state.held.end() && it->second == state.latest;
+  }
+
+  // Any worker currently holding the latest version; invalid if none (data loss).
+  WorkerId AnyLatestHolder(LogicalObjectId object) const {
+    const ObjectState& state = State(object);
+    for (const auto& [worker, version] : state.held) {
+      if (version == state.latest) {
+        return worker;
+      }
+    }
+    return WorkerId::Invalid();
+  }
+
+  std::vector<WorkerId> LatestHolders(LogicalObjectId object) const {
+    std::vector<WorkerId> holders;
+    const ObjectState& state = State(object);
+    for (const auto& [worker, version] : state.held) {
+      if (version == state.latest) {
+        holders.push_back(worker);
+      }
+    }
+    return holders;
+  }
+
+  std::size_t object_count() const { return states_.size(); }
+
+  // Total number of tracked (worker, object) instances; exposed for the ablation that
+  // measures how mutable objects keep the map small (DESIGN.md §5.1).
+  std::size_t instance_count() const {
+    std::size_t n = 0;
+    for (const auto& [object, state] : states_) {
+      n += state.held.size();
+    }
+    return n;
+  }
+
+  // Snapshot / restore support for checkpoint-based fault recovery (paper §4.4).
+  std::unordered_map<LogicalObjectId, ObjectState> Snapshot() const { return states_; }
+  void Restore(std::unordered_map<LogicalObjectId, ObjectState> snapshot) {
+    states_ = std::move(snapshot);
+  }
+
+ private:
+  ObjectState& State(LogicalObjectId object) {
+    auto it = states_.find(object);
+    NIMBUS_CHECK(it != states_.end()) << "unknown object " << object;
+    return it->second;
+  }
+
+  const ObjectState& State(LogicalObjectId object) const {
+    auto it = states_.find(object);
+    NIMBUS_CHECK(it != states_.end()) << "unknown object " << object;
+    return it->second;
+  }
+
+  std::unordered_map<LogicalObjectId, ObjectState> states_;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DATA_VERSION_MAP_H_

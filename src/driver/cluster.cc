@@ -1,0 +1,58 @@
+#include "src/driver/cluster.h"
+
+namespace nimbus {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), network_(&simulation_, &options_.costs) {
+  controller_ = std::make_unique<NimbusController>(&simulation_, &network_, &options_.costs,
+                                                   &directory_, &durable_, &trace_,
+                                                   options_.mode);
+
+  WorkerEnv env;
+  env.peer = [this](WorkerId id) { return worker(id); };
+  env.on_group_complete = [this](WorkerId w, std::uint64_t seq,
+                                 std::vector<ScalarResult> scalars) {
+    controller_->OnGroupComplete(w, seq, std::move(scalars));
+  };
+  env.on_heartbeat = [this](WorkerId w) { controller_->OnHeartbeat(w); };
+
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>(WorkerId(static_cast<std::uint64_t>(i)),
+                                           &simulation_, &network_, &options_.costs,
+                                           &functions_, &durable_, env);
+    controller_->AttachWorker(worker.get());
+    workers_.push_back(std::move(worker));
+  }
+  controller_->SetPartitions(options_.partitions);
+}
+
+Worker* Cluster::worker(WorkerId id) {
+  for (auto& w : workers_) {
+    if (w->id() == id) {
+      return w->failed() ? nullptr : w.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<WorkerId> Cluster::worker_ids() const {
+  std::vector<WorkerId> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.push_back(w->id());
+  }
+  return out;
+}
+
+void Cluster::FailWorker(WorkerId id) {
+  for (auto& w : workers_) {
+    if (w->id() == id) {
+      w->Fail();
+      return;
+    }
+  }
+  NIMBUS_CHECK(false) << "unknown worker " << id;
+}
+
+}  // namespace nimbus

@@ -1,0 +1,71 @@
+// Cluster: assembles a simulated Nimbus deployment (Fig 2).
+//
+// Owns the simulation, network, cost model, controller, workers, function registry, object
+// directory and durable store, and wires the message paths between them. Everything the
+// examples, tests and benchmarks start from.
+
+#ifndef NIMBUS_SRC_DRIVER_CLUSTER_H_
+#define NIMBUS_SRC_DRIVER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/controller/controller.h"
+#include "src/data/durable_store.h"
+#include "src/data/object_directory.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+#include "src/worker/function_registry.h"
+#include "src/worker/worker.h"
+
+namespace nimbus {
+
+struct ClusterOptions {
+  int workers = 4;
+  int partitions = 8;  // global placement-partition space
+  sim::CostModel costs;
+  ControlMode mode = ControlMode::kTemplates;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& simulation() { return simulation_; }
+  sim::Network& network() { return network_; }
+  const sim::CostModel& costs() const { return options_.costs; }
+  NimbusController& controller() { return *controller_; }
+  FunctionRegistry& functions() { return functions_; }
+  ObjectDirectory& directory() { return directory_; }
+  DurableStore& durable() { return durable_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+  Worker* worker(WorkerId id);
+  std::vector<WorkerId> worker_ids() const;
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  int partitions() const { return options_.partitions; }
+
+  // Injects a hard worker failure at the current virtual time (fault-recovery tests).
+  void FailWorker(WorkerId id);
+
+ private:
+  ClusterOptions options_;
+  sim::Simulation simulation_;
+  sim::Network network_;
+  sim::TraceRecorder trace_;
+  ObjectDirectory directory_;
+  DurableStore durable_;
+  FunctionRegistry functions_;
+  std::unique_ptr<NimbusController> controller_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DRIVER_CLUSTER_H_

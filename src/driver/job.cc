@@ -1,0 +1,175 @@
+#include "src/driver/job.h"
+
+namespace nimbus {
+
+Job::Job(Cluster* cluster) : cluster_(cluster) {
+  cluster_->controller().SetRecoveryHandler([this](std::uint64_t marker) {
+    recovery_pending_ = true;
+    recovery_marker_ = marker;
+  });
+}
+
+VariableId Job::DefineVariable(const std::string& name, int partitions,
+                               std::int64_t virtual_bytes_per_partition) {
+  return cluster_->controller().DefineVariable(name, partitions, virtual_bytes_per_partition);
+}
+
+FunctionId Job::RegisterFunction(const std::string& name, TaskFunction fn) {
+  return cluster_->functions().Register(name, std::move(fn));
+}
+
+void Job::DefineBlock(const std::string& name, std::vector<StageDescriptor> stages) {
+  BlockDef def;
+  def.task_count = 0;
+  for (const auto& s : stages) {
+    def.task_count += s.tasks.size();
+  }
+  def.stages = std::move(stages);
+  blocks_[name] = std::move(def);
+}
+
+Job::RunResult Job::ExecuteAndWait(const std::function<void(BlockDone)>& submit,
+                                   std::int64_t request_bytes) {
+  sim::Simulation& sim = cluster_->simulation();
+  sim::Network& net = cluster_->network();
+
+  bool done = false;
+  RunResult result;
+
+  // Driver -> controller request (one latency hop), then wait for the controller's
+  // completion notification (another hop, folded into the callback).
+  net.Send(sim::kDriverAddress, sim::kControllerAddress, request_bytes,
+           [&submit, &done, &result, &net, &sim]() {
+             submit([&done, &result, &net](std::vector<ScalarResult> scalars) {
+               net.Send(sim::kControllerAddress, sim::kDriverAddress,
+                        64 + static_cast<std::int64_t>(scalars.size()) * 16,
+                        [&done, &result, scalars = std::move(scalars)]() mutable {
+                          result.scalars = std::move(scalars);
+                          done = true;
+                        });
+             });
+           });
+
+  const bool ok =
+      sim.RunUntilCondition([&]() { return done || recovery_pending_; });
+  NIMBUS_CHECK(ok || done || recovery_pending_) << "simulation drained without completing";
+
+  if (!done && recovery_pending_) {
+    recovery_pending_ = false;
+    result.recovered = true;
+    result.resume_marker = recovery_marker_;
+  }
+  return result;
+}
+
+std::vector<StageDescriptor> Job::WithParams(const std::vector<StageDescriptor>& stages,
+                                             const SparseParams& params) {
+  if (params.empty()) {
+    return stages;
+  }
+  std::vector<StageDescriptor> out = stages;
+  std::int32_t slot = 0;
+  for (auto& stage : out) {
+    for (auto& task : stage.tasks) {
+      for (const auto& [pslot, blob] : params) {
+        if (pslot == slot) {
+          task.params = blob;
+        }
+      }
+      ++slot;
+    }
+  }
+  return out;
+}
+
+Job::RunResult Job::RunStages(std::vector<StageDescriptor> stages) {
+  std::int64_t bytes = 64;
+  for (const auto& s : stages) {
+    bytes += static_cast<std::int64_t>(s.tasks.size()) * 96;
+  }
+  NimbusController& controller = cluster_->controller();
+  return ExecuteAndWait(
+      [&controller, stages = std::move(stages)](BlockDone done) {
+        controller.SubmitStages(stages, std::move(done));
+      },
+      bytes);
+}
+
+Job::RunResult Job::RunBlock(const std::string& name, SparseParams params) {
+  auto it = blocks_.find(name);
+  NIMBUS_CHECK(it != blocks_.end()) << "unknown block '" << name << "'";
+  BlockDef& def = it->second;
+  NimbusController& controller = cluster_->controller();
+
+  // Automatic checkpoint insertion between blocks (worker queues are drained here).
+  if (auto_checkpoint_every_ > 0 && blocks_completed_ > 0 &&
+      blocks_completed_ % auto_checkpoint_every_ == 0 &&
+      blocks_completed_ != last_auto_checkpoint_) {
+    last_auto_checkpoint_ = blocks_completed_;
+    Checkpoint(blocks_completed_);
+  }
+  ++blocks_completed_;
+
+  const bool use_templates =
+      templates_enabled_ && controller.mode() != ControlMode::kCentralOnly;
+
+  if (!use_templates) {
+    return RunStages(WithParams(def.stages, params));
+  }
+
+  if (!def.captured) {
+    // First templated run: mark the basic block and capture it while executing centrally
+    // (paper §4.1: "it simultaneously schedules them normally and stores them").
+    std::vector<StageDescriptor> stages = WithParams(def.stages, params);
+    std::int64_t bytes = 64;
+    for (const auto& s : stages) {
+      bytes += static_cast<std::int64_t>(s.tasks.size()) * 96;
+    }
+    RunResult result = ExecuteAndWait(
+        [&controller, &name, stages = std::move(stages)](BlockDone done) {
+          controller.BeginTemplate(name);
+          controller.SubmitStages(stages, std::move(done));
+          controller.EndTemplate();
+        },
+        bytes);
+    if (!result.recovered) {
+      def.captured = true;
+    }
+    return result;
+  }
+
+  // Steady state: a single instantiation message (paper §2.2: n+1 messages per block).
+  std::int64_t bytes = 64;
+  for (const auto& [slot, blob] : params) {
+    bytes += 8 + static_cast<std::int64_t>(blob.size());
+  }
+  return ExecuteAndWait(
+      [&controller, &name, params = std::move(params)](BlockDone done) mutable {
+        controller.InstantiateTemplate(name, std::move(params), std::move(done));
+      },
+      bytes);
+}
+
+void Job::Checkpoint(std::uint64_t marker) {
+  sim::Simulation& sim = cluster_->simulation();
+  sim::Network& net = cluster_->network();
+  NimbusController& controller = cluster_->controller();
+
+  bool done = false;
+  net.Send(sim::kDriverAddress, sim::kControllerAddress, 32, [&]() {
+    controller.TriggerCheckpoint(marker, [&done, &net]() {
+      net.Send(sim::kControllerAddress, sim::kDriverAddress, 16, [&done]() { done = true; });
+    });
+  });
+  const bool ok = sim.RunUntilCondition([&]() { return done; });
+  NIMBUS_CHECK(ok) << "checkpoint did not complete";
+}
+
+void Job::Idle(sim::Duration d) {
+  sim::Simulation& sim = cluster_->simulation();
+  bool fired = false;
+  sim.ScheduleAfter(d, [&fired]() { fired = true; });
+  sim.RunUntilCondition([&]() { return fired; });
+}
+
+}  // namespace nimbus

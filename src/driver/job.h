@@ -1,0 +1,114 @@
+// Job: the driver-program API (paper Fig 2, "Application Driver").
+//
+// Presents a synchronous programming model over the event-driven simulation: RunBlock()
+// submits work and advances virtual time until the block completes, so application code is
+// ordinary C++ control flow — `while (error > threshold)` loops, nested loops, data-
+// dependent branches — exactly the programs execution templates are designed for.
+//
+// Block execution strategy by control-plane mode:
+//  * kTemplates       — first run marks + captures the basic block while executing it
+//                       centrally; later runs instantiate the template (install, validate,
+//                       patch, edit as needed).
+//  * kCentralOnly     — every run re-submits all tasks ("Nimbus w/o templates").
+//  * kStaticDataflow  — Naiad-style: first run installs the dataflow, later runs trigger it.
+
+#ifndef NIMBUS_SRC_DRIVER_JOB_H_
+#define NIMBUS_SRC_DRIVER_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/driver/cluster.h"
+#include "src/task/command.h"
+
+namespace nimbus {
+
+using SparseParams = std::vector<std::pair<std::int32_t, ParameterBlob>>;
+
+class Job {
+ public:
+  explicit Job(Cluster* cluster);
+
+  // ---- Program construction ----
+  VariableId DefineVariable(const std::string& name, int partitions,
+                            std::int64_t virtual_bytes_per_partition);
+  FunctionId RegisterFunction(const std::string& name, TaskFunction fn);
+
+  // Records a named basic block (its stage list is fixed; parameters vary per run).
+  void DefineBlock(const std::string& name, std::vector<StageDescriptor> stages);
+
+  // ---- Execution ----
+  struct RunResult {
+    std::vector<ScalarResult> scalars;
+    bool recovered = false;           // a worker failed; job state reverted to a checkpoint
+    std::uint64_t resume_marker = 0;  // driver marker of the restored checkpoint
+
+    double FirstScalar() const { return scalars.empty() ? 0.0 : scalars.front().value; }
+    double SumScalars() const {
+      double s = 0.0;
+      for (const auto& r : scalars) {
+        s += r.value;
+      }
+      return s;
+    }
+  };
+
+  // Runs one-off stages (e.g. data loading) through the central path.
+  RunResult RunStages(std::vector<StageDescriptor> stages);
+
+  // Runs a recorded block according to the control-plane mode (see file comment).
+  RunResult RunBlock(const std::string& name, SparseParams params = {});
+
+  // Writes a checkpoint tagged with `marker` (typically the iteration index).
+  void Checkpoint(std::uint64_t marker);
+
+  // Automatic checkpointing (paper §4.4: "Nimbus automatically inserts checkpoints into
+  // the task stream"): after every `every_blocks` completed blocks, a checkpoint tagged
+  // with the running block count is written before the next block starts. 0 disables.
+  void EnableAutoCheckpoint(std::uint64_t every_blocks) {
+    auto_checkpoint_every_ = every_blocks;
+  }
+  std::uint64_t blocks_completed() const { return blocks_completed_; }
+
+  // Fig 9's "manually disabled templates" switch. Off => RunBlock always re-submits.
+  void SetTemplatesEnabled(bool enabled) { templates_enabled_ = enabled; }
+  bool templates_enabled() const { return templates_enabled_; }
+
+  // Advances virtual time with no driver activity (lets in-flight work settle).
+  void Idle(sim::Duration d);
+
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  struct BlockDef {
+    std::vector<StageDescriptor> stages;
+    bool captured = false;
+    std::size_t task_count = 0;
+  };
+
+  // Sends a driver->controller request (one latency hop), runs the simulation until the
+  // completion callback (or a recovery notification) fires, and returns the result.
+  RunResult ExecuteAndWait(const std::function<void(BlockDone)>& submit,
+                           std::int64_t request_bytes);
+
+  static std::vector<StageDescriptor> WithParams(const std::vector<StageDescriptor>& stages,
+                                                 const SparseParams& params);
+
+  Cluster* cluster_;
+  std::map<std::string, BlockDef> blocks_;
+  bool templates_enabled_ = true;
+  std::uint64_t auto_checkpoint_every_ = 0;
+  std::uint64_t blocks_completed_ = 0;
+  std::uint64_t last_auto_checkpoint_ = 0;
+  bool recovery_pending_ = false;
+  std::uint64_t recovery_marker_ = 0;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DRIVER_JOB_H_

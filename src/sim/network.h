@@ -1,0 +1,78 @@
+// Simulated cluster network.
+//
+// Nodes (driver, controller, workers) are integer endpoints. A message occupies the sender's
+// transmit path for its serialization time (so bulk data transfers contend at the NIC) and is
+// delivered one propagation latency later. Control messages are small; data-copy messages
+// carry the object's virtual byte size.
+
+#ifndef NIMBUS_SRC_SIM_NETWORK_H_
+#define NIMBUS_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/simulation.h"
+#include "src/sim/virtual_time.h"
+
+namespace nimbus::sim {
+
+// A network endpoint address. The controller and driver get reserved addresses; workers are
+// addressed by their WorkerId value offset by kFirstWorkerAddress.
+using NodeAddress = std::int64_t;
+
+constexpr NodeAddress kControllerAddress = -1;
+constexpr NodeAddress kDriverAddress = -2;
+constexpr NodeAddress kFirstWorkerAddress = 0;
+
+class Network {
+ public:
+  Network(Simulation* simulation, const CostModel* costs)
+      : simulation_(simulation), costs_(costs) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Sends `payload_bytes` from `src` to `dst`; `deliver` runs at the destination when the
+  // message arrives. Occupies the sender NIC for the serialization time.
+  void Send(NodeAddress src, NodeAddress dst, std::int64_t payload_bytes,
+            Simulation::Callback deliver) {
+    NIMBUS_CHECK_GE(payload_bytes, 0);
+    Processor& tx = TxPath(src);
+    ++messages_sent_;
+    bytes_sent_ += payload_bytes;
+    const TimePoint tx_done = tx.Submit(costs_->SerializationTime(payload_bytes), nullptr);
+    simulation_->ScheduleAt(tx_done + costs_->network_latency, std::move(deliver));
+  }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+
+  void ResetCounters() {
+    messages_sent_ = 0;
+    bytes_sent_ = 0;
+  }
+
+ private:
+  Processor& TxPath(NodeAddress node) {
+    auto it = tx_paths_.find(node);
+    if (it == tx_paths_.end()) {
+      it = tx_paths_.emplace(node, std::make_unique<Processor>(simulation_)).first;
+    }
+    return *it->second;
+  }
+
+  Simulation* simulation_;
+  const CostModel* costs_;
+  std::unordered_map<NodeAddress, std::unique_ptr<Processor>> tx_paths_;
+  std::uint64_t messages_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace nimbus::sim
+
+#endif  // NIMBUS_SRC_SIM_NETWORK_H_

@@ -1,0 +1,39 @@
+#include "src/sim/simulation.h"
+
+namespace nimbus::sim {
+
+TimePoint Simulation::RunUntil(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out the callback before popping: the callback may schedule new events, and
+    // std::priority_queue::top() returns a const reference into the heap.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    NIMBUS_CHECK_GE(event.when, now_);
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+  }
+  if (queue_.empty() && deadline != kForever) {
+    now_ = std::max(now_, deadline);
+  }
+  return now_;
+}
+
+bool Simulation::RunUntilCondition(const std::function<bool()>& predicate) {
+  if (predicate()) {
+    return true;
+  }
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+    if (predicate()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nimbus::sim

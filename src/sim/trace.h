@@ -1,0 +1,57 @@
+// Trace recorder: named time-series and counters produced during simulated runs.
+//
+// Benchmarks query the recorder to print the same rows/series the paper's figures report
+// (per-iteration completion time, control vs computation split, task throughput...).
+
+#ifndef NIMBUS_SRC_SIM_TRACE_H_
+#define NIMBUS_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nimbus::sim {
+
+struct TracePoint {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void AddPoint(const std::string& series, double x, double value) {
+    series_[series].push_back(TracePoint{x, value});
+  }
+
+  void IncrementCounter(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  const std::vector<TracePoint>& Series(const std::string& name) const {
+    static const std::vector<TracePoint> kEmpty;
+    auto it = series_.find(name);
+    return it == series_.end() ? kEmpty : it->second;
+  }
+
+  std::int64_t Counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, std::vector<TracePoint>>& all_series() const { return series_; }
+  const std::map<std::string, std::int64_t>& all_counters() const { return counters_; }
+
+  void Clear() {
+    series_.clear();
+    counters_.clear();
+  }
+
+ private:
+  std::map<std::string, std::vector<TracePoint>> series_;
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace nimbus::sim
+
+#endif  // NIMBUS_SRC_SIM_TRACE_H_

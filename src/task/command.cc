@@ -1,0 +1,25 @@
+#include "src/task/command.h"
+
+namespace nimbus {
+
+const char* CommandTypeName(CommandType type) {
+  switch (type) {
+    case CommandType::kTask:
+      return "task";
+    case CommandType::kCopySend:
+      return "copy-send";
+    case CommandType::kCopyReceive:
+      return "copy-recv";
+    case CommandType::kDataCreate:
+      return "data-create";
+    case CommandType::kDataDestroy:
+      return "data-destroy";
+    case CommandType::kFileLoad:
+      return "file-load";
+    case CommandType::kFileSave:
+      return "file-save";
+  }
+  return "unknown";
+}
+
+}  // namespace nimbus

@@ -1,0 +1,503 @@
+#include "src/worker/worker.h"
+
+#include <algorithm>
+
+namespace nimbus {
+
+namespace {
+
+// Globally-unique copy ids: instantiation/patch group sequence numbers are globally unique
+// and both endpoints of a copy pair derive the same id from (group_seq, copy_index).
+CopyId MakeCopyId(std::uint64_t group_seq, std::int32_t copy_index) {
+  return CopyId((group_seq << 24) | static_cast<std::uint64_t>(copy_index));
+}
+
+}  // namespace
+
+Worker::Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
+               const sim::CostModel* costs, const FunctionRegistry* functions,
+               DurableStore* durable, WorkerEnv env)
+    : id_(id),
+      simulation_(simulation),
+      network_(network),
+      costs_(costs),
+      functions_(functions),
+      durable_(durable),
+      env_(std::move(env)),
+      cores_(simulation, costs->worker_cores),
+      control_thread_(simulation) {}
+
+void Worker::StartHeartbeats(sim::Duration period) {
+  if (heartbeats_running_) {
+    return;
+  }
+  heartbeats_running_ = true;
+  HeartbeatTick(period);
+}
+
+void Worker::HeartbeatTick(sim::Duration period) {
+  if (failed_) {
+    heartbeats_running_ = false;
+    return;
+  }
+  network_->Send(address(), sim::kControllerAddress, 16,
+                 [this]() { env_.on_heartbeat(id_); });
+  simulation_->ScheduleAfter(period, [this, period]() { HeartbeatTick(period); });
+}
+
+Worker::Group& Worker::GetOrCreateGroup(std::uint64_t seq, bool barrier) {
+  for (Group& g : groups_) {
+    if (g.seq == seq) {
+      return g;
+    }
+  }
+  groups_.push_back(Group{});
+  Group& g = groups_.back();
+  g.seq = seq;
+  g.barrier = barrier;
+  return g;
+}
+
+void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
+                        std::size_t expected_total, bool finalize, bool barrier) {
+  if (failed_) {
+    return;
+  }
+  const sim::Duration charge =
+      costs_->worker_receive_task * static_cast<sim::Duration>(commands.size());
+  control_thread_.Charge(charge);
+
+  Group& group = GetOrCreateGroup(group_seq, barrier);
+  for (Command& cmd : commands) {
+    AddCommandToGroup(group, std::move(cmd));
+  }
+  if (finalize) {
+    group.finalized = true;
+    group.expected_total = expected_total;
+  }
+  MaybeStartGroups();
+  FinishGroupIfDone(group_seq);
+}
+
+void Worker::OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id) {
+  if (failed_) {
+    return;
+  }
+  const sim::Duration charge = costs_->install_worker_template_worker_per_task *
+                               static_cast<sim::Duration>(half.entries.size());
+  control_thread_.Charge(charge);
+  templates_[id] = std::move(half);
+}
+
+void Worker::OnInstantiate(InstantiateMsg msg) {
+  if (failed_) {
+    return;
+  }
+  auto it = templates_.find(msg.worker_template);
+  NIMBUS_CHECK(it != templates_.end())
+      << "worker " << id_ << " has no cached template " << msg.worker_template;
+  core::WorkerHalf& half = it->second;
+
+  // Apply piggybacked edits to the cached structure first (paper §4.3).
+  if (!msg.edits.empty()) {
+    core::ApplyWorkerEditOps(&half, msg.edits);
+  }
+
+  const sim::Duration charge = costs_->instantiate_worker_template_auto_per_task *
+                               static_cast<sim::Duration>(half.entries.size());
+
+  // Materialize the cached table into a runnable group after the control-thread charge.
+  control_thread_.Submit(charge, [this, msg = std::move(msg)]() {
+    if (failed_) {
+      return;
+    }
+    const core::WorkerHalf& tmpl = templates_.at(msg.worker_template);
+    Group& group = GetOrCreateGroup(msg.group_seq, /*barrier=*/true);
+
+    // Sparse parameter lookup by global entry index.
+    std::unordered_map<std::int32_t, const ParameterBlob*> params;
+    params.reserve(msg.params.size());
+    for (const auto& [slot, blob] : msg.params) {
+      params.emplace(slot, &blob);
+    }
+
+    for (std::size_t i = 0; i < tmpl.entries.size(); ++i) {
+      const core::WtEntry& e = tmpl.entries[i];
+      Command cmd;
+      cmd.id = CommandId(msg.command_base.value() + i);
+      for (std::int32_t b : e.before) {
+        cmd.before.push_back(CommandId(msg.command_base.value() + static_cast<std::uint64_t>(b)));
+      }
+      if (e.dead) {
+        cmd.type = CommandType::kDataCreate;  // benign no-op preserving the index
+        AddCommandToGroup(group, std::move(cmd));
+        continue;
+      }
+      cmd.type = e.type;
+      switch (e.type) {
+        case CommandType::kTask: {
+          cmd.function = e.function;
+          cmd.task_id = TaskId(msg.task_base.value() + static_cast<std::uint64_t>(e.global_entry));
+          cmd.duration = e.duration;
+          cmd.returns_scalar = e.returns_scalar;
+          cmd.read_set = e.reads;
+          cmd.write_set = e.writes;
+          auto pit = params.find(e.global_entry);
+          if (pit != params.end()) {
+            cmd.params = *pit->second;
+          } else {
+            cmd.params = e.cached_params;
+          }
+          break;
+        }
+        case CommandType::kCopySend:
+        case CommandType::kCopyReceive: {
+          cmd.copy_id = MakeCopyId(msg.group_seq, e.copy_index);
+          cmd.peer = e.peer;
+          cmd.copy_object = e.object;
+          cmd.copy_bytes = e.bytes;
+          break;
+        }
+        default:
+          cmd.data_object = e.object;
+          break;
+      }
+      AddCommandToGroup(group, std::move(cmd));
+    }
+    group.finalized = true;
+    group.expected_total = tmpl.entries.size();
+    MaybeStartGroups();
+    FinishGroupIfDone(msg.group_seq);
+  });
+}
+
+void Worker::OnHalt() {
+  groups_.clear();
+  data_buffer_.clear();
+  receive_index_.clear();
+}
+
+void Worker::OnLoadObjects(std::uint64_t group_seq, std::vector<LogicalObjectId> objects) {
+  if (failed_) {
+    return;
+  }
+  std::vector<Command> commands;
+  commands.reserve(objects.size());
+  for (LogicalObjectId object : objects) {
+    Command cmd;
+    cmd.id = CommandId((group_seq << 24) | commands.size());
+    cmd.type = CommandType::kFileLoad;
+    cmd.data_object = object;
+    commands.push_back(std::move(cmd));
+  }
+  const std::size_t total = commands.size();
+  OnCommands(group_seq, std::move(commands), total, /*finalize=*/true, /*barrier=*/true);
+}
+
+void Worker::AddCommandToGroup(Group& group, Command cmd) {
+  const auto index = static_cast<std::int32_t>(group.commands.size());
+  group.index_of.emplace(cmd.id, index);
+
+  RuntimeCommand rc;
+  rc.cmd = std::move(cmd);
+  for (CommandId b : rc.cmd.before) {
+    if (group.done_ids.count(b) > 0) {
+      continue;  // dependency already completed
+    }
+    auto it = group.index_of.find(b);
+    if (it != group.index_of.end() && it->second != index) {
+      group.commands[static_cast<std::size_t>(it->second)].waiters.push_back(index);
+    } else {
+      group.pending_edges[b].push_back(index);  // dependency not yet arrived (streaming)
+    }
+    ++rc.remaining_before;
+  }
+
+  if (rc.cmd.type == CommandType::kCopyReceive) {
+    receive_index_[rc.cmd.copy_id] = {group.seq, index};
+    if (data_buffer_.count(rc.cmd.copy_id) > 0) {
+      rc.data_ready = true;
+    }
+  }
+
+  group.commands.push_back(std::move(rc));
+
+  // Resolve edges from commands that referenced this id before it arrived.
+  auto pe = group.pending_edges.find(group.commands.back().cmd.id);
+  if (pe != group.pending_edges.end()) {
+    for (std::int32_t waiter : pe->second) {
+      group.commands[static_cast<std::size_t>(index)].waiters.push_back(waiter);
+    }
+    group.pending_edges.erase(pe);
+  }
+
+  if (group.started) {
+    TryLaunch(group, index);
+  }
+}
+
+void Worker::MaybeStartGroups() {
+  // Collect seqs first: starting a group can run commands synchronously, which can complete
+  // and prune other groups, invalidating a live iterator over the deque.
+  std::vector<std::uint64_t> to_start;
+  bool all_prior_done = true;
+  for (Group& group : groups_) {
+    if (!group.started && (!group.barrier || all_prior_done)) {
+      to_start.push_back(group.seq);
+      // Assume it completes only via events; treat as not-done for later barrier groups.
+      all_prior_done = false;
+      continue;
+    }
+    const bool done_now =
+        group.finalized && group.started && group.done_count == group.expected_total;
+    all_prior_done = all_prior_done && done_now;
+  }
+  for (std::uint64_t seq : to_start) {
+    StartGroup(seq);
+  }
+}
+
+void Worker::StartGroup(std::uint64_t seq) {
+  Group* group = FindGroup(seq);
+  if (group == nullptr || group->started) {
+    return;
+  }
+  group->started = true;
+  // Launching one command can synchronously complete others (copy sends, no-ops) and even
+  // finish + prune the group, so re-find it on every step.
+  for (std::int32_t i = 0;; ++i) {
+    group = FindGroup(seq);
+    if (group == nullptr || i >= static_cast<std::int32_t>(group->commands.size())) {
+      break;
+    }
+    TryLaunch(*group, i);
+  }
+  FinishGroupIfDone(seq);
+}
+
+void Worker::TryLaunch(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  if (rc.launched || rc.done || rc.remaining_before > 0 || !group.started) {
+    return;
+  }
+  rc.launched = true;
+  Launch(group, index);
+}
+
+void Worker::Launch(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  switch (rc.cmd.type) {
+    case CommandType::kTask:
+      ExecuteTask(group, index);
+      break;
+    case CommandType::kCopySend:
+      ExecuteCopySend(group, index);
+      break;
+    case CommandType::kCopyReceive:
+      ExecuteCopyReceive(group, index);
+      break;
+    case CommandType::kDataCreate:
+      CompleteCommand(group.seq, index);
+      break;
+    case CommandType::kDataDestroy:
+      store_.Erase(rc.cmd.data_object);
+      CompleteCommand(group.seq, index);
+      break;
+    case CommandType::kFileSave: {
+      const sim::Duration cost = costs_->CheckpointWriteTime(
+          rc.cmd.copy_bytes > 0 ? rc.cmd.copy_bytes : store_.Get(rc.cmd.data_object)->ByteSize());
+      const std::uint64_t seq = group.seq;
+      cores_.Submit(cost, [this, seq, index]() {
+        Group* g = FindGroup(seq);
+        if (g == nullptr) {
+          return;
+        }
+        RuntimeCommand& cmd = g->commands[static_cast<std::size_t>(index)];
+        if (store_.Has(cmd.cmd.data_object)) {
+          durable_->Write(cmd.cmd.data_object, cmd.cmd.copy_version,
+                          *store_.Get(cmd.cmd.data_object));
+        }
+        CompleteCommand(seq, index);
+      });
+      break;
+    }
+    case CommandType::kFileLoad: {
+      NIMBUS_CHECK(durable_->Has(rc.cmd.data_object))
+          << "recovery: object " << rc.cmd.data_object << " missing from durable store";
+      const DurableStore::Entry& entry = durable_->Read(rc.cmd.data_object);
+      const sim::Duration cost = costs_->CheckpointWriteTime(entry.payload->ByteSize());
+      const std::uint64_t seq = group.seq;
+      cores_.Submit(cost, [this, seq, index]() {
+        Group* g = FindGroup(seq);
+        if (g == nullptr) {
+          return;
+        }
+        RuntimeCommand& cmd = g->commands[static_cast<std::size_t>(index)];
+        const DurableStore::Entry& e = durable_->Read(cmd.cmd.data_object);
+        store_.Put(cmd.cmd.data_object, e.version, e.payload->Clone());
+        CompleteCommand(seq, index);
+      });
+      break;
+    }
+  }
+}
+
+void Worker::ExecuteTask(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  const sim::Duration total = rc.cmd.duration + costs_->worker_dispatch_per_task;
+  const std::uint64_t seq = group.seq;
+  cores_.Submit(total, [this, seq, index]() {
+    Group* g = FindGroup(seq);
+    if (g == nullptr || failed_) {
+      return;
+    }
+    RuntimeCommand& cmd = g->commands[static_cast<std::size_t>(index)];
+    TaskContext ctx(&store_, cmd.cmd.read_set, cmd.cmd.write_set, &cmd.cmd.params);
+    functions_->Get(cmd.cmd.function)(ctx);
+    ++tasks_executed_;
+    // Bump local versions of written objects (informative; global truth is controller-side).
+    for (LogicalObjectId o : cmd.cmd.write_set) {
+      if (store_.Has(o)) {
+        store_.BumpVersion(o, store_.version(o) + 1);
+      }
+    }
+    if (cmd.cmd.returns_scalar) {
+      NIMBUS_CHECK(ctx.has_scalar())
+          << "function " << functions_->Name(cmd.cmd.function)
+          << " was marked returns_scalar but did not call ReturnScalar";
+      g->scalars.push_back(ScalarResult{cmd.cmd.task_id, ctx.scalar()});
+    }
+    CompleteCommand(seq, index);
+  });
+}
+
+void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  NIMBUS_CHECK(store_.Has(rc.cmd.copy_object))
+      << "worker " << id_ << ": copy-send of non-resident object " << rc.cmd.copy_object;
+  auto payload = store_.Get(rc.cmd.copy_object)->Clone();
+  const Version version = store_.version(rc.cmd.copy_object);
+  Worker* peer = env_.peer(rc.cmd.peer);
+  const CopyId copy = rc.cmd.copy_id;
+  const LogicalObjectId object = rc.cmd.copy_object;
+  // The transfer occupies this worker's NIC for its serialization time and is delivered one
+  // latency later; the send command itself completes immediately (asynchronous I/O, §3.4).
+  if (peer != nullptr) {
+    network_->Send(
+        address(), peer->address(), rc.cmd.copy_bytes,
+        [peer, copy, object, version, p = std::shared_ptr<Payload>(std::move(payload))]() mutable {
+          peer->OnDataMessage(copy, object, version, p->Clone());
+        });
+  }
+  CompleteCommand(group.seq, index);
+}
+
+void Worker::ExecuteCopyReceive(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  auto it = data_buffer_.find(rc.cmd.copy_id);
+  if (it == data_buffer_.end()) {
+    return;  // completes when the data message arrives
+  }
+  store_.Put(it->second.object, it->second.version, std::move(it->second.payload));
+  data_buffer_.erase(it);
+  receive_index_.erase(rc.cmd.copy_id);
+  CompleteCommand(group.seq, index);
+}
+
+void Worker::OnDataMessage(CopyId copy, LogicalObjectId object, Version version,
+                           std::unique_ptr<Payload> payload) {
+  if (failed_) {
+    return;
+  }
+  auto loc = receive_index_.find(copy);
+  if (loc != receive_index_.end()) {
+    const std::uint64_t group_seq = loc->second.first;
+    const std::int32_t index = loc->second.second;
+    Group* g = FindGroup(group_seq);
+    if (g != nullptr) {
+      RuntimeCommand& rc = g->commands[static_cast<std::size_t>(index)];
+      rc.data_ready = true;
+      if (rc.launched && !rc.done) {
+        store_.Put(object, version, std::move(payload));
+        receive_index_.erase(loc);
+        CompleteCommand(group_seq, index);
+        return;
+      }
+    }
+  }
+  BufferedData buffered;
+  buffered.object = object;
+  buffered.version = version;
+  buffered.payload = std::move(payload);
+  data_buffer_[copy] = std::move(buffered);
+}
+
+void Worker::CompleteCommand(std::uint64_t group_seq, std::int32_t index) {
+  Group* group = FindGroup(group_seq);
+  if (group == nullptr) {
+    return;
+  }
+  RuntimeCommand& rc = group->commands[static_cast<std::size_t>(index)];
+  NIMBUS_CHECK(!rc.done);
+  rc.done = true;
+  ++group->done_count;
+  group->done_ids.insert(rc.cmd.id);
+  // Copy the waiter list: launching a waiter can cascade into completing the whole group,
+  // which prunes it from the deque and frees `rc`.
+  const std::vector<std::int32_t> waiters = rc.waiters;
+  for (std::int32_t waiter : waiters) {
+    group = FindGroup(group_seq);
+    if (group == nullptr) {
+      return;
+    }
+    RuntimeCommand& w = group->commands[static_cast<std::size_t>(waiter)];
+    NIMBUS_CHECK_GT(w.remaining_before, 0);
+    if (--w.remaining_before == 0) {
+      TryLaunch(*group, waiter);
+    }
+  }
+  FinishGroupIfDone(group_seq);
+}
+
+void Worker::FinishGroupIfDone(std::uint64_t seq) {
+  Group* group = FindGroup(seq);
+  if (group == nullptr || !group->finalized || !group->started ||
+      group->done_count != group->expected_total) {
+    return;
+  }
+  NIMBUS_CHECK_EQ(group->done_count, group->commands.size());
+
+  if (!group->reported) {
+    group->reported = true;
+    // Report completion (with any scalar results) to the controller.
+    std::vector<ScalarResult> scalars = std::move(group->scalars);
+    const std::int64_t bytes = 64 + static_cast<std::int64_t>(scalars.size()) * 16;
+    network_->Send(address(), sim::kControllerAddress, bytes,
+                   [this, seq, scalars = std::move(scalars)]() mutable {
+                     env_.on_group_complete(id_, seq, std::move(scalars));
+                   });
+  }
+
+  // Prune completed groups from the front and unblock any waiting barrier group.
+  while (!groups_.empty()) {
+    Group& front = groups_.front();
+    if (front.finalized && front.started && front.reported &&
+        front.done_count == front.expected_total) {
+      groups_.pop_front();
+    } else {
+      break;
+    }
+  }
+  MaybeStartGroups();
+}
+
+Worker::Group* Worker::FindGroup(std::uint64_t seq) {
+  for (Group& g : groups_) {
+    if (g.seq == seq) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace nimbus

@@ -1,0 +1,206 @@
+// Worker runtime: local command queue, readiness resolution, template cache, execution.
+//
+// Workers satisfy the two control-plane requirements of §3.1: (1) they maintain a queue of
+// commands and *locally* determine when each is runnable (before sets reference only local
+// commands), and (2) they exchange data directly with peers (copy commands name the peer
+// worker explicitly, so no controller lookup is on the data path).
+//
+// Commands arrive grouped: a *group* is either the materialization of one worker-template
+// instantiation, one patch, or a batch of individually-dispatched commands (the no-template
+// path). Groups marked `barrier` start only after every earlier group completes, which is
+// how patch copies are ordered before the block that needs them.
+
+#ifndef NIMBUS_SRC_WORKER_WORKER_H_
+#define NIMBUS_SRC_WORKER_WORKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/core/worker_template.h"
+#include "src/data/durable_store.h"
+#include "src/data/object_store.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/network.h"
+#include "src/sim/simulation.h"
+#include "src/task/command.h"
+#include "src/worker/function_registry.h"
+
+namespace nimbus {
+
+class Worker;
+
+struct ScalarResult {
+  TaskId task;
+  double value = 0.0;
+};
+
+// How the worker reaches the rest of the system. The cluster wires these up; callbacks are
+// invoked at message-delivery time (the network hop is inside the worker's send path).
+struct WorkerEnv {
+  // Resolves a peer worker for direct data exchange. Returns nullptr if the peer is gone.
+  std::function<Worker*(WorkerId)> peer;
+  // Delivered to the controller when a group completes (runs controller-side).
+  std::function<void(WorkerId, std::uint64_t group_seq, std::vector<ScalarResult>)>
+      on_group_complete;
+  // Periodic liveness signal (runs controller-side).
+  std::function<void(WorkerId)> on_heartbeat;
+};
+
+// One worker-template instantiation message (controller -> worker), paper Fig 5b.
+struct InstantiateMsg {
+  WorkerTemplateId worker_template;
+  std::uint64_t group_seq = 0;
+  CommandId command_base;  // entry i gets command id base+i
+  TaskId task_base;        // task entries get task id base+global_entry
+  // Sparse per-entry parameters: (global entry index, blob).
+  std::vector<std::pair<std::int32_t, ParameterBlob>> params;
+  // Edits to apply to the cached template before materializing (paper §4.3).
+  std::vector<core::WorkerEditOp> edits;
+
+  std::int64_t WireSize() const {
+    std::int64_t bytes = 64;
+    for (const auto& [slot, blob] : params) {
+      bytes += 8 + static_cast<std::int64_t>(blob.size());
+    }
+    for (const auto& op : edits) {
+      bytes += op.WireSize();
+    }
+    return bytes;
+  }
+};
+
+class Worker {
+ public:
+  Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
+         const sim::CostModel* costs, const FunctionRegistry* functions,
+         DurableStore* durable, WorkerEnv env);
+
+  WorkerId id() const { return id_; }
+  sim::NodeAddress address() const {
+    return sim::kFirstWorkerAddress + static_cast<sim::NodeAddress>(id_.value());
+  }
+
+  // ---- Controller-facing entry points (invoked at message delivery) ----
+
+  // Receives a batch of explicit commands forming group `group_seq`. `finalize` marks the
+  // last batch of the group; `expected_total` is the group's full command count (0 while
+  // streaming). `barrier` groups wait for all earlier groups.
+  void OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
+                  std::size_t expected_total, bool finalize, bool barrier);
+
+  // Installs (caches) a worker template. Charged per entry.
+  void OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id);
+
+  // Instantiates a cached worker template as one barrier group.
+  void OnInstantiate(InstantiateMsg msg);
+
+  // Halts: terminate ongoing work, flush queues (paper §4.4 failure handling).
+  void OnHalt();
+
+  // Reloads `objects` from durable storage (recovery), as one barrier group.
+  void OnLoadObjects(std::uint64_t group_seq, std::vector<LogicalObjectId> objects);
+
+  // ---- Peer-facing ----
+  void OnDataMessage(CopyId copy, LogicalObjectId object, Version version,
+                     std::unique_ptr<Payload> payload);
+
+  // ---- Failure injection ----
+  void Fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  // ---- Introspection ----
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  sim::CorePool& cores() { return cores_; }
+  std::size_t cached_template_count() const { return templates_.size(); }
+  bool HasTemplate(WorkerTemplateId id) const { return templates_.count(id) > 0; }
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  bool idle() const { return groups_.empty(); }
+
+  void StartHeartbeats(sim::Duration period);
+
+ private:
+  struct RuntimeCommand {
+    Command cmd;
+    int remaining_before = 0;
+    std::vector<std::int32_t> waiters;  // local indexes depending on this command
+    bool done = false;
+    bool launched = false;
+    bool data_ready = false;  // copy-receive: payload arrived
+  };
+
+  struct Group {
+    std::uint64_t seq = 0;
+    bool barrier = false;
+    bool finalized = false;
+    bool started = false;
+    bool reported = false;
+    std::size_t expected_total = 0;
+    std::size_t done_count = 0;
+    std::vector<RuntimeCommand> commands;
+    std::unordered_map<CommandId, std::int32_t> index_of;
+    // before-ids referenced before their command arrived (streaming dispatch).
+    std::unordered_map<CommandId, std::vector<std::int32_t>> pending_edges;
+    std::unordered_set<CommandId> done_ids;
+    std::vector<ScalarResult> scalars;
+  };
+
+  Group& GetOrCreateGroup(std::uint64_t seq, bool barrier);
+  Group* FindGroup(std::uint64_t seq);
+  void AddCommandToGroup(Group& group, Command cmd);
+  void MaybeStartGroups();
+  void StartGroup(std::uint64_t seq);
+  void TryLaunch(Group& group, std::int32_t index);
+  void Launch(Group& group, std::int32_t index);
+  void CompleteCommand(std::uint64_t group_seq, std::int32_t index);
+  void FinishGroupIfDone(std::uint64_t seq);
+  void HeartbeatTick(sim::Duration period);
+
+  void ExecuteTask(Group& group, std::int32_t index);
+  void ExecuteCopySend(Group& group, std::int32_t index);
+  void ExecuteCopyReceive(Group& group, std::int32_t index);
+
+  WorkerId id_;
+  sim::Simulation* simulation_;
+  sim::Network* network_;
+  const sim::CostModel* costs_;
+  const FunctionRegistry* functions_;
+  DurableStore* durable_;
+  WorkerEnv env_;
+
+  ObjectStore store_;
+  sim::CorePool cores_;
+  sim::Processor control_thread_;  // processes control messages serially
+
+  // Cached worker templates (the worker half). Workers cache several (paper §2.3).
+  std::unordered_map<WorkerTemplateId, core::WorkerHalf> templates_;
+
+  // Active groups in arrival order. Completed groups are pruned from the front.
+  std::deque<Group> groups_;
+
+  // Data that arrived before its copy-receive command (or before its group started).
+  struct BufferedData {
+    LogicalObjectId object;
+    Version version = 0;
+    std::unique_ptr<Payload> payload;
+  };
+  std::unordered_map<CopyId, BufferedData> data_buffer_;
+
+  // Locates the copy-receive command waiting for a given copy id: (group seq, local index).
+  std::unordered_map<CopyId, std::pair<std::uint64_t, std::int32_t>> receive_index_;
+
+  bool failed_ = false;
+  bool heartbeats_running_ = false;
+  std::uint64_t tasks_executed_ = 0;
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_WORKER_WORKER_H_

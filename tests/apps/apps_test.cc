@@ -1,0 +1,167 @@
+// Application-layer unit tests: synthetic data generators, duration calibration, reference
+// implementations, and the Spark-opt baseline runner's saturation behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/kmeans.h"
+#include "src/apps/logistic_regression.h"
+#include "src/baselines/mpi_style.h"
+#include "src/baselines/spark_opt.h"
+
+namespace nimbus {
+namespace {
+
+TEST(LrDataTest, SynthesisIsDeterministicPerPartition) {
+  const auto a = apps::SynthesizeRows(42, 3, 16, 5);
+  const auto b = apps::SynthesizeRows(42, 3, 16, 5);
+  EXPECT_EQ(a, b);
+  const auto c = apps::SynthesizeRows(42, 4, 16, 5);
+  EXPECT_NE(a, c) << "different partitions must get different rows";
+  EXPECT_EQ(a.size(), 16u * 6u);  // label + 5 features per row
+}
+
+TEST(LrDataTest, LabelsCorrelateWithTrueCoefficients) {
+  const int dim = 6;
+  const auto w = apps::TrueCoefficients(7, dim);
+  const auto rows = apps::SynthesizeRows(7, 0, 200, dim);
+  int agree = 0;
+  for (int r = 0; r < 200; ++r) {
+    const double* row = rows.data() + static_cast<std::ptrdiff_t>(r) * (dim + 1);
+    double dot = 0;
+    for (int d = 0; d < dim; ++d) {
+      dot += row[1 + d] * w[static_cast<std::size_t>(d)];
+    }
+    if ((dot > 0) == (row[0] > 0)) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(agree, 170) << "labels should mostly follow the generating model";
+}
+
+TEST(LrReferenceTest, GradientDescentReducesLoss) {
+  apps::LogisticRegressionApp::Config config;
+  config.partitions = 4;
+  config.reduce_groups = 2;
+  config.dim = 4;
+  config.rows_per_partition = 32;
+  config.learning_rate = 0.05;
+  const auto w0 = apps::LogisticRegressionApp::ReferenceInnerLoop(config, 1);
+  const auto w10 = apps::LogisticRegressionApp::ReferenceInnerLoop(config, 10);
+  const auto w_true = apps::TrueCoefficients(config.seed, config.dim);
+
+  auto angle_to_true = [&](const std::vector<double>& w) {
+    double dot = 0, nw = 0, nt = 0;
+    for (int d = 0; d < config.dim; ++d) {
+      dot += w[static_cast<std::size_t>(d)] * w_true[static_cast<std::size_t>(d)];
+      nw += w[static_cast<std::size_t>(d)] * w[static_cast<std::size_t>(d)];
+      nt += w_true[static_cast<std::size_t>(d)] * w_true[static_cast<std::size_t>(d)];
+    }
+    return dot / std::sqrt(nw * nt + 1e-30);
+  };
+  EXPECT_GT(angle_to_true(w10), angle_to_true(w0))
+      << "more iterations should align the estimate with the generating coefficients";
+}
+
+TEST(LrCalibrationTest, TaskDurationMatchesPaperScale) {
+  // Paper §5: at 20 workers (1580 partitions of 100 GB), gradient tasks are ~21 ms.
+  apps::LogisticRegressionApp::Config config;
+  config.partitions = 79 * 20;
+  const auto expect_ms = 100e9 / config.partitions / config.core_bytes_per_second * 1e3;
+  // Duration math needs no cluster; the app only touches the job on Setup().
+  apps::LogisticRegressionApp app(nullptr, config);
+  EXPECT_NEAR(sim::ToMillis(app.GradientTaskDuration()), expect_ms, 0.5);
+  EXPECT_NEAR(sim::ToMillis(app.GradientTaskDuration()), 21.0, 2.0);
+}
+
+TEST(KMeansDataTest, PointsClusterAroundCenters) {
+  const int dim = 3, k = 4;
+  const auto centers = apps::InitialCentroids(11, k, dim);
+  const auto pts = apps::SynthesizePoints(11, 0, 400, dim, k, /*noise=*/0.3);
+  ASSERT_EQ(pts.size(), 400u * dim);
+  // Every point should be within a few noise-sigmas of SOME center.
+  int near = 0;
+  for (int p = 0; p < 400; ++p) {
+    double best = 1e30;
+    for (int c = 0; c < k; ++c) {
+      double d2 = 0;
+      for (int d = 0; d < dim; ++d) {
+        const double diff = pts[static_cast<std::size_t>(p * dim + d)] -
+                            centers[static_cast<std::size_t>(c * dim + d)];
+        d2 += diff * diff;
+      }
+      best = std::min(best, d2);
+    }
+    if (best < 9 * 0.3 * 0.3 * dim) {
+      ++near;
+    }
+  }
+  EXPECT_GT(near, 380);
+}
+
+TEST(KMeansReferenceTest, ReachesFixedPoint) {
+  apps::KMeansApp::Config config;
+  config.partitions = 4;
+  config.reduce_groups = 2;
+  config.dim = 3;
+  config.clusters = 3;
+  config.points_per_partition = 32;
+  const auto c20 = apps::KMeansApp::ReferenceRun(config, 20);
+  const auto c21 = apps::KMeansApp::ReferenceRun(config, 21);
+  for (std::size_t i = 0; i < c20.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c20[i], c21[i]) << "k-means should have converged by iteration 20";
+  }
+}
+
+TEST(SparkOptTest, ThroughputSaturatesAtDispatchRate) {
+  baselines::SparkOptConfig config;
+  config.workers = 100;
+  config.tasks_per_iteration = 8000;
+  config.task_duration = sim::Millis(4);
+  baselines::SparkOptRunner runner(config);
+  const auto stats = runner.Run(3);
+  // 1 task per 166 µs => at most ~6,024 tasks/s.
+  EXPECT_LE(stats.tasks_per_second, 6100.0);
+  EXPECT_GE(stats.tasks_per_second, 5000.0);
+}
+
+TEST(SparkOptTest, SmallClustersAreComputeBound) {
+  baselines::SparkOptConfig config;
+  config.workers = 10;
+  config.tasks_per_iteration = 800;
+  config.task_duration = sim::Millis(42);
+  baselines::SparkOptRunner runner(config);
+  const auto stats = runner.Run(3);
+  // 800 tasks * 42 ms / 80 cores = 420 ms of compute; dispatch is only 133 ms.
+  EXPECT_NEAR(stats.compute_seconds, 0.42, 0.01);
+  EXPECT_LT(stats.control_seconds, stats.compute_seconds);
+}
+
+TEST(SparkOptTest, SlowdownScalesComputeOnly) {
+  baselines::SparkOptConfig config;
+  config.workers = 20;
+  config.tasks_per_iteration = 1600;
+  config.task_duration = sim::Millis(10);
+  baselines::SparkOptRunner fast(config);
+  config.task_slowdown = 8.0;
+  baselines::SparkOptRunner slow(config);
+  const double f = fast.Run(2).compute_seconds;
+  const double s = slow.Run(2).compute_seconds;
+  EXPECT_NEAR(s / f, 8.0, 0.01);
+}
+
+TEST(MpiStyleTest, ZeroesAllControlCosts) {
+  const sim::CostModel mpi = baselines::MpiStyleCosts();
+  EXPECT_EQ(mpi.nimbus_central_schedule_per_task, 0);
+  EXPECT_EQ(mpi.instantiate_worker_template_auto_per_task, 0);
+  EXPECT_EQ(mpi.install_controller_template_per_task, 0);
+  EXPECT_EQ(mpi.edit_per_task, 0);
+  // The data plane is untouched.
+  const sim::CostModel base;
+  EXPECT_EQ(mpi.network_latency, base.network_latency);
+  EXPECT_EQ(mpi.network_bytes_per_second, base.network_bytes_per_second);
+}
+
+}  // namespace
+}  // namespace nimbus

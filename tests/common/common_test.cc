@@ -1,0 +1,173 @@
+// Unit tests for the common layer: strong ids, serialization, RNG, statistics.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/serialize.h"
+#include "src/common/stats.h"
+
+namespace nimbus {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  TaskId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TaskId::Invalid());
+}
+
+TEST(StrongIdTest, ComparesByValue) {
+  EXPECT_EQ(TaskId(3), TaskId(3));
+  EXPECT_NE(TaskId(3), TaskId(4));
+  EXPECT_LT(TaskId(3), TaskId(4));
+  EXPECT_GE(TaskId(7), TaskId(7));
+}
+
+TEST(StrongIdTest, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_convertible_v<TaskId, WorkerId>);
+  static_assert(!std::is_convertible_v<LogicalObjectId, TaskId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<WorkerId> set;
+  set.insert(WorkerId(1));
+  set.insert(WorkerId(2));
+  set.insert(WorkerId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IdAllocatorTest, MonotonicAndRangeReservation) {
+  IdAllocator<CommandId> alloc;
+  EXPECT_EQ(alloc.Next(), CommandId(0));
+  EXPECT_EQ(alloc.Next(), CommandId(1));
+  const CommandId base = alloc.NextRange(10);
+  EXPECT_EQ(base, CommandId(2));
+  EXPECT_EQ(alloc.Next(), CommandId(12));
+}
+
+TEST(SerializeTest, RoundTripsAllTypes) {
+  BlobWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456);
+  w.WriteU64(0xdeadbeefcafef00dull);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello nimbus");
+  w.WriteDoubleVector({1.0, 2.5, -3.25});
+  const ParameterBlob blob = w.Take();
+
+  BlobReader r(blob);
+  EXPECT_EQ(r.ReadU8(), 7);
+  EXPECT_EQ(r.ReadU32(), 123456u);
+  EXPECT_EQ(r.ReadU64(), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_EQ(r.ReadString(), "hello nimbus");
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{1.0, 2.5, -3.25}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, EmptyVectorAndString) {
+  BlobWriter w;
+  w.WriteString("");
+  w.WriteDoubleVector({});
+  const ParameterBlob blob = w.Take();
+  BlobReader r(blob);
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.ReadDoubleVector().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, ReadPastEndAborts) {
+  ParameterBlob empty;
+  BlobReader r(empty);
+  EXPECT_DEATH(r.ReadU32(), "Check failed");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(23);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, GaussianHasReasonableMoments) {
+  Rng rng(31);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_NEAR(s.StdDev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 4.0);
+}
+
+TEST(SampleStatsTest, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+}  // namespace
+}  // namespace nimbus

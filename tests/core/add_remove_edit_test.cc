@@ -1,0 +1,207 @@
+// Tests for the remove-task and add-task edits (paper §4.3: "an edit can remove and add
+// tasks"), including end-to-end execution through the worker's tombstone materialization.
+
+#include <gtest/gtest.h>
+
+#include "src/core/template_manager.h"
+#include "src/driver/cluster.h"
+#include "src/driver/job.h"
+
+namespace nimbus {
+namespace {
+
+constexpr FunctionId kFn{0};
+
+core::ObjectBytesFn Bytes() {
+  return [](LogicalObjectId) -> std::int64_t { return 64; };
+}
+
+struct Fixture {
+  core::TemplateManager manager;
+  TemplateId tid;
+  core::WorkerTemplateSet* set = nullptr;
+
+  // Two independent "monitor" tasks (no consumers) + one producer/consumer chain.
+  Fixture() {
+    tid = manager.BeginCapture("b");
+    // 0: monitor on partition 0 (worker 0), reads block input 50, writes 60.
+    manager.CaptureTask(kFn, {LogicalObjectId(50)}, {LogicalObjectId(60)}, 0, 0, false, {});
+    // 1: producer writes 51 on worker 1.
+    manager.CaptureTask(kFn, {}, {LogicalObjectId(51)}, 1, 0, false, {});
+    // 2: consumer of 51 on worker 0.
+    manager.CaptureTask(kFn, {LogicalObjectId(51)}, {LogicalObjectId(52)}, 0, 0, false, {});
+    manager.FinishCapture();
+    set = manager.GetOrProject(
+        tid, core::Assignment::RoundRobin(2, {WorkerId(0), WorkerId(1)}), Bytes());
+  }
+};
+
+TEST(RemoveTaskTest, TombstonesLeafTaskAndReleasesPrecondition) {
+  Fixture f;
+  ASSERT_GT(f.set->preconditions().count(core::Precondition{LogicalObjectId(50), WorkerId(0)}),
+            0u);
+  core::EditPlan plan = f.manager.PlanRemoveTask(f.set, 0);
+  EXPECT_EQ(plan.tasks_touched, 1);
+  // Slot stays allocated but dead; other entries keep their indexes.
+  const core::EntryMeta& em = f.set->entry_meta()[0];
+  EXPECT_TRUE(f.set->HalfFor(em.worker)->entries[static_cast<std::size_t>(em.local_index)].dead);
+  EXPECT_EQ(f.set->preconditions().count(core::Precondition{LogicalObjectId(50), WorkerId(0)}),
+            0u);
+  // Its output no longer appears in the write deltas.
+  for (const core::WriteDelta& delta : f.set->write_deltas()) {
+    EXPECT_NE(delta.object, LogicalObjectId(60));
+  }
+}
+
+TEST(RemoveTaskTest, RefusesWhenOutputsAreConsumed) {
+  Fixture f;
+  core::EditPlan plan = f.manager.PlanRemoveTask(f.set, 1);  // producer of 51
+  EXPECT_EQ(plan.tasks_touched, 0);
+  EXPECT_TRUE(plan.per_worker.empty());
+  const core::EntryMeta& em = f.set->entry_meta()[1];
+  EXPECT_FALSE(
+      f.set->HalfFor(em.worker)->entries[static_cast<std::size_t>(em.local_index)].dead);
+}
+
+TEST(AddTaskTest, AppendsWithProviderEdgesAndCopies) {
+  Fixture f;
+  // New task on worker 0 reading the in-block product 51 (made on worker 1) and the block
+  // input 50; writes a fresh object 70.
+  auto count_sends = [&] {
+    int sends = 0;
+    for (const core::WtEntry& e : f.set->HalfFor(WorkerId(1))->entries) {
+      if (e.type == CommandType::kCopySend && e.object == LogicalObjectId(51) &&
+          e.peer == WorkerId(0)) {
+        ++sends;
+      }
+    }
+    return sends;
+  };
+  const int sends_before = count_sends();  // the original consumer's copy
+  core::EditPlan plan = f.manager.PlanAddTask(
+      f.set, WorkerId(0), kFn, {LogicalObjectId(51), LogicalObjectId(50)},
+      {LogicalObjectId(70)}, 0);
+  EXPECT_EQ(plan.tasks_touched, 1);
+  EXPECT_EQ(count_sends(), sends_before + 1)
+      << "a fresh copy pair must feed the added task";
+  // Block-input read adds a precondition (already present from task 0; refcount grows).
+  EXPECT_GT(f.set->preconditions().count(core::Precondition{LogicalObjectId(50), WorkerId(0)}),
+            0u);
+  // The new write joins the deltas.
+  bool found = false;
+  for (const core::WriteDelta& delta : f.set->write_deltas()) {
+    if (delta.object == LogicalObjectId(70)) {
+      found = true;
+      EXPECT_EQ(delta.write_count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // Entry metadata grew by one.
+  EXPECT_EQ(f.set->entry_meta().size(), 4u);
+}
+
+// End-to-end: remove a monitoring task from a live job's template and keep running; then
+// add it back as a fresh task. The data plane must stay correct throughout.
+TEST(AddRemoveEndToEndTest, LiveJobSurvivesRemoveAndAdd) {
+  ClusterOptions options;
+  options.workers = 2;
+  options.partitions = 4;
+  options.mode = ControlMode::kTemplates;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  const VariableId data = job.DefineVariable("data", 4, 1000);
+  const VariableId out = job.DefineVariable("out", 4, 64);
+  const VariableId monitor = job.DefineVariable("monitor", 1, 8);
+
+  const FunctionId init = job.RegisterFunction("init", [](TaskContext& ctx) {
+    ctx.WriteVector(0, 8).values().assign(8, 2.0);
+  });
+  const FunctionId work = job.RegisterFunction("work", [](TaskContext& ctx) {
+    double s = 0;
+    for (double v : ctx.ReadVector(0).values()) {
+      s += v;
+    }
+    auto& o = ctx.WriteVector(0, 1).values();
+    o.assign(1, s);
+    ctx.ReturnScalar(s);
+  });
+  int monitor_runs = 0;
+  const FunctionId watch = job.RegisterFunction("watch", [&monitor_runs](TaskContext& ctx) {
+    ++monitor_runs;
+    ctx.WriteScalar(0).set_value(monitor_runs);
+  });
+
+  {
+    StageDescriptor stage;
+    stage.name = "init";
+    for (int q = 0; q < 4; ++q) {
+      TaskDescriptor task;
+      task.function = init;
+      task.writes = {ObjRef{data, q}};
+      task.placement_partition = q;
+      task.duration = sim::Micros(100);
+      stage.tasks.push_back(std::move(task));
+    }
+    job.RunStages({stage});
+  }
+  {
+    StageDescriptor work_stage;
+    work_stage.name = "work";
+    for (int q = 0; q < 4; ++q) {
+      TaskDescriptor task;
+      task.function = work;
+      task.reads = {ObjRef{data, q}};
+      task.writes = {ObjRef{out, q}};
+      task.placement_partition = q;
+      task.duration = sim::Micros(200);
+      task.returns_scalar = true;
+      work_stage.tasks.push_back(std::move(task));
+    }
+    StageDescriptor watch_stage;
+    watch_stage.name = "watch";
+    TaskDescriptor task;
+    task.function = watch;
+    for (int q = 0; q < 4; ++q) {
+      task.reads.push_back(ObjRef{out, q});  // consumes the work outputs
+    }
+    task.writes = {ObjRef{monitor, 0}};
+    task.placement_partition = 0;
+    task.duration = sim::Micros(100);
+    watch_stage.tasks.push_back(std::move(task));
+    job.DefineBlock("loop", {std::move(work_stage), std::move(watch_stage)});
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(job.RunBlock("loop").SumScalars(), 4 * 16.0);
+  }
+  const int runs_before_remove = monitor_runs;
+  EXPECT_GE(runs_before_remove, 1);
+
+  auto& controller = cluster.controller();
+  // A work task's output is consumed by the watch task: removal must be refused.
+  EXPECT_FALSE(controller.PlanRemoveTask("loop", 0));
+
+  // Remove the monitoring task in place (entry 4 = the watch task, after 4 work tasks).
+  // The tombstone op ships with the next instantiation message.
+  ASSERT_TRUE(controller.PlanRemoveTask("loop", 4));
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(job.RunBlock("loop").SumScalars(), 4 * 16.0);
+  }
+  EXPECT_EQ(monitor_runs, runs_before_remove)
+      << "the removed task must stop executing on the workers";
+
+  // Add a replacement monitoring task on the other worker; it starts running again.
+  controller.PlanAddTask("loop", controller.ActiveWorkers()[1],
+                         cluster.functions().FindByName("watch"), {},
+                         {ObjRef{monitor, 0}}, sim::Micros(100));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(job.RunBlock("loop").SumScalars(), 4 * 16.0);
+  }
+  EXPECT_EQ(monitor_runs, runs_before_remove + 3)
+      << "the added task must execute on every subsequent instantiation";
+}
+
+}  // namespace
+}  // namespace nimbus

@@ -1,0 +1,190 @@
+// Unit tests for dynamic edits (paper §4.3, Fig 6): in-place task migration between
+// workers without renumbering the command tables.
+
+#include <gtest/gtest.h>
+
+#include "src/core/template_manager.h"
+
+namespace nimbus::core {
+namespace {
+
+constexpr FunctionId kMap{0};
+constexpr FunctionId kReduce{1};
+
+ObjectBytesFn Bytes() {
+  return [](LogicalObjectId) -> std::int64_t { return 128; };
+}
+
+// An LR-shaped block on 2 workers, 4 partitions:
+//   map q: reads {tdata_q (block input), coeff (block input)} writes grad_q, placement q
+//   reduce: reads {grad_0..grad_3, coeff}, writes coeff, placement 0.
+struct Fixture {
+  TemplateManager manager;
+  TemplateId tid;
+  WorkerTemplateSet* set = nullptr;
+
+  LogicalObjectId tdata(int q) const { return LogicalObjectId(10 + static_cast<std::uint64_t>(q)); }
+  LogicalObjectId grad(int q) const { return LogicalObjectId(20 + static_cast<std::uint64_t>(q)); }
+  LogicalObjectId coeff() const { return LogicalObjectId(1); }
+
+  Fixture() {
+    tid = manager.BeginCapture("lr");
+    for (int q = 0; q < 4; ++q) {
+      manager.CaptureTask(kMap, {tdata(q), coeff()}, {grad(q)}, q, 0, false, {});
+    }
+    manager.CaptureTask(kReduce, {grad(0), grad(1), grad(2), grad(3), coeff()}, {coeff()},
+                        0, 0, true, {});
+    manager.FinishCapture();
+    set = manager.GetOrProject(
+        tid, Assignment::RoundRobin(4, {WorkerId(0), WorkerId(1)}), Bytes());
+  }
+};
+
+TEST(EditTest, MigrationMovesTaskAndKeepsSlotIndex) {
+  Fixture f;
+  // Task 1 (map of partition 1) lives on worker 1; move it to worker 0.
+  const std::int32_t old_local = f.set->entry_meta()[1].local_index;
+  ASSERT_EQ(f.set->entry_meta()[1].worker, WorkerId(1));
+
+  EditPlan plan = f.manager.PlanMigration(f.set, 1, WorkerId(0));
+  EXPECT_EQ(plan.tasks_touched, 2);  // one remove + one add
+
+  // Old slot on worker 1 becomes a copy-receive with the SAME index (Fig 6).
+  const WtEntry& slot =
+      f.set->HalfFor(WorkerId(1))->entries[static_cast<std::size_t>(old_local)];
+  EXPECT_EQ(slot.type, CommandType::kCopyReceive);
+  EXPECT_EQ(slot.object, f.grad(1));
+  EXPECT_EQ(slot.peer, WorkerId(0));
+
+  // The task now lives on worker 0, paired with a send back to worker 1.
+  EXPECT_EQ(f.set->entry_meta()[1].worker, WorkerId(0));
+  const WtEntry& moved =
+      f.set->HalfFor(WorkerId(0))
+          ->entries[static_cast<std::size_t>(f.set->entry_meta()[1].local_index)];
+  EXPECT_EQ(moved.type, CommandType::kTask);
+  EXPECT_EQ(moved.function, kMap);
+
+  bool send_back = false;
+  for (const WtEntry& e : f.set->HalfFor(WorkerId(0))->entries) {
+    if (e.type == CommandType::kCopySend && e.object == f.grad(1) && e.peer == WorkerId(1)) {
+      send_back = true;
+    }
+  }
+  EXPECT_TRUE(send_back);
+}
+
+TEST(EditTest, MigrationMovesPreconditions) {
+  Fixture f;
+  const Precondition old_pre{f.tdata(1), WorkerId(1)};
+  ASSERT_TRUE(f.set->preconditions().count(old_pre) > 0);
+
+  f.manager.PlanMigration(f.set, 1, WorkerId(0));
+
+  EXPECT_EQ(f.set->preconditions().count(old_pre), 0u)
+      << "tdata precondition should move off the old worker";
+  EXPECT_GT(f.set->preconditions().count(Precondition{f.tdata(1), WorkerId(0)}), 0u);
+  // coeff is still read by the other map task on worker 1, so its precondition remains.
+  EXPECT_GT(f.set->preconditions().count(Precondition{f.coeff(), WorkerId(1)}), 0u);
+}
+
+TEST(EditTest, MigrationRestoresSelfValidationForRewrittenInputs) {
+  Fixture f;
+  // coeff is a block input rewritten in-block by the reduce task (on worker 0). After
+  // migrating a map task to a new worker, the end-of-block coeff broadcast must cover it.
+  EditPlan plan = f.manager.PlanMigration(f.set, 1, WorkerId(0));
+  (void)plan;
+  for (const WriteDelta& delta : f.set->write_deltas()) {
+    if (delta.object == f.coeff()) {
+      // Worker 0 writes coeff and worker 1 still reads it: both must be final holders.
+      EXPECT_GE(delta.final_holders.size(), 2u);
+    }
+  }
+}
+
+TEST(EditTest, WorkerOpsReplayIdenticallyOnACachedHalf) {
+  // The controller mutates its cached halves in place; the ops shipped to the worker must
+  // produce byte-identical tables.
+  Fixture f;
+  // Snapshot the worker halves as a worker would have cached them at install time.
+  std::vector<WorkerHalf> worker_side;
+  for (const WorkerHalf& h : f.set->halves()) {
+    worker_side.push_back(h);
+  }
+
+  EditPlan plan = f.manager.PlanMigration(f.set, 1, WorkerId(0));
+  for (auto& [worker_id, ops] : plan.per_worker) {
+    for (WorkerHalf& h : worker_side) {
+      if (h.worker == worker_id) {
+        ApplyWorkerEditOps(&h, ops);
+      }
+    }
+  }
+
+  for (const WorkerHalf& controller_half : f.set->halves()) {
+    const WorkerHalf* replayed = nullptr;
+    for (const WorkerHalf& h : worker_side) {
+      if (h.worker == controller_half.worker) {
+        replayed = &h;
+      }
+    }
+    ASSERT_NE(replayed, nullptr);
+    ASSERT_EQ(replayed->entries.size(), controller_half.entries.size());
+    for (std::size_t i = 0; i < replayed->entries.size(); ++i) {
+      const WtEntry& a = replayed->entries[i];
+      const WtEntry& b = controller_half.entries[i];
+      EXPECT_EQ(a.type, b.type) << "entry " << i;
+      EXPECT_EQ(a.copy_index, b.copy_index) << "entry " << i;
+      EXPECT_EQ(a.peer, b.peer) << "entry " << i;
+      EXPECT_EQ(a.object, b.object) << "entry " << i;
+      EXPECT_EQ(a.before, b.before) << "entry " << i;
+    }
+  }
+}
+
+TEST(EditTest, MigrationToSameWorkerIsANoop) {
+  Fixture f;
+  const WorkerId current = f.set->entry_meta()[0].worker;
+  EditPlan plan = f.manager.PlanMigration(f.set, 0, current);
+  EXPECT_EQ(plan.tasks_touched, 0);
+  EXPECT_TRUE(plan.per_worker.empty());
+}
+
+TEST(EditTest, ChainedMigrationsStayConsistent) {
+  Fixture f;
+  f.manager.PlanMigration(f.set, 1, WorkerId(0));
+  f.manager.PlanMigration(f.set, 3, WorkerId(0));
+  // Move one back again.
+  f.manager.PlanMigration(f.set, 1, WorkerId(1));
+  EXPECT_EQ(f.set->entry_meta()[1].worker, WorkerId(1));
+  EXPECT_EQ(f.set->entry_meta()[3].worker, WorkerId(0));
+  // Indices remain in bounds and the tables contain no dangling before edges.
+  for (const WorkerHalf& h : f.set->halves()) {
+    for (const WtEntry& e : h.entries) {
+      for (std::int32_t b : e.before) {
+        ASSERT_GE(b, 0);
+        ASSERT_LT(static_cast<std::size_t>(b), h.entries.size());
+      }
+    }
+  }
+}
+
+TEST(EditTest, MigrationOfInBlockConsumerInsertsForwardCopy) {
+  Fixture f;
+  // Migrate the reduce task (entry 4, reads in-block grads) from worker 0 to worker 1.
+  // grads 0 and 2 are produced on worker 0, so the plan must add copies 0 -> 1.
+  EditPlan plan = f.manager.PlanMigration(f.set, 4, WorkerId(1));
+  EXPECT_EQ(f.set->entry_meta()[4].worker, WorkerId(1));
+
+  int forward_copies = 0;
+  for (const WtEntry& e : f.set->HalfFor(WorkerId(0))->entries) {
+    if (e.type == CommandType::kCopySend && e.peer == WorkerId(1) &&
+        (e.object == f.grad(0) || e.object == f.grad(2))) {
+      ++forward_copies;
+    }
+  }
+  EXPECT_EQ(forward_copies, 2);
+  EXPECT_EQ(plan.tasks_touched, 2);
+}
+
+}  // namespace
+}  // namespace nimbus::core

@@ -1,0 +1,141 @@
+// Unit tests for validation, patching and the patch cache (paper §2.4, §4.2).
+
+#include <gtest/gtest.h>
+
+#include "src/core/patch.h"
+#include "src/core/template_manager.h"
+
+namespace nimbus::core {
+namespace {
+
+constexpr FunctionId kFn{0};
+
+ObjectBytesFn Bytes() {
+  return [](LogicalObjectId) -> std::int64_t { return 64; };
+}
+
+struct Fixture {
+  TemplateManager manager;
+  TemplateId tid;
+  WorkerTemplateSet* set = nullptr;
+  VersionMap versions;
+
+  // Block: workers 0 and 1 each read broadcast object 100 and write their own output.
+  Fixture() {
+    tid = manager.BeginCapture("b");
+    manager.CaptureTask(kFn, {LogicalObjectId(100)}, {LogicalObjectId(0)}, 0, 0, false, {});
+    manager.CaptureTask(kFn, {LogicalObjectId(100)}, {LogicalObjectId(1)}, 1, 0, false, {});
+    manager.FinishCapture();
+    set = manager.GetOrProject(
+        tid, Assignment::RoundRobin(2, {WorkerId(0), WorkerId(1)}), Bytes());
+    versions.CreateObject(LogicalObjectId(100), WorkerId(0));
+    versions.CreateObject(LogicalObjectId(0), WorkerId(0));
+    versions.CreateObject(LogicalObjectId(1), WorkerId(1));
+  }
+};
+
+TEST(PatchTest, ValidationFindsMissingReplicas) {
+  Fixture f;
+  // Object 100 lives only on worker 0; worker 1's precondition fails.
+  const auto needed = f.manager.Validate(*f.set, f.versions);
+  ASSERT_EQ(needed.size(), 1u);
+  EXPECT_EQ(needed[0].object, LogicalObjectId(100));
+  EXPECT_EQ(needed[0].src, WorkerId(0));
+  EXPECT_EQ(needed[0].dst, WorkerId(1));
+}
+
+TEST(PatchTest, ValidationPassesWhenReplicated) {
+  Fixture f;
+  f.versions.RecordCopyToLatest(LogicalObjectId(100), WorkerId(1));
+  EXPECT_TRUE(f.manager.Validate(*f.set, f.versions).empty());
+}
+
+TEST(PatchTest, ResolveCachesAndHits) {
+  Fixture f;
+  bool hit = true;
+  Patch p1 = f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(p1.size(), 1u);
+  // Same preceding control flow, same system state: cache hit.
+  Patch p2 = f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(p2.size(), 1u);
+  EXPECT_EQ(f.manager.patch_cache().hits(), 1u);
+  EXPECT_EQ(f.manager.patch_cache().misses(), 1u);
+}
+
+TEST(PatchTest, DifferentPredecessorIsDifferentCacheEntry) {
+  Fixture f;
+  bool hit = true;
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit);
+  f.manager.ResolvePatch(*f.set, 8, f.versions, &hit);
+  EXPECT_FALSE(hit);  // entered from different control flow
+  EXPECT_EQ(f.manager.patch_cache().size(), 2u);
+}
+
+TEST(PatchTest, StaleCachedPatchIsRecomputed) {
+  Fixture f;
+  bool hit = true;
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit);
+  // The source moves: object 100's latest is now on worker 2 only.
+  f.versions.RecordWrite(LogicalObjectId(100), WorkerId(2));
+  Patch p = f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit) << "cached patch has a stale source and must be recomputed";
+  // Both workers now need the object (worker 0 lost latest too).
+  EXPECT_EQ(p.size(), 2u);
+  for (const PatchDirective& d : p.directives) {
+    EXPECT_EQ(d.src, WorkerId(2));
+  }
+}
+
+TEST(PatchTest, PatchStillCorrectRules) {
+  VersionMap versions;
+  versions.CreateObject(LogicalObjectId(1), WorkerId(0));
+
+  Patch cached;
+  cached.directives.push_back({LogicalObjectId(1), WorkerId(0), WorkerId(1), 64});
+  std::vector<PatchDirective> required = cached.directives;
+
+  EXPECT_TRUE(PatchStillCorrect(cached, required, versions));
+
+  // Different size.
+  std::vector<PatchDirective> more = required;
+  more.push_back({LogicalObjectId(1), WorkerId(0), WorkerId(2), 64});
+  EXPECT_FALSE(PatchStillCorrect(cached, more, versions));
+
+  // Source no longer holds latest.
+  versions.RecordWrite(LogicalObjectId(1), WorkerId(3));
+  EXPECT_FALSE(PatchStillCorrect(cached, required, versions));
+}
+
+TEST(PatchTest, ApplyInstantiationEffectsAdvancesVersions) {
+  Fixture f;
+  Patch patch;
+  patch.directives.push_back({LogicalObjectId(100), WorkerId(0), WorkerId(1), 64});
+  f.manager.ApplyInstantiationEffects(*f.set, patch, &f.versions);
+  // Patch effect: worker 1 now has the broadcast object.
+  EXPECT_TRUE(f.versions.WorkerHasLatest(LogicalObjectId(100), WorkerId(1)));
+  // Write deltas: both outputs advanced one version on their writers.
+  EXPECT_EQ(f.versions.latest(LogicalObjectId(0)), 1u);
+  EXPECT_EQ(f.versions.latest(LogicalObjectId(1)), 1u);
+  EXPECT_TRUE(f.versions.WorkerHasLatest(LogicalObjectId(0), WorkerId(0)));
+  EXPECT_TRUE(f.versions.WorkerHasLatest(LogicalObjectId(1), WorkerId(1)));
+}
+
+TEST(PatchTest, RepeatedInstantiationKeepsValidating) {
+  // After applying effects, a self-validating template must validate cleanly against the
+  // updated version map (the auto-validation invariant).
+  Fixture f;
+  f.versions.RecordCopyToLatest(LogicalObjectId(100), WorkerId(1));
+  ASSERT_TRUE(f.manager.Validate(*f.set, f.versions).empty());
+  for (int i = 0; i < 5; ++i) {
+    Patch none;
+    f.manager.ApplyInstantiationEffects(*f.set, none, &f.versions);
+    EXPECT_TRUE(f.manager.Validate(*f.set, f.versions).empty()) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nimbus::core

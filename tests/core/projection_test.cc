@@ -1,0 +1,244 @@
+// Unit tests for worker-template projection: the dependency analysis at the heart of the
+// template machinery (paper §4.1-4.2).
+
+#include <gtest/gtest.h>
+
+#include "src/core/template_manager.h"
+#include "src/core/worker_template.h"
+
+namespace nimbus::core {
+namespace {
+
+constexpr FunctionId kFn{0};
+
+ObjectBytesFn Bytes() {
+  return [](LogicalObjectId) -> std::int64_t { return 100; };
+}
+
+// Builds a two-worker assignment: even partitions on worker 0, odd on worker 1.
+Assignment TwoWorkers(int partitions) {
+  return Assignment::RoundRobin(partitions, {WorkerId(0), WorkerId(1)});
+}
+
+const WtEntry& TaskEntryFor(const WorkerTemplateSet& set, std::int32_t global) {
+  const EntryMeta& em = set.entry_meta()[static_cast<std::size_t>(global)];
+  WorkerTemplateSet& mutable_set = const_cast<WorkerTemplateSet&>(set);
+  return mutable_set.HalfFor(em.worker)->entries[static_cast<std::size_t>(em.local_index)];
+}
+
+int CountType(const WorkerTemplateSet& set, CommandType type) {
+  int n = 0;
+  for (const auto& half : set.halves()) {
+    for (const auto& e : half.entries) {
+      if (!e.dead && e.type == type) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(ProjectionTest, SameWorkerRawDependency) {
+  ControllerTemplate block(TemplateId(0), "t");
+  // task0 writes obj A on partition 0; task1 reads A on partition 0 (same worker).
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 0, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  EXPECT_EQ(CountType(set, CommandType::kCopySend), 0);
+  const WtEntry& reader = TaskEntryFor(set, 1);
+  ASSERT_EQ(reader.before.size(), 1u);
+  EXPECT_EQ(reader.before[0], set.entry_meta()[0].local_index);
+}
+
+TEST(ProjectionTest, CrossWorkerReadInsertsCopyPair) {
+  ControllerTemplate block(TemplateId(0), "t");
+  // task0 writes A on partition 0 (worker 0); task1 reads A on partition 1 (worker 1).
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 1, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  EXPECT_EQ(CountType(set, CommandType::kCopySend), 1);
+  EXPECT_EQ(CountType(set, CommandType::kCopyReceive), 1);
+  // The reader is gated by the receive on its own worker, not by anything remote.
+  const WtEntry& reader = TaskEntryFor(set, 1);
+  ASSERT_EQ(reader.before.size(), 1u);
+  WorkerTemplateSet& ms = set;
+  const WtEntry& recv = ms.HalfFor(WorkerId(1))->entries[static_cast<std::size_t>(reader.before[0])];
+  EXPECT_EQ(recv.type, CommandType::kCopyReceive);
+  EXPECT_EQ(recv.object, LogicalObjectId(1));
+  EXPECT_EQ(recv.peer, WorkerId(0));
+}
+
+TEST(ProjectionTest, RepeatedCrossWorkerReadReusesOneCopy) {
+  ControllerTemplate block(TemplateId(0), "t");
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  // Two readers on worker 1: only one copy should cross.
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 1, 0, false, -1, {}});
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(3)}, 1, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  EXPECT_EQ(CountType(set, CommandType::kCopySend), 1);
+}
+
+TEST(ProjectionTest, BlockInputBecomesPrecondition) {
+  ControllerTemplate block(TemplateId(0), "t");
+  block.AppendEntry({kFn, {LogicalObjectId(7)}, {LogicalObjectId(8)}, 1, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  ASSERT_EQ(set.preconditions().size(), 1u);
+  const auto& [pre, refcount] = *set.preconditions().begin();
+  EXPECT_EQ(pre.object, LogicalObjectId(7));
+  EXPECT_EQ(pre.worker, WorkerId(1));
+  EXPECT_EQ(refcount, 1);
+}
+
+TEST(ProjectionTest, SelfValidationAppendsEndOfBlockCopy) {
+  // The paper's Fig 5b example: a precondition object rewritten in-block by another worker
+  // gets an end-of-block copy back, so the template validates after itself.
+  ControllerTemplate block(TemplateId(0), "t");
+  // Reader of X on worker 1 (precondition), then writer of X on worker 0.
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 1, 0, false, -1, {}});
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  EXPECT_TRUE(set.self_validating());
+  // One end-of-block copy pair worker0 -> worker1 restores the precondition.
+  EXPECT_EQ(CountType(set, CommandType::kCopySend), 1);
+  EXPECT_EQ(CountType(set, CommandType::kCopyReceive), 1);
+  // Final holders of X include both workers.
+  ASSERT_EQ(set.write_deltas().size(), 2u);
+  for (const WriteDelta& delta : set.write_deltas()) {
+    if (delta.object == LogicalObjectId(1)) {
+      EXPECT_EQ(delta.final_holders.size(), 2u);
+    }
+  }
+}
+
+TEST(ProjectionTest, WarOrderingOnSameWorker) {
+  ControllerTemplate block(TemplateId(0), "t");
+  // task0 reads X (precondition), task1 writes X on the same worker: WAR edge required.
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  const WtEntry& writer = TaskEntryFor(set, 1);
+  ASSERT_EQ(writer.before.size(), 1u);
+  EXPECT_EQ(writer.before[0], set.entry_meta()[0].local_index);
+}
+
+TEST(ProjectionTest, WawOrderingOnSameWorker) {
+  ControllerTemplate block(TemplateId(0), "t");
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  const WtEntry& second = TaskEntryFor(set, 1);
+  ASSERT_EQ(second.before.size(), 1u);
+  // Only two versions written; delta records both.
+  ASSERT_EQ(set.write_deltas().size(), 1u);
+  EXPECT_EQ(set.write_deltas()[0].write_count, 2u);
+}
+
+TEST(ProjectionTest, CopySendOrderedBeforeSubsequentOverwrite) {
+  ControllerTemplate block(TemplateId(0), "t");
+  // w0 writes X; w1 reads X (copy crosses); then w0 REwrites X. The send must be ordered
+  // before the second write (cross-iteration anti-dependency).
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(2)}, 1, 0, false, -1, {}});
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.MarkFinished();
+
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  const WtEntry& rewrite = TaskEntryFor(set, 2);
+  // The rewrite waits for both the original write and the send reading it.
+  bool waits_for_send = false;
+  WorkerHalf* half0 = set.HalfFor(WorkerId(0));
+  for (std::int32_t b : rewrite.before) {
+    if (half0->entries[static_cast<std::size_t>(b)].type == CommandType::kCopySend) {
+      waits_for_send = true;
+    }
+  }
+  EXPECT_TRUE(waits_for_send);
+}
+
+TEST(ProjectionTest, WriteDeltasAreDeterministic) {
+  ControllerTemplate block(TemplateId(0), "t");
+  for (int i = 0; i < 10; ++i) {
+    block.AppendEntry(
+        {kFn, {}, {LogicalObjectId(static_cast<std::uint64_t>(i))}, i % 2, 0, false, -1, {}});
+  }
+  block.MarkFinished();
+  WorkerTemplateSet a = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  WorkerTemplateSet b = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(1), Bytes());
+  ASSERT_EQ(a.write_deltas().size(), b.write_deltas().size());
+  for (std::size_t i = 0; i < a.write_deltas().size(); ++i) {
+    EXPECT_EQ(a.write_deltas()[i].object, b.write_deltas()[i].object);
+    EXPECT_EQ(a.write_deltas()[i].write_count, b.write_deltas()[i].write_count);
+  }
+}
+
+TEST(ProjectionTest, ObjectIndexRecordsWritersInProgramOrder) {
+  ControllerTemplate block(TemplateId(0), "t");
+  block.AppendEntry({kFn, {}, {LogicalObjectId(1)}, 0, 0, false, -1, {}});
+  block.AppendEntry({kFn, {LogicalObjectId(1)}, {LogicalObjectId(1)}, 1, 0, false, -1, {}});
+  block.MarkFinished();
+  WorkerTemplateSet set = ProjectBlock(block, TwoWorkers(2), WorkerTemplateId(0), Bytes());
+  const ObjectIndex* oi = set.FindObjectIndex(LogicalObjectId(1));
+  ASSERT_NE(oi, nullptr);
+  EXPECT_EQ(oi->writers, (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(oi->touchers, (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(ProjectionTest, ParamSlotEqualsCaptureOrder) {
+  TemplateManager manager;
+  manager.BeginCapture("b");
+  EXPECT_EQ(manager.CaptureTask(kFn, {}, {LogicalObjectId(1)}, 0, 0, false, {}), 0);
+  EXPECT_EQ(manager.CaptureTask(kFn, {}, {LogicalObjectId(2)}, 0, 0, false, {}), 1);
+  ControllerTemplate* tmpl = manager.FinishCapture();
+  EXPECT_TRUE(tmpl->finished());
+  EXPECT_EQ(tmpl->task_count(), 2u);
+  EXPECT_EQ(tmpl->param_slot_count(), 2);
+}
+
+TEST(ProjectionTest, ProjectionCacheKeyedByAssignment) {
+  TemplateManager manager;
+  const TemplateId tid = manager.BeginCapture("b");
+  manager.CaptureTask(kFn, {}, {LogicalObjectId(1)}, 0, 0, false, {});
+  manager.CaptureTask(kFn, {}, {LogicalObjectId(2)}, 1, 0, false, {});
+  manager.FinishCapture();
+
+  bool newly = false;
+  WorkerTemplateSet* a = manager.GetOrProject(tid, TwoWorkers(2), Bytes(), &newly);
+  EXPECT_TRUE(newly);
+  WorkerTemplateSet* a2 = manager.GetOrProject(tid, TwoWorkers(2), Bytes(), &newly);
+  EXPECT_FALSE(newly);
+  EXPECT_EQ(a, a2);
+
+  // A different schedule projects a second set; the first remains cached.
+  Assignment other = Assignment::RoundRobin(2, {WorkerId(5), WorkerId(6)});
+  WorkerTemplateSet* b = manager.GetOrProject(tid, other, Bytes(), &newly);
+  EXPECT_TRUE(newly);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager.projection_count(), 2u);
+  EXPECT_EQ(manager.FindProjection(tid, TwoWorkers(2)), a);
+}
+
+TEST(AssignmentTest, SignatureDistinguishesSchedules) {
+  Assignment a = Assignment::RoundRobin(4, {WorkerId(0), WorkerId(1)});
+  Assignment b = Assignment::RoundRobin(4, {WorkerId(1), WorkerId(0)});
+  Assignment c = Assignment::RoundRobin(4, {WorkerId(0), WorkerId(1)});
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_EQ(a.Signature(), c.Signature());
+  EXPECT_EQ(a.Workers(), (std::vector<WorkerId>{WorkerId(0), WorkerId(1)}));
+}
+
+}  // namespace
+}  // namespace nimbus::core

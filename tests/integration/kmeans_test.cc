@@ -1,0 +1,100 @@
+// K-means end-to-end: distributed result must match the sequential reference exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/kmeans.h"
+#include "src/driver/cluster.h"
+#include "src/driver/job.h"
+
+namespace nimbus {
+namespace {
+
+using apps::KMeansApp;
+
+KMeansApp::Config SmallConfig(int partitions, int groups) {
+  KMeansApp::Config config;
+  config.partitions = partitions;
+  config.reduce_groups = groups;
+  config.dim = 3;
+  config.clusters = 3;
+  config.points_per_partition = 24;
+  config.virtual_bytes_total = 64LL * 1000 * 1000;
+  return config;
+}
+
+TEST(KMeansTest, MatchesReferenceWithTemplates) {
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  options.mode = ControlMode::kTemplates;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  KMeansApp::Config config = SmallConfig(8, 4);
+  KMeansApp app(&job, config);
+  app.Setup();
+  app.RunIterations(6);
+
+  const auto expected = KMeansApp::ReferenceRun(config, 6);
+  const auto actual = app.CentroidSnapshot();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i], actual[i]) << "centroid coordinate " << i;
+  }
+}
+
+TEST(KMeansTest, MovementDecreasesOverIterations) {
+  ClusterOptions options;
+  options.workers = 3;
+  options.partitions = 6;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  KMeansApp app(&job, SmallConfig(6, 3));
+  app.Setup();
+  const double first = app.RunIteration().FirstScalar();
+  double last = first;
+  for (int i = 0; i < 7; ++i) {
+    last = app.RunIteration().FirstScalar();
+  }
+  EXPECT_GT(first, 0.0);
+  EXPECT_LT(last, first) << "k-means should move centroids less as it converges";
+}
+
+TEST(KMeansTest, ConvergesToFixedPoint) {
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  KMeansApp app(&job, SmallConfig(8, 4));
+  app.Setup();
+  double movement = 1e9;
+  int iters = 0;
+  while (movement > 1e-12 && iters < 50) {
+    movement = app.RunIteration().FirstScalar();
+    ++iters;
+  }
+  EXPECT_LT(movement, 1e-12) << "k-means should reach a fixed point on separable clusters";
+  EXPECT_LT(iters, 50);
+}
+
+TEST(KMeansTest, CentralAndTemplateModesAgree) {
+  auto run = [](ControlMode mode) {
+    ClusterOptions options;
+    options.workers = 4;
+    options.partitions = 8;
+    options.mode = mode;
+    Cluster cluster(options);
+    Job job(&cluster);
+    KMeansApp app(&job, SmallConfig(8, 4));
+    app.Setup();
+    app.RunIterations(5);
+    return app.CentroidSnapshot();
+  };
+  EXPECT_EQ(run(ControlMode::kTemplates), run(ControlMode::kCentralOnly));
+}
+
+}  // namespace
+}  // namespace nimbus
