@@ -3,6 +3,8 @@
 #ifndef NIMBUS_BENCH_BENCH_UTIL_H_
 #define NIMBUS_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -82,6 +84,17 @@ inline std::unique_ptr<MicroBlock> BuildMicroBlock(int partitions, int workers) 
 
 inline core::ObjectBytesFn ConstantBytes(std::int64_t bytes) {
   return [bytes](LogicalObjectId) { return bytes; };
+}
+
+// Attaches the per-task cost counter the Table 1-3 benchmarks report: `tasks` units of work
+// per iteration, inverted so the displayed value is time per task. Keeping every benchmark
+// on this one helper makes the BENCH_*.json series (see bench/run_benchmarks.sh) comparable
+// across PRs.
+inline void ReportPerTaskTime(benchmark::State& state, double tasks,
+                              const char* counter_name = "per_task_us") {
+  state.counters[counter_name] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * tasks,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 
 // Populates a version map consistent with a fresh run of the micro block on its assignment

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the Table 1-3 microbenchmarks and writes BENCH_table{1,2,3}.json at the repo root,
+# so every PR leaves a comparable perf sample behind (the paper's Tables 1-3 are the
+# control-plane cost claims this reproduction tracks).
+#
+# Usage: bench/run_benchmarks.sh [extra google-benchmark flags...]
+#   e.g. bench/run_benchmarks.sh --benchmark_repetitions=5
+#
+# The JSON goes through --benchmark_out (not --benchmark_format) because the table
+# binaries print the paper's reference numbers on stdout first; the out-file stays clean.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" \
+  --target bench_table1_install bench_table2_instantiate bench_table3_edits >/dev/null
+
+for bench in table1_install table2_instantiate table3_edits; do
+  out="$ROOT/BENCH_${bench%%_*}.json"
+  echo "== $bench -> $out"
+  "$BUILD/bench/bench_${bench}" \
+    --benchmark_out="$out" --benchmark_out_format=json "$@"
+done

@@ -22,9 +22,7 @@ void BM_InstallControllerTemplate(benchmark::State& state) {
     auto block = BuildMicroBlock(kPartitions, kWorkers);
     benchmark::DoNotOptimize(block);
   }
-  state.counters["per_task_us"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 8000.0,
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  ReportPerTaskTime(state, 8000.0);
 }
 BENCHMARK(BM_InstallControllerTemplate)->Unit(benchmark::kMillisecond);
 
@@ -38,9 +36,7 @@ void BM_InstallWorkerTemplateController(benchmark::State& state) {
                                                      WorkerTemplateId(0), ConstantBytes(80));
     benchmark::DoNotOptimize(set);
   }
-  state.counters["per_task_us"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 8000.0,
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  ReportPerTaskTime(state, 8000.0);
 }
 BENCHMARK(BM_InstallWorkerTemplateController)->Unit(benchmark::kMillisecond);
 
@@ -59,9 +55,7 @@ void BM_InstallWorkerTemplateWorker(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(cached);
   }
-  state.counters["per_task_us"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 8000.0,
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  ReportPerTaskTime(state, 8000.0);
 }
 BENCHMARK(BM_InstallWorkerTemplateWorker)->Unit(benchmark::kMillisecond);
 
@@ -82,9 +76,7 @@ void BM_CentralSchedulePerTask(benchmark::State& state) {
     core::Patch patch;
     block->manager.ApplyInstantiationEffects(set, patch, &versions);
   }
-  state.counters["per_task_us"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 8000.0,
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  ReportPerTaskTime(state, 8000.0);
 }
 BENCHMARK(BM_CentralSchedulePerTask)->Unit(benchmark::kMillisecond);
 

@@ -38,9 +38,7 @@ void BM_SingleEditMigration(benchmark::State& state) {
       edits += plan.tasks_touched;
     }
   }
-  state.counters["per_edit_us"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 2.0 * kBatch,
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  ReportPerTaskTime(state, 2.0 * kBatch, "per_edit_us");
   state.counters["edits"] = static_cast<double>(edits);
 }
 BENCHMARK(BM_SingleEditMigration)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,19 @@
+// Shared hash utilities for the control plane's pair-keyed caches.
+
+#ifndef NIMBUS_SRC_COMMON_HASH_H_
+#define NIMBUS_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nimbus {
+
+// Boost-style hash_combine: folds `value` into `seed`. Every composite map key (projection
+// cache, patch cache, ...) goes through this one combiner so they cannot drift apart.
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_COMMON_HASH_H_

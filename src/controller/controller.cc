@@ -714,17 +714,17 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
 
   // Ask one latest-holder of every live object to persist it.
   std::unordered_map<WorkerId, std::vector<Command>> per_worker;
-  for (const auto& [object, state] : checkpoint_.version_snapshot) {
-    const WorkerId holder = versions_.AnyLatestHolder(object);
+  for (const VersionMap::SnapshotEntry& entry : checkpoint_.version_snapshot) {
+    const WorkerId holder = versions_.AnyLatestHolder(entry.object);
     if (!holder.valid()) {
       continue;
     }
     Command cmd;
     cmd.id = command_ids_.Next();
     cmd.type = CommandType::kFileSave;
-    cmd.data_object = object;
-    cmd.copy_version = state.latest;
-    cmd.copy_bytes = ObjectBytes(object);
+    cmd.data_object = entry.object;
+    cmd.copy_version = entry.latest;
+    cmd.copy_bytes = ObjectBytes(entry.object);
     per_worker[holder].push_back(std::move(cmd));
   }
 
@@ -826,18 +826,17 @@ void NimbusController::RunRecovery() {
 
   // Revert the version map to the snapshot, with every object now resident only on its
   // reload target (instances on live workers are stale relative to the restored graph).
-  std::unordered_map<LogicalObjectId, VersionMap::ObjectState> restored;
+  VersionMap::SnapshotState restored;
   std::unordered_map<WorkerId, std::vector<LogicalObjectId>> reload;
-  for (const auto& [object, snap_state] : checkpoint_.version_snapshot) {
-    const auto& info = directory_->object(object);
+  restored.reserve(checkpoint_.version_snapshot.size());
+  for (const VersionMap::SnapshotEntry& snap : checkpoint_.version_snapshot) {
+    const auto& info = directory_->object(snap.object);
     const WorkerId owner = assignment_.WorkerFor(info.partition % partitions_);
-    VersionMap::ObjectState state;
-    state.latest = snap_state.latest;
-    state.held[owner] = snap_state.latest;
-    restored.emplace(object, std::move(state));
-    reload[owner].push_back(object);
+    restored.push_back(VersionMap::SnapshotEntry{
+        snap.object, snap.latest, {{owner, snap.latest}}});
+    reload[owner].push_back(snap.object);
   }
-  versions_.Restore(std::move(restored));
+  versions_.Restore(restored);
 
   PendingBlock* block = NewPendingBlock([this](auto) {
     recovering_ = false;

@@ -152,7 +152,7 @@ class NimbusController {
 
   struct CheckpointState {
     std::uint64_t driver_marker = 0;
-    std::unordered_map<LogicalObjectId, VersionMap::ObjectState> version_snapshot;
+    VersionMap::SnapshotState version_snapshot;
     bool valid = false;
   };
 

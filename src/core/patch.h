@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/ids.h"
 #include "src/data/version_map.h"
 
@@ -44,11 +45,11 @@ class PatchCache {
   static constexpr std::uint64_t kEntryFromOutside = ~std::uint64_t{0};
 
   void Store(std::uint64_t prev, WorkerTemplateId entering, Patch patch) {
-    cache_[Key(prev, entering)] = std::move(patch);
+    cache_[Key{prev, entering}] = std::move(patch);
   }
 
   const Patch* Lookup(std::uint64_t prev, WorkerTemplateId entering) const {
-    auto it = cache_.find(Key(prev, entering));
+    auto it = cache_.find(Key{prev, entering});
     return it == cache_.end() ? nullptr : &it->second;
   }
 
@@ -65,11 +66,26 @@ class PatchCache {
   }
 
  private:
-  static std::uint64_t Key(std::uint64_t prev, WorkerTemplateId entering) {
-    return prev * 1000003ull ^ entering.value();
-  }
+  // Full (prev, entering) pair: folding the two into one uint64 could alias distinct
+  // transitions onto one slot (spurious evictions; correctness would still be shielded by
+  // PatchStillCorrect, but the hit rate is a tracked metric).
+  struct Key {
+    std::uint64_t prev = 0;
+    WorkerTemplateId entering;
 
-  std::unordered_map<std::uint64_t, Patch> cache_;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.prev == b.prev && a.entering == b.entering;
+    }
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return HashCombine(std::hash<std::uint64_t>{}(key.prev),
+                         std::hash<WorkerTemplateId>{}(key.entering));
+    }
+  };
+
+  std::unordered_map<Key, Patch, KeyHash> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -67,7 +67,7 @@ TemplateId TemplateManager::FindByName(const std::string& name) const {
 WorkerTemplateSet* TemplateManager::GetOrProject(TemplateId id, const Assignment& assignment,
                                                  const ObjectBytesFn& object_bytes,
                                                  bool* newly_projected) {
-  const std::uint64_t key = ProjectionKey(id, assignment.Signature());
+  const ProjectionKey key{id, assignment.Signature()};
   auto it = projections_.find(key);
   if (it != projections_.end()) {
     if (newly_projected != nullptr) {
@@ -89,7 +89,7 @@ WorkerTemplateSet* TemplateManager::GetOrProject(TemplateId id, const Assignment
 
 WorkerTemplateSet* TemplateManager::FindProjection(TemplateId id,
                                                    const Assignment& assignment) {
-  auto it = projections_.find(ProjectionKey(id, assignment.Signature()));
+  auto it = projections_.find(ProjectionKey{id, assignment.Signature()});
   return it == projections_.end() ? nullptr : it->second.get();
 }
 
@@ -99,26 +99,24 @@ WorkerTemplateSet* TemplateManager::FindProjection(TemplateId id,
 
 std::vector<PatchDirective> TemplateManager::Validate(const WorkerTemplateSet& set,
                                                       const VersionMap& versions) const {
+  // One linear sweep over the compiled precondition array: each check is an O(1) probe of
+  // the version map's flat state by dense id — no hashing, and no allocation unless a
+  // precondition actually fails.
   std::vector<PatchDirective> needed;
-  for (const auto& [pre, refcount] : set.preconditions()) {
-    if (!versions.Exists(pre.object)) {
+  for (const auto& pre : set.CompiledFor(versions).preconditions) {
+    if (!versions.ExistsDense(pre.object)) {
       // Object not created yet: the block itself will create it on first write; a read of a
       // never-written object is an application bug caught at execution time.
       continue;
     }
-    if (!versions.WorkerHasLatest(pre.object, pre.worker)) {
-      const WorkerId src = versions.AnyLatestHolder(pre.object);
-      NIMBUS_CHECK(src.valid()) << "no live replica of object " << pre.object
+    if (!versions.WorkerHasLatestDense(pre.object, pre.worker)) {
+      const WorkerId src = versions.AnyLatestHolderDense(pre.object);
+      NIMBUS_CHECK(src.valid()) << "no live replica of object " << pre.sparse_object
                                 << " (unrecoverable data loss outside checkpoint path)";
-      needed.push_back(PatchDirective{pre.object, src, pre.worker, set.ObjectBytes(pre.object)});
+      needed.push_back(PatchDirective{pre.sparse_object, src, pre.sparse_worker, pre.bytes});
     }
   }
-  std::sort(needed.begin(), needed.end(), [](const PatchDirective& a, const PatchDirective& d) {
-    if (a.object != d.object) {
-      return a.object < d.object;
-    }
-    return a.dst < d.dst;
-  });
+  // Compiled preconditions are (object, dst)-sorted, so `needed` already is too.
   return needed;
 }
 
@@ -152,16 +150,14 @@ void TemplateManager::ApplyInstantiationEffects(const WorkerTemplateSet& set,
   for (const PatchDirective& d : patch.directives) {
     versions->RecordCopyToLatest(d.object, d.dst);
   }
-  for (const WriteDelta& delta : set.write_deltas()) {
-    NIMBUS_CHECK(!delta.final_holders.empty());
-    if (!versions->Exists(delta.object)) {
-      versions->CreateObject(delta.object, delta.final_holders.front());
+  // O(delta) sweep over the compiled write deltas, entirely in dense id space.
+  for (const auto& delta : set.CompiledFor(*versions).write_deltas) {
+    if (!versions->ExistsDense(delta.object)) {
+      versions->CreateObjectDense(delta.object, delta.primary_holder);
     }
-    for (std::uint32_t i = 0; i < delta.write_count; ++i) {
-      versions->RecordWrite(delta.object, delta.final_holders.front());
-    }
-    for (std::size_t i = 1; i < delta.final_holders.size(); ++i) {
-      versions->RecordCopyToLatest(delta.object, delta.final_holders[i]);
+    versions->AdvanceVersionsDense(delta.object, delta.primary_holder, delta.write_count);
+    for (DenseIndex holder : delta.extra_holders) {
+      versions->RecordCopyToLatestDense(delta.object, holder);
     }
   }
 }
@@ -227,11 +223,13 @@ EditPlan TemplateManager::PlanMigration(WorkerTemplateSet* set, std::int32_t glo
   const auto& entries = tmpl->entries();
   const TemplateEntry& src_entry = entries[static_cast<std::size_t>(global_entry)];
 
-  WorkerHalf* from_half = set->HalfFor(from);
-  NIMBUS_CHECK(from_half != nullptr);
+  // AddHalf can reallocate the halves vector, so create `to`'s half before taking any half
+  // pointers.
   if (set->HalfFor(to) == nullptr) {
     set->AddHalf(to);
   }
+  WorkerHalf* from_half = set->HalfFor(from);
+  NIMBUS_CHECK(from_half != nullptr);
 
   const WtEntry original = from_half->entries[static_cast<std::size_t>(em.local_index)];
   NIMBUS_CHECK(original.type == CommandType::kTask);
@@ -374,7 +372,6 @@ EditPlan TemplateManager::PlanMigration(WorkerTemplateSet* set, std::int32_t glo
     recv.bytes = set->ObjectBytes(o);
     recv.writes = {o};
 
-    from_half = set->HalfFor(from);  // re-fetch: AddHalf above may have reallocated
     if (first_write) {
       ReplaceWithReceive(from_half, from_ops, em.local_index, recv);
       first_write = false;

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/ids.h"
 #include "src/core/controller_template.h"
 #include "src/core/patch.h"
@@ -124,15 +125,30 @@ class TemplateManager {
   IdAllocator<WorkerTemplateId>& worker_template_ids() { return worker_template_ids_; }
 
  private:
-  static std::uint64_t ProjectionKey(TemplateId id, std::uint64_t signature) {
-    return id.value() * 1000003ull ^ signature;
-  }
+  // A cached projection is identified by the full (template, assignment signature) pair —
+  // folding the two into one uint64 key could silently alias two distinct projections.
+  struct ProjectionKey {
+    TemplateId id;
+    std::uint64_t signature = 0;
+
+    friend bool operator==(const ProjectionKey& a, const ProjectionKey& b) {
+      return a.id == b.id && a.signature == b.signature;
+    }
+  };
+
+  struct ProjectionKeyHash {
+    std::size_t operator()(const ProjectionKey& key) const {
+      return HashCombine(std::hash<TemplateId>{}(key.id),
+                         std::hash<std::uint64_t>{}(key.signature));
+    }
+  };
 
   IdAllocator<TemplateId> template_ids_;
   IdAllocator<WorkerTemplateId> worker_template_ids_;
   std::unordered_map<TemplateId, std::unique_ptr<ControllerTemplate>> templates_;
   std::unordered_map<std::string, TemplateId> by_name_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<WorkerTemplateSet>> projections_;
+  std::unordered_map<ProjectionKey, std::unique_ptr<WorkerTemplateSet>, ProjectionKeyHash>
+      projections_;
   ControllerTemplate* capturing_ = nullptr;
   PatchCache patch_cache_;
 };

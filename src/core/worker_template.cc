@@ -14,13 +14,9 @@ Assignment Assignment::RoundRobin(int partitions, const std::vector<WorkerId>& w
 }
 
 std::vector<WorkerId> Assignment::Workers() const {
-  std::vector<WorkerId> out;
-  for (WorkerId w : partition_to_worker_) {
-    if (std::find(out.begin(), out.end(), w) == out.end()) {
-      out.push_back(w);
-    }
-  }
+  std::vector<WorkerId> out = partition_to_worker_;
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -44,38 +40,82 @@ struct LocalObjState {
   std::vector<std::int32_t> readers_since;
 };
 
-// Per-object global bookkeeping during projection.
+// Per-object global bookkeeping during projection, in one contiguous array indexed by dense
+// object id. Residency lives in the builder's flat bitset (one bit per (object, worker));
+// `resident_list` mirrors the set bits in insertion order — after a write, the writer first
+// — because the write delta's final_holders order is meaningful (front = primary holder).
 struct GlobalObjState {
   bool written = false;
   std::uint32_t write_count = 0;
   std::int32_t last_writer_entry = -1;
-  WorkerId last_writer_worker;
-  // Workers holding the current in-block value (after a write: writer + copy recipients;
-  // before any write: workers granted a precondition).
-  std::vector<WorkerId> resident;
-
-  bool IsResident(WorkerId w) const {
-    return std::find(resident.begin(), resident.end(), w) != resident.end();
-  }
+  DenseIndex last_writer_worker = kInvalidDenseIndex;
+  std::vector<DenseIndex> resident_list;
+  // Per-worker local state; objects are touched by a handful of workers, so a flat scan
+  // beats any map.
+  std::vector<std::pair<DenseIndex, LocalObjState>> locals;
 };
 
 struct Builder {
-  WorkerTemplateSet* set;
-  const ObjectBytesFn* object_bytes;
-  std::unordered_map<WorkerId, std::size_t> half_index;
-  std::unordered_map<LogicalObjectId, GlobalObjState> objects;
-  std::unordered_map<WorkerId, std::unordered_map<LogicalObjectId, LocalObjState>> local;
+  WorkerTemplateSet* set = nullptr;
+  const ObjectBytesFn* object_bytes = nullptr;
+  Interner<WorkerId> workers;        // dense worker id == position of the worker's half
+  Interner<LogicalObjectId> objects;
+  std::vector<GlobalObjState> global;  // by dense object id
+  IndexBitset resident;                // bit (object * worker_stride + worker)
+  std::size_t worker_stride = 0;       // distinct workers in the assignment
 
-  WorkerHalf& Half(WorkerId w) {
-    auto it = half_index.find(w);
-    if (it == half_index.end()) {
-      it = half_index.emplace(w, set->halves().size()).first;
+  // Dense worker id, creating the worker's half on first sight. The invariant `dense
+  // worker id == half position` is what makes Half() a plain array index; it would desync
+  // silently if anything else added halves mid-projection, so check it loudly.
+  DenseIndex WorkerIndex(WorkerId w) {
+    const DenseIndex index = workers.Intern(w);
+    if (index == set->halves().size()) {
       set->AddHalf(w);
     }
-    return set->mutable_halves()[it->second];
+    NIMBUS_CHECK_EQ(workers.size(), set->halves().size());
+    return index;
   }
 
-  LocalObjState& Local(WorkerId w, LogicalObjectId o) { return local[w][o]; }
+  WorkerHalf& Half(DenseIndex w) { return set->mutable_halves()[w]; }
+
+  // Dense object id, allocating its state slot (and residency bitset row) on first sight.
+  DenseIndex ObjectIndex(LogicalObjectId o) {
+    const DenseIndex index = objects.Intern(o);
+    if (index == global.size()) {
+      global.emplace_back();
+      resident.EnsureSize((index + 1) * worker_stride);
+    }
+    return index;
+  }
+
+  bool IsResident(DenseIndex obj, DenseIndex w) const {
+    return resident.Test(obj * worker_stride + w);
+  }
+
+  void AddResident(DenseIndex obj, DenseIndex w) {
+    if (!resident.Test(obj * worker_stride + w)) {
+      resident.Set(obj * worker_stride + w);
+      global[obj].resident_list.push_back(w);
+    }
+  }
+
+  void ClearResidents(DenseIndex obj) {
+    for (DenseIndex w : global[obj].resident_list) {
+      resident.Reset(obj * worker_stride + w);
+    }
+    global[obj].resident_list.clear();
+  }
+
+  LocalObjState& Local(DenseIndex w, DenseIndex obj) {
+    auto& locals = global[obj].locals;
+    for (auto& [worker, state] : locals) {
+      if (worker == w) {
+        return state;
+      }
+    }
+    locals.emplace_back(w, LocalObjState{});
+    return locals.back().second;
+  }
 
   std::int64_t BytesOf(LogicalObjectId o) {
     const std::int64_t b = (*object_bytes)(o);
@@ -85,7 +125,7 @@ struct Builder {
 
   // Emits a copy pair moving `o`'s current value from `src` to `dst`. Returns the local
   // index of the receive on `dst`.
-  std::int32_t EmitCopy(LogicalObjectId o, WorkerId src, WorkerId dst) {
+  std::int32_t EmitCopy(LogicalObjectId o, DenseIndex obj, DenseIndex src, DenseIndex dst) {
     const std::int32_t copy_index = set->NextCopyIndex();
     const std::int64_t bytes = BytesOf(o);
 
@@ -93,11 +133,11 @@ struct Builder {
     WtEntry send;
     send.type = CommandType::kCopySend;
     send.copy_index = copy_index;
-    send.peer = dst;
+    send.peer = workers.Resolve(dst);
     send.object = o;
     send.bytes = bytes;
     send.reads = {o};
-    LocalObjState& src_state = Local(src, o);
+    LocalObjState& src_state = Local(src, obj);
     if (src_state.provider >= 0) {
       send.before.push_back(src_state.provider);
     }
@@ -109,13 +149,13 @@ struct Builder {
     WtEntry recv;
     recv.type = CommandType::kCopyReceive;
     recv.copy_index = copy_index;
-    recv.peer = src;
+    recv.peer = workers.Resolve(src);
     recv.object = o;
     recv.bytes = bytes;
     recv.writes = {o};
     // WAR on the destination: the receive overwrites the local instance, so it must wait
     // for local readers of the previous value.
-    LocalObjState& dst_state = Local(dst, o);
+    LocalObjState& dst_state = Local(dst, obj);
     if (dst_state.provider >= 0) {
       recv.before.push_back(dst_state.provider);
     }
@@ -146,16 +186,18 @@ WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment
   Builder b;
   b.set = &set;
   b.object_bytes = &object_bytes;
+  b.worker_stride = assignment.Workers().size();
 
   auto& meta = set.mutable_entry_meta();
   meta.resize(block.entries().size());
 
+  std::vector<DenseIndex> read_objs;  // dense ids of the current entry's reads, reused
   for (std::size_t g = 0; g < block.entries().size(); ++g) {
     const TemplateEntry& entry = block.entries()[g];
     NIMBUS_CHECK_GE(entry.placement_partition, 0)
         << "entry " << g << " has no placement partition";
     const WorkerId w = assignment.WorkerFor(entry.placement_partition);
-    b.Half(w);  // ensure the half exists
+    const DenseIndex wi = b.WorkerIndex(w);
 
     WtEntry task;
     task.type = CommandType::kTask;
@@ -172,19 +214,22 @@ WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment
     em.read_providers.reserve(entry.reads.size());
 
     // --- Reads: RAW edges, copy insertion, precondition discovery ---
+    read_objs.clear();
     for (LogicalObjectId r : entry.reads) {
-      GlobalObjState& os = b.objects[r];
+      const DenseIndex obj = b.ObjectIndex(r);
+      read_objs.push_back(obj);
+      GlobalObjState& os = b.global[obj];
       if (os.written) {
         em.read_providers.push_back(os.last_writer_entry);
         meta[static_cast<std::size_t>(os.last_writer_entry)].consumers.push_back(
             static_cast<std::int32_t>(g));
-        if (!os.IsResident(w)) {
+        if (!b.IsResident(obj, wi)) {
           // Cross-worker read: move the value here with a copy pair.
-          const std::int32_t recv_index = b.EmitCopy(r, os.last_writer_worker, w);
-          os.resident.push_back(w);
+          const std::int32_t recv_index = b.EmitCopy(r, obj, os.last_writer_worker, wi);
+          b.AddResident(obj, wi);
           task.before.push_back(recv_index);
         } else {
-          const LocalObjState& ls = b.Local(w, r);
+          const LocalObjState& ls = b.Local(wi, obj);
           if (ls.provider >= 0) {
             task.before.push_back(ls.provider);
           }
@@ -193,30 +238,27 @@ WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment
         // Block input: worker must hold the latest version at entry (precondition). The
         // patching machinery enforces it at instantiation time if it does not hold.
         em.read_providers.push_back(-1);
-        if (!os.IsResident(w)) {
-          os.resident.push_back(w);
-        }
+        b.AddResident(obj, wi);
         set.AddPrecondition(r, w);
-        const LocalObjState& ls = b.Local(w, r);
+        const LocalObjState& ls = b.Local(wi, obj);
         if (ls.provider >= 0) {
           task.before.push_back(ls.provider);
         }
       }
     }
 
-    // b.Half(w) must be re-fetched here: EmitCopy during read processing may have created
-    // new halves and reallocated the vector.
-    const auto task_index_placeholder = static_cast<std::int32_t>(b.Half(w).entries.size());
+    const auto task_index_placeholder = static_cast<std::int32_t>(b.Half(wi).entries.size());
 
-    // Record this entry as a reader for WAR tracking.
-    for (LogicalObjectId r : entry.reads) {
-      b.Local(w, r).readers_since.push_back(task_index_placeholder);
+    // Record this entry as a reader for WAR tracking (dense ids cached by the loop above).
+    for (DenseIndex obj : read_objs) {
+      b.Local(wi, obj).readers_since.push_back(task_index_placeholder);
     }
 
     // --- Writes: WAW/WAR edges, residency reset ---
     for (LogicalObjectId o : entry.writes) {
-      GlobalObjState& os = b.objects[o];
-      LocalObjState& ls = b.Local(w, o);
+      const DenseIndex obj = b.ObjectIndex(o);
+      GlobalObjState& os = b.global[obj];
+      LocalObjState& ls = b.Local(wi, obj);
       if (ls.provider >= 0) {
         task.before.push_back(ls.provider);
       }
@@ -229,34 +271,39 @@ WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment
       // provider/readers describe commands touching the *previous* version; if a copy of
       // the new version later lands there, the receive needs WAR edges against exactly
       // those commands (otherwise it can overwrite the instance while an old-version
-      // reader is still pending). Residency is tracked separately in os.resident.
+      // reader is still pending). Residency is tracked separately in the builder's bitset.
       os.written = true;
       ++os.write_count;
       os.last_writer_entry = static_cast<std::int32_t>(g);
-      os.last_writer_worker = w;
-      os.resident.clear();
-      os.resident.push_back(w);
+      os.last_writer_worker = wi;
+      b.ClearResidents(obj);
+      b.AddResident(obj, wi);
       ls.provider = task_index_placeholder;
       ls.readers_since.clear();
     }
 
     SortUnique(&task.before);
     em.local_index = task_index_placeholder;
-    b.Half(w).entries.push_back(std::move(task));
+    b.Half(wi).entries.push_back(std::move(task));
   }
 
   // --- Self-validation pass (paper §4.2): make the postcondition imply the precondition,
   // so that back-to-back instantiations of this template skip validation entirely. For each
   // precondition (o, w) where the block's final value of `o` ended up elsewhere, append an
   // end-of-block copy to w (cf. Fig 5b: "adds a data copy of object 1 to worker 2 at the
-  // end of the template").
+  // end of the template"). Preconditions iterate in (object, worker) order, so the appended
+  // copies are deterministic.
   for (const auto& [pre, refcount] : set.preconditions()) {
-    auto it = b.objects.find(pre.object);
-    NIMBUS_CHECK(it != b.objects.end());
-    GlobalObjState& os = it->second;
-    if (os.written && !os.IsResident(pre.worker)) {
-      b.EmitCopy(pre.object, os.last_writer_worker, pre.worker);
-      os.resident.push_back(pre.worker);
+    const DenseIndex obj = b.objects.Find(pre.object);
+    NIMBUS_CHECK(obj != kInvalidDenseIndex);
+    GlobalObjState& os = b.global[obj];
+    if (os.written) {
+      const DenseIndex wi = b.workers.Find(pre.worker);
+      NIMBUS_CHECK(wi != kInvalidDenseIndex);
+      if (!b.IsResident(obj, wi)) {
+        b.EmitCopy(pre.object, obj, os.last_writer_worker, wi);
+        b.AddResident(obj, wi);
+      }
     }
   }
   set.SetSelfValidating(true);
@@ -280,20 +327,62 @@ WorkerTemplateSet ProjectBlock(const ControllerTemplate& block, const Assignment
   }
 
   // --- Version-map delta ---
-  for (const auto& [object, os] : b.objects) {
+  for (DenseIndex obj = 0; obj < b.global.size(); ++obj) {
+    const GlobalObjState& os = b.global[obj];
     if (os.written) {
       WriteDelta delta;
-      delta.object = object;
+      delta.object = b.objects.Resolve(obj);
       delta.write_count = os.write_count;
-      delta.final_holders = os.resident;
+      delta.final_holders.reserve(os.resident_list.size());
+      for (DenseIndex w : os.resident_list) {
+        delta.final_holders.push_back(b.workers.Resolve(w));
+      }
       set.mutable_write_deltas().push_back(std::move(delta));
     }
   }
-  // Deterministic order (unordered_map iteration is not).
+  // Sorted by object id: Validate's compiled sweep and the projection-determinism test
+  // rely on this order.
   std::sort(set.mutable_write_deltas().begin(), set.mutable_write_deltas().end(),
             [](const WriteDelta& a, const WriteDelta& d) { return a.object < d.object; });
 
   return set;
+}
+
+const CompiledInstantiation& WorkerTemplateSet::CompiledFor(const VersionMap& versions) const {
+  if (compiled_.map_uid == versions.uid() && compiled_.set_generation == generation_) {
+    return compiled_;
+  }
+  compiled_.map_uid = versions.uid();
+  compiled_.set_generation = generation_;
+  compiled_.preconditions.clear();
+  compiled_.write_deltas.clear();
+  compiled_.preconditions.reserve(preconditions_.size());
+  compiled_.write_deltas.reserve(write_deltas_.size());
+  // Interning here assigns dense ids for objects the map has not seen yet (their slots read
+  // as nonexistent until the block creates them); ids are never reused, so the compiled
+  // plan stays valid until the set itself is edited.
+  for (const auto& [pre, refcount] : preconditions_) {
+    CompiledInstantiation::CompiledPrecondition cp;
+    cp.object = versions.InternObject(pre.object);
+    cp.worker = versions.InternWorker(pre.worker);
+    cp.sparse_object = pre.object;
+    cp.sparse_worker = pre.worker;
+    cp.bytes = ObjectBytes(pre.object);
+    compiled_.preconditions.push_back(cp);
+  }
+  for (const WriteDelta& delta : write_deltas_) {
+    NIMBUS_CHECK(!delta.final_holders.empty());
+    CompiledInstantiation::CompiledDelta cd;
+    cd.object = versions.InternObject(delta.object);
+    cd.write_count = delta.write_count;
+    cd.primary_holder = versions.InternWorker(delta.final_holders.front());
+    cd.extra_holders.reserve(delta.final_holders.size() - 1);
+    for (std::size_t i = 1; i < delta.final_holders.size(); ++i) {
+      cd.extra_holders.push_back(versions.InternWorker(delta.final_holders[i]));
+    }
+    compiled_.write_deltas.push_back(std::move(cd));
+  }
+  return compiled_;
 }
 
 void ApplyWorkerEditOps(WorkerHalf* half, const std::vector<WorkerEditOp>& ops) {

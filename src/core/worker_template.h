@@ -21,6 +21,7 @@
 #ifndef NIMBUS_SRC_CORE_WORKER_TEMPLATE_H_
 #define NIMBUS_SRC_CORE_WORKER_TEMPLATE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -30,9 +31,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/logging.h"
 #include "src/core/controller_template.h"
+#include "src/data/version_map.h"
 #include "src/sim/virtual_time.h"
 #include "src/task/command.h"
 
@@ -129,10 +132,129 @@ struct Precondition {
   }
 };
 
-struct PreconditionHash {
-  std::size_t operator()(const Precondition& p) const {
-    return std::hash<std::uint64_t>{}(p.object.value() * 1000003u ^ p.worker.value());
+// The set of preconditions of one worker-template set, as a refcounted flat array kept
+// sorted by (object, worker). Projection appends thousands of (mostly duplicate) grants, so
+// additions go to a staging buffer that is sorted and merged on first lookup; after that,
+// iteration is a linear sweep in validation order and edits pay one binary search.
+class PreconditionSet {
+ public:
+  struct Entry {
+    Precondition pre;
+    std::int32_t refcount = 0;
+  };
+
+  using const_iterator = std::vector<Entry>::const_iterator;
+  const_iterator begin() const {
+    Normalize();
+    return entries_.begin();
   }
+  const_iterator end() const {
+    Normalize();
+    return entries_.end();
+  }
+
+  std::size_t size() const {
+    Normalize();
+    return entries_.size();
+  }
+
+  // 1 if the precondition is present (any refcount), 0 otherwise — set semantics, matching
+  // the unordered_map<Precondition, refcount> this replaced.
+  std::size_t count(const Precondition& pre) const {
+    Normalize();
+    const auto it = LowerBound(pre);
+    return it != entries_.end() && it->pre == pre ? 1u : 0u;
+  }
+
+  void Add(Precondition pre) { staged_.push_back({pre, +1}); }
+
+  // Decrements the refcount; the precondition disappears once no entry needs it any more.
+  // Staged like Add (a -1 delta), so edit planning's release/add churn stays O(1) per call
+  // instead of rebuilding the sorted array every time.
+  void Release(const Precondition& pre) { staged_.push_back({pre, -1}); }
+
+ private:
+  static bool Less(const Precondition& a, const Precondition& b) {
+    if (a.object != b.object) {
+      return a.object < b.object;
+    }
+    return a.worker < b.worker;
+  }
+
+  const_iterator LowerBound(const Precondition& pre) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), pre,
+                            [](const Entry& e, const Precondition& p) { return Less(e.pre, p); });
+  }
+
+  void Normalize() const {
+    if (staged_.empty()) {
+      return;
+    }
+    // Stable sort: deltas for the same precondition must apply in call order, because a
+    // release clamps at zero (releasing an absent precondition is a no-op) while an add
+    // always counts.
+    std::stable_sort(staged_.begin(), staged_.end(),
+                     [](const StagedDelta& a, const StagedDelta& b) {
+                       return Less(a.first, b.first);
+                     });
+    std::vector<Entry> merged;
+    merged.reserve(entries_.size() + staged_.size());
+    auto have = entries_.begin();
+    auto delta = staged_.begin();
+    while (have != entries_.end() || delta != staged_.end()) {
+      if (delta == staged_.end() ||
+          (have != entries_.end() && Less(have->pre, delta->first))) {
+        merged.push_back(*have++);
+        continue;
+      }
+      const Precondition key = delta->first;
+      std::int32_t refcount = 0;
+      if (have != entries_.end() && have->pre == key) {
+        refcount = have->refcount;
+        ++have;
+      }
+      for (; delta != staged_.end() && delta->first == key; ++delta) {
+        refcount = std::max(0, refcount + delta->second);
+      }
+      if (refcount > 0) {
+        merged.push_back(Entry{key, refcount});
+      }
+    }
+    entries_ = std::move(merged);
+    staged_.clear();
+  }
+
+  using StagedDelta = std::pair<Precondition, std::int32_t>;  // +1 add / -1 release
+
+  mutable std::vector<Entry> entries_;       // sorted by (object, worker)
+  mutable std::vector<StagedDelta> staged_;  // in call order, pending merge
+};
+
+// The instantiation plan of a worker-template set compiled against one VersionMap's dense
+// id space (paper §4.1: "pointers are turned into indexes for fast lookups into arrays of
+// values"). Validate walks `preconditions` with O(1) array probes; ApplyInstantiationEffects
+// walks `write_deltas` — no hashing and no allocation on either sweep. The cache is rebuilt
+// only when the set is edited or used against a different version map.
+struct CompiledInstantiation {
+  struct CompiledPrecondition {
+    DenseIndex object = kInvalidDenseIndex;  // dense ids in the compiled-against map
+    DenseIndex worker = kInvalidDenseIndex;
+    LogicalObjectId sparse_object;  // carried so the failure path builds directives
+    WorkerId sparse_worker;         // without resolving through the interner
+    std::int64_t bytes = 0;
+  };
+
+  struct CompiledDelta {
+    DenseIndex object = kInvalidDenseIndex;
+    std::uint32_t write_count = 0;
+    DenseIndex primary_holder = kInvalidDenseIndex;  // the in-block final writer
+    std::vector<DenseIndex> extra_holders;           // end-of-block copy recipients
+  };
+
+  std::uint64_t map_uid = 0;                     // VersionMap::uid() compiled against
+  std::uint64_t set_generation = ~std::uint64_t{0};  // WorkerTemplateSet edit generation
+  std::vector<CompiledPrecondition> preconditions;  // (object, worker)-sorted, like the set
+  std::vector<CompiledDelta> write_deltas;
 };
 
 // The version-map effect of executing the block once: each object's latest version advances
@@ -193,21 +315,20 @@ class WorkerTemplateSet {
   std::vector<WorkerHalf>& mutable_halves() { return halves_; }
 
   WorkerHalf* HalfFor(WorkerId worker) {
-    for (auto& h : halves_) {
-      if (h.worker == worker) {
-        return &h;
-      }
+    const auto it = HalfIndexFor(worker);
+    if (it == half_index_.end() || it->first != worker) {
+      return nullptr;
     }
-    return nullptr;
+    return &halves_[it->second];
   }
 
-  const std::unordered_map<Precondition, std::int32_t, PreconditionHash>& preconditions()
-      const {
-    return preconditions_;
-  }
+  const PreconditionSet& preconditions() const { return preconditions_; }
 
   const std::vector<WriteDelta>& write_deltas() const { return write_deltas_; }
-  std::vector<WriteDelta>& mutable_write_deltas() { return write_deltas_; }
+  std::vector<WriteDelta>& mutable_write_deltas() {
+    ++generation_;
+    return write_deltas_;
+  }
 
   const std::vector<EntryMeta>& entry_meta() const { return entry_meta_; }
   std::vector<EntryMeta>& mutable_entry_meta() { return entry_meta_; }
@@ -237,47 +358,62 @@ class WorkerTemplateSet {
     return it == object_bytes_.end() ? 0 : it->second;
   }
 
+  // The instantiation plan in `versions`' dense id space; compiled on first use and cached
+  // until the set is edited or a different map is supplied (see CompiledInstantiation).
+  const CompiledInstantiation& CompiledFor(const VersionMap& versions) const;
+
   // --- Mutation API used by projection and by edits ---
 
   WorkerHalf& AddHalf(WorkerId worker) {
+    const std::uint32_t position = static_cast<std::uint32_t>(halves_.size());
     halves_.push_back(WorkerHalf{worker, {}});
+    half_index_.insert(HalfIndexFor(worker), {worker, position});
     return halves_.back();
   }
 
   void AddPrecondition(LogicalObjectId object, WorkerId worker) {
-    ++preconditions_[Precondition{object, worker}];
+    ++generation_;
+    preconditions_.Add(Precondition{object, worker});
   }
 
   // Decrements the refcount; removes the precondition when no entry needs it any more.
   void ReleasePrecondition(LogicalObjectId object, WorkerId worker) {
-    auto it = preconditions_.find(Precondition{object, worker});
-    if (it == preconditions_.end()) {
-      return;
-    }
-    if (--it->second <= 0) {
-      preconditions_.erase(it);
-    }
+    ++generation_;
+    preconditions_.Release(Precondition{object, worker});
   }
 
   void SetSelfValidating(bool v) { self_validating_ = v; }
   void SetCopyCount(std::int32_t n) { copy_count_ = n; }
   std::int32_t NextCopyIndex() { return copy_count_++; }
   void SetObjectBytes(LogicalObjectId object, std::int64_t bytes) {
+    ++generation_;
     object_bytes_[object] = bytes;
   }
 
  private:
+  std::vector<std::pair<WorkerId, std::uint32_t>>::iterator HalfIndexFor(WorkerId worker) {
+    return std::lower_bound(
+        half_index_.begin(), half_index_.end(), worker,
+        [](const std::pair<WorkerId, std::uint32_t>& e, WorkerId w) { return e.first < w; });
+  }
+
   WorkerTemplateId id_;
   TemplateId parent_;
   Assignment assignment_;
   std::vector<WorkerHalf> halves_;
-  std::unordered_map<Precondition, std::int32_t, PreconditionHash> preconditions_;
+  // Sorted (worker -> position in halves_) index; halves_ itself stays in creation order.
+  std::vector<std::pair<WorkerId, std::uint32_t>> half_index_;
+  PreconditionSet preconditions_;
   std::vector<WriteDelta> write_deltas_;
   std::vector<EntryMeta> entry_meta_;
   std::unordered_map<LogicalObjectId, ObjectIndex> object_index_;
   std::unordered_map<LogicalObjectId, std::int64_t> object_bytes_;
   std::int32_t copy_count_ = 0;
   bool self_validating_ = false;
+  // Bumped by every mutation that can change preconditions, write deltas, or object bytes;
+  // invalidates the compiled plan below.
+  std::uint64_t generation_ = 0;
+  mutable CompiledInstantiation compiled_;
 };
 
 // Resolves an object's virtual byte size during projection (supplied by the controller's

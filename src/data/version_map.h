@@ -4,13 +4,24 @@
 // map is the controller's source of truth for (a) last-writer dependency analysis, (b) copy
 // insertion when a reader is on a different worker than the latest version, and (c) template
 // precondition validation (paper §4.2).
+//
+// Layout (DESIGN.md §6): object and worker ids are interned to dense uint32 indices; all
+// per-object state lives in one contiguous array indexed by dense object id, and per-object
+// held versions are a small flat vector of (dense worker, version) pairs — the paper's point
+// that mutable objects keep the instance set tiny makes a linear scan cheaper than any map.
+// The sparse API below is unchanged; the *Dense overloads are the allocation- and hash-free
+// fast path used by compiled template instantiation. Dense indices are never reused, so
+// callers may cache them for this map's lifetime (keyed by uid()).
 
 #ifndef NIMBUS_SRC_DATA_VERSION_MAP_H_
 #define NIMBUS_SRC_DATA_VERSION_MAP_H_
 
-#include <unordered_map>
+#include <atomic>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/logging.h"
 
@@ -18,118 +29,310 @@ namespace nimbus {
 
 class VersionMap {
  public:
-  struct ObjectState {
-    Version latest = 0;
-    // Versions held per worker. Only the newest instance per worker is tracked; a stale
-    // instance is overwritten in place when a copy lands (paper §3.4 pointer swap).
-    std::unordered_map<WorkerId, Version> held;
+  // One physical instance: `worker` holds `version` (possibly stale; the newest instance
+  // per worker overwrites in place, paper §3.4 pointer swap).
+  struct Holder {
+    DenseIndex worker = kInvalidDenseIndex;
+    Version version = 0;
   };
+
+  // Sparse-id image of one object's state, used for checkpoint snapshot/restore.
+  struct SnapshotEntry {
+    LogicalObjectId object;
+    Version latest = 0;
+    std::vector<std::pair<WorkerId, Version>> held;
+  };
+  using SnapshotState = std::vector<SnapshotEntry>;
+
+  VersionMap() : uid_(NextUid()) {}
+  // Copies fork the interned id space: dense indices cached against the source must not be
+  // replayed against the copy once the two diverge, so the copy gets a fresh uid.
+  VersionMap(const VersionMap& other)
+      : objects_(other.objects_),
+        workers_(other.workers_),
+        states_(other.states_),
+        live_objects_(other.live_objects_),
+        uid_(NextUid()) {}
+  VersionMap& operator=(const VersionMap& other) {
+    if (this != &other) {
+      objects_ = other.objects_;
+      workers_ = other.workers_;
+      states_ = other.states_;
+      live_objects_ = other.live_objects_;
+      uid_ = NextUid();
+    }
+    return *this;
+  }
+  // Moves transfer the id space (the target keeps the source's uid), but the gutted source
+  // must not keep answering to that uid — re-interning into it would assign fresh indices
+  // that stale compiled plans could silently mistake for the old ones.
+  VersionMap(VersionMap&& other) noexcept
+      : objects_(std::move(other.objects_)),
+        workers_(std::move(other.workers_)),
+        states_(std::move(other.states_)),
+        live_objects_(other.live_objects_),
+        uid_(other.uid_) {
+    other.uid_ = NextUid();
+    other.live_objects_ = 0;
+  }
+  VersionMap& operator=(VersionMap&& other) noexcept {
+    if (this != &other) {
+      objects_ = std::move(other.objects_);
+      workers_ = std::move(other.workers_);
+      states_ = std::move(other.states_);
+      live_objects_ = other.live_objects_;
+      uid_ = other.uid_;
+      other.uid_ = NextUid();
+      other.live_objects_ = 0;
+    }
+    return *this;
+  }
+
+  // Identifies this map's dense id space for compiled-plan caching.
+  std::uint64_t uid() const { return uid_; }
+
+  // --- Dense id interning (logically const: resolving an id observes no state) ---
+
+  DenseIndex InternObject(LogicalObjectId object) const {
+    const DenseIndex index = objects_.Intern(object);
+    states_.EnsureSize(objects_.size());
+    return index;
+  }
+
+  DenseIndex InternWorker(WorkerId worker) const { return workers_.Intern(worker); }
+
+  // --- Sparse API (cold paths: registration, recovery, tests) ---
 
   // Registers an object whose initial (version-0) instance lives on `home`.
   void CreateObject(LogicalObjectId object, WorkerId home) {
-    NIMBUS_CHECK(states_.find(object) == states_.end()) << "object exists: " << object;
-    ObjectState state;
-    state.latest = 0;
-    state.held[home] = 0;
-    states_.emplace(object, std::move(state));
+    const DenseIndex index = InternObject(object);
+    NIMBUS_CHECK(!states_[index].exists) << "object exists: " << object;
+    CreateObjectDense(index, InternWorker(home));
   }
 
-  bool Exists(LogicalObjectId object) const { return states_.count(object) > 0; }
+  bool Exists(LogicalObjectId object) const {
+    const DenseIndex index = objects_.Find(object);
+    return index != kInvalidDenseIndex && states_[index].exists;
+  }
 
-  void DestroyObject(LogicalObjectId object) { states_.erase(object); }
+  void DestroyObject(LogicalObjectId object) {
+    const DenseIndex index = objects_.Find(object);
+    if (index == kInvalidDenseIndex || !states_[index].exists) {
+      return;
+    }
+    states_[index] = ObjectState{};  // slot stays allocated; the dense id is never reused
+    --live_objects_;
+  }
 
   // Records that a task on `writer` wrote the object: the global version advances and every
   // other worker's instance becomes stale.
   Version RecordWrite(LogicalObjectId object, WorkerId writer) {
-    ObjectState& state = State(object);
-    ++state.latest;
-    state.held[writer] = state.latest;
-    return state.latest;
+    return AdvanceVersionsDense(ExistingIndex(object), InternWorker(writer), 1);
   }
 
   // Records that the latest version was copied to `dst`.
   void RecordCopyToLatest(LogicalObjectId object, WorkerId dst) {
-    ObjectState& state = State(object);
-    state.held[dst] = state.latest;
+    RecordCopyToLatestDense(ExistingIndex(object), InternWorker(dst));
   }
 
   // Removes any instance of `object` on `worker` (eviction / failure).
   void DropInstance(LogicalObjectId object, WorkerId worker) {
-    auto it = states_.find(object);
-    if (it != states_.end()) {
-      it->second.held.erase(worker);
+    const DenseIndex index = objects_.Find(object);
+    const DenseIndex w = workers_.Find(worker);
+    if (index == kInvalidDenseIndex || w == kInvalidDenseIndex || !states_[index].exists) {
+      return;
     }
+    EraseHolder(&states_[index], w);
   }
 
   // Drops every instance held by `worker` (worker failure).
   void DropWorker(WorkerId worker) {
-    for (auto& [object, state] : states_) {
-      state.held.erase(worker);
+    const DenseIndex w = workers_.Find(worker);
+    if (w == kInvalidDenseIndex) {
+      return;
+    }
+    for (ObjectState& state : states_) {
+      if (state.exists) {
+        EraseHolder(&state, w);
+      }
     }
   }
 
-  Version latest(LogicalObjectId object) const { return State(object).latest; }
+  Version latest(LogicalObjectId object) const { return states_[ExistingIndex(object)].latest; }
 
   bool WorkerHasLatest(LogicalObjectId object, WorkerId worker) const {
-    const ObjectState& state = State(object);
-    auto it = state.held.find(worker);
-    return it != state.held.end() && it->second == state.latest;
+    const DenseIndex w = workers_.Find(worker);
+    return w != kInvalidDenseIndex && WorkerHasLatestDense(ExistingIndex(object), w);
   }
 
   // Any worker currently holding the latest version; invalid if none (data loss).
   WorkerId AnyLatestHolder(LogicalObjectId object) const {
-    const ObjectState& state = State(object);
-    for (const auto& [worker, version] : state.held) {
-      if (version == state.latest) {
-        return worker;
-      }
-    }
-    return WorkerId::Invalid();
+    return AnyLatestHolderDense(ExistingIndex(object));
   }
 
   std::vector<WorkerId> LatestHolders(LogicalObjectId object) const {
     std::vector<WorkerId> holders;
-    const ObjectState& state = State(object);
-    for (const auto& [worker, version] : state.held) {
-      if (version == state.latest) {
-        holders.push_back(worker);
+    const ObjectState& state = states_[ExistingIndex(object)];
+    for (const Holder& h : state.held) {
+      if (h.version == state.latest) {
+        holders.push_back(workers_.Resolve(h.worker));
       }
     }
     return holders;
   }
 
-  std::size_t object_count() const { return states_.size(); }
+  std::size_t object_count() const { return live_objects_; }
 
   // Total number of tracked (worker, object) instances; exposed for the ablation that
   // measures how mutable objects keep the map small (DESIGN.md §5.1).
   std::size_t instance_count() const {
     std::size_t n = 0;
-    for (const auto& [object, state] : states_) {
-      n += state.held.size();
+    for (const ObjectState& state : states_) {
+      if (state.exists) {
+        n += state.held.size();
+      }
     }
     return n;
   }
 
-  // Snapshot / restore support for checkpoint-based fault recovery (paper §4.4).
-  std::unordered_map<LogicalObjectId, ObjectState> Snapshot() const { return states_; }
-  void Restore(std::unordered_map<LogicalObjectId, ObjectState> snapshot) {
-    states_ = std::move(snapshot);
+  // --- Dense API (the hot path: zero hashing, zero allocation in steady state) ---
+
+  bool ExistsDense(DenseIndex object) const { return states_[object].exists; }
+
+  void CreateObjectDense(DenseIndex object, DenseIndex home) {
+    ObjectState& state = states_[object];
+    NIMBUS_CHECK(!state.exists);
+    state.exists = true;
+    state.latest = 0;
+    state.held.clear();
+    state.held.push_back(Holder{home, 0});
+    ++live_objects_;
+  }
+
+  // Applies `count` consecutive writes by `writer` in one step: latest advances by `count`
+  // and the writer's instance lands on the final version (equivalent to `count` RecordWrite
+  // calls — intermediate versions are never observable between block instantiations).
+  Version AdvanceVersionsDense(DenseIndex object, DenseIndex writer, std::uint32_t count) {
+    ObjectState& state = states_[object];
+    state.latest += count;
+    SetHolder(&state, writer, state.latest);
+    return state.latest;
+  }
+
+  void RecordCopyToLatestDense(DenseIndex object, DenseIndex dst) {
+    ObjectState& state = states_[object];
+    SetHolder(&state, dst, state.latest);
+  }
+
+  bool WorkerHasLatestDense(DenseIndex object, DenseIndex worker) const {
+    const ObjectState& state = states_[object];
+    for (const Holder& h : state.held) {
+      if (h.worker == worker) {
+        return h.version == state.latest;
+      }
+    }
+    return false;
+  }
+
+  WorkerId AnyLatestHolderDense(DenseIndex object) const {
+    const ObjectState& state = states_[object];
+    for (const Holder& h : state.held) {
+      if (h.version == state.latest) {
+        return workers_.Resolve(h.worker);
+      }
+    }
+    return WorkerId::Invalid();
+  }
+
+  // --- Snapshot / restore support for checkpoint-based fault recovery (paper §4.4) ---
+
+  SnapshotState Snapshot() const {
+    SnapshotState snapshot;
+    snapshot.reserve(live_objects_);
+    for (DenseIndex i = 0; i < states_.size(); ++i) {
+      const ObjectState& state = states_[i];
+      if (!state.exists) {
+        continue;
+      }
+      SnapshotEntry entry;
+      entry.object = objects_.Resolve(i);
+      entry.latest = state.latest;
+      entry.held.reserve(state.held.size());
+      for (const Holder& h : state.held) {
+        entry.held.emplace_back(workers_.Resolve(h.worker), h.version);
+      }
+      snapshot.push_back(std::move(entry));
+    }
+    return snapshot;
+  }
+
+  // Restoring keeps the interned id space (dense indices stay valid across recovery).
+  void Restore(const SnapshotState& snapshot) {
+    for (ObjectState& state : states_) {
+      state = ObjectState{};
+    }
+    live_objects_ = 0;
+    for (const SnapshotEntry& entry : snapshot) {
+      const DenseIndex index = InternObject(entry.object);
+      ObjectState& state = states_[index];
+      state.exists = true;
+      state.latest = entry.latest;
+      for (const auto& [worker, version] : entry.held) {
+        state.held.push_back(Holder{InternWorker(worker), version});
+      }
+      ++live_objects_;
+    }
   }
 
  private:
-  ObjectState& State(LogicalObjectId object) {
-    auto it = states_.find(object);
-    NIMBUS_CHECK(it != states_.end()) << "unknown object " << object;
-    return it->second;
+  struct ObjectState {
+    bool exists = false;
+    Version latest = 0;
+    std::vector<Holder> held;
+  };
+
+  static std::uint64_t NextUid() {
+    // Atomic: duplicate uids across maps built on different threads would let stale
+    // compiled plans validate against the wrong dense id space.
+    static std::atomic<std::uint64_t> next{0};
+    return ++next;
   }
 
-  const ObjectState& State(LogicalObjectId object) const {
-    auto it = states_.find(object);
-    NIMBUS_CHECK(it != states_.end()) << "unknown object " << object;
-    return it->second;
+  DenseIndex ExistingIndex(LogicalObjectId object) const {
+    const DenseIndex index = objects_.Find(object);
+    NIMBUS_CHECK(index != kInvalidDenseIndex && states_[index].exists)
+        << "unknown object " << object;
+    return index;
   }
 
-  std::unordered_map<LogicalObjectId, ObjectState> states_;
+  static void SetHolder(ObjectState* state, DenseIndex worker, Version version) {
+    for (Holder& h : state->held) {
+      if (h.worker == worker) {
+        h.version = version;
+        return;
+      }
+    }
+    state->held.push_back(Holder{worker, version});
+  }
+
+  static void EraseHolder(ObjectState* state, DenseIndex worker) {
+    for (std::size_t i = 0; i < state->held.size(); ++i) {
+      if (state->held[i].worker == worker) {
+        state->held[i] = state->held.back();
+        state->held.pop_back();
+        return;
+      }
+    }
+  }
+
+  // Interners are mutable: assigning a dense index to a never-seen id observes no state
+  // (every new slot is exists=false), and compiled plans must be able to intern through the
+  // const references the validation path carries.
+  mutable Interner<LogicalObjectId> objects_;
+  mutable Interner<WorkerId> workers_;
+  mutable DenseMap<ObjectState> states_;  // by dense object id; mutable only for slot growth
+  std::size_t live_objects_ = 0;
+  std::uint64_t uid_;
 };
 
 }  // namespace nimbus

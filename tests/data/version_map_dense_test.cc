@@ -1,0 +1,170 @@
+// Regression tests for the dense-id VersionMap refactor: the array-backed implementation
+// must be observably equivalent to the unordered_map-of-unordered_maps it replaced, and its
+// dense fast path must agree with the sparse API it shadows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/data/version_map.h"
+
+namespace nimbus {
+namespace {
+
+std::vector<WorkerId> Sorted(std::vector<WorkerId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(VersionMapDenseTest, DropWorkerMatchesLegacyBehavior) {
+  VersionMap vm;
+  vm.CreateObject(LogicalObjectId(1), WorkerId(0));
+  vm.CreateObject(LogicalObjectId(2), WorkerId(1));
+  vm.RecordCopyToLatest(LogicalObjectId(1), WorkerId(1));
+  vm.RecordCopyToLatest(LogicalObjectId(1), WorkerId(2));
+  EXPECT_EQ(vm.instance_count(), 4u);
+
+  vm.DropWorker(WorkerId(1));
+  EXPECT_EQ(vm.instance_count(), 2u);
+  EXPECT_FALSE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(1)));
+  EXPECT_TRUE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(0)));
+  EXPECT_TRUE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(2)));
+  // Object 2 lost its only replica.
+  EXPECT_FALSE(vm.AnyLatestHolder(LogicalObjectId(2)).valid());
+  EXPECT_TRUE(vm.LatestHolders(LogicalObjectId(2)).empty());
+
+  // Dropping a worker the map has never seen is a no-op, not a crash.
+  vm.DropWorker(WorkerId(99));
+  EXPECT_EQ(vm.instance_count(), 2u);
+
+  // The dropped worker can come back and hold fresh instances.
+  vm.RecordWrite(LogicalObjectId(1), WorkerId(1));
+  EXPECT_TRUE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(1)));
+  EXPECT_FALSE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(0)));
+}
+
+TEST(VersionMapDenseTest, LatestHoldersListsExactlyTheLatestReplicas) {
+  VersionMap vm;
+  vm.CreateObject(LogicalObjectId(5), WorkerId(0));
+  vm.RecordWrite(LogicalObjectId(5), WorkerId(0));
+  vm.RecordCopyToLatest(LogicalObjectId(5), WorkerId(2));
+  vm.RecordCopyToLatest(LogicalObjectId(5), WorkerId(4));
+  EXPECT_EQ(Sorted(vm.LatestHolders(LogicalObjectId(5))),
+            (std::vector<WorkerId>{WorkerId(0), WorkerId(2), WorkerId(4)}));
+
+  // A new write leaves the other replicas stale but still tracked as instances.
+  vm.RecordWrite(LogicalObjectId(5), WorkerId(2));
+  EXPECT_EQ(Sorted(vm.LatestHolders(LogicalObjectId(5))), (std::vector<WorkerId>{WorkerId(2)}));
+  EXPECT_EQ(vm.instance_count(), 3u);
+  EXPECT_EQ(vm.AnyLatestHolder(LogicalObjectId(5)), WorkerId(2));
+}
+
+TEST(VersionMapDenseTest, SnapshotRestoreRoundTripPreservesAllState) {
+  VersionMap vm;
+  vm.CreateObject(LogicalObjectId(1), WorkerId(0));
+  vm.CreateObject(LogicalObjectId(2), WorkerId(1));
+  vm.RecordWrite(LogicalObjectId(1), WorkerId(0));
+  vm.RecordWrite(LogicalObjectId(1), WorkerId(0));
+  vm.RecordCopyToLatest(LogicalObjectId(1), WorkerId(1));
+
+  const VersionMap::SnapshotState snapshot = vm.Snapshot();
+
+  // Diverge: more writes, a new object, a destroyed object.
+  vm.RecordWrite(LogicalObjectId(1), WorkerId(2));
+  vm.DestroyObject(LogicalObjectId(2));
+  vm.CreateObject(LogicalObjectId(3), WorkerId(0));
+  EXPECT_EQ(vm.object_count(), 2u);
+
+  vm.Restore(snapshot);
+  EXPECT_EQ(vm.object_count(), 2u);
+  EXPECT_TRUE(vm.Exists(LogicalObjectId(1)));
+  EXPECT_TRUE(vm.Exists(LogicalObjectId(2)));
+  EXPECT_FALSE(vm.Exists(LogicalObjectId(3)));
+  EXPECT_EQ(vm.latest(LogicalObjectId(1)), 2u);
+  EXPECT_TRUE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(0)));
+  EXPECT_TRUE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(1)));
+  EXPECT_FALSE(vm.WorkerHasLatest(LogicalObjectId(1), WorkerId(2)));
+  EXPECT_EQ(vm.latest(LogicalObjectId(2)), 0u);
+  EXPECT_EQ(vm.instance_count(), 3u);
+}
+
+TEST(VersionMapDenseTest, DenseIndicesAreStableAcrossRestoreAndDestroy) {
+  VersionMap vm;
+  vm.CreateObject(LogicalObjectId(7), WorkerId(0));
+  const DenseIndex obj = vm.InternObject(LogicalObjectId(7));
+  const DenseIndex w0 = vm.InternWorker(WorkerId(0));
+
+  const VersionMap::SnapshotState snapshot = vm.Snapshot();
+  vm.RecordWrite(LogicalObjectId(7), WorkerId(1));
+  vm.Restore(snapshot);
+
+  // Compiled plans cache dense ids for the map's lifetime: they must survive restore.
+  EXPECT_EQ(vm.InternObject(LogicalObjectId(7)), obj);
+  EXPECT_EQ(vm.InternWorker(WorkerId(0)), w0);
+  EXPECT_TRUE(vm.ExistsDense(obj));
+  EXPECT_TRUE(vm.WorkerHasLatestDense(obj, w0));
+
+  // Destroy keeps the slot allocated (dense id never reused) but empty.
+  vm.DestroyObject(LogicalObjectId(7));
+  EXPECT_EQ(vm.InternObject(LogicalObjectId(7)), obj);
+  EXPECT_FALSE(vm.ExistsDense(obj));
+  EXPECT_EQ(vm.object_count(), 0u);
+
+  // Recreating starts a fresh version history in the same slot.
+  vm.CreateObject(LogicalObjectId(7), WorkerId(2));
+  EXPECT_EQ(vm.latest(LogicalObjectId(7)), 0u);
+  EXPECT_EQ(vm.LatestHolders(LogicalObjectId(7)), (std::vector<WorkerId>{WorkerId(2)}));
+}
+
+TEST(VersionMapDenseTest, DenseFastPathAgreesWithSparseApi) {
+  VersionMap dense;
+  VersionMap sparse;
+  for (auto* vm : {&dense, &sparse}) {
+    vm->CreateObject(LogicalObjectId(1), WorkerId(0));
+    vm->CreateObject(LogicalObjectId(2), WorkerId(1));
+  }
+
+  // Dense side: one AdvanceVersionsDense(3) + copy. Sparse side: three RecordWrite + copy.
+  const DenseIndex obj = dense.InternObject(LogicalObjectId(1));
+  const DenseIndex w0 = dense.InternWorker(WorkerId(0));
+  const DenseIndex w1 = dense.InternWorker(WorkerId(1));
+  dense.AdvanceVersionsDense(obj, w0, 3);
+  dense.RecordCopyToLatestDense(obj, w1);
+
+  for (int i = 0; i < 3; ++i) {
+    sparse.RecordWrite(LogicalObjectId(1), WorkerId(0));
+  }
+  sparse.RecordCopyToLatest(LogicalObjectId(1), WorkerId(1));
+
+  for (auto* vm : {&dense, &sparse}) {
+    EXPECT_EQ(vm->latest(LogicalObjectId(1)), 3u);
+    EXPECT_EQ(Sorted(vm->LatestHolders(LogicalObjectId(1))),
+              (std::vector<WorkerId>{WorkerId(0), WorkerId(1)}));
+    EXPECT_EQ(vm->instance_count(), 3u);
+  }
+
+  // CreateObjectDense on a slot interned before creation behaves like CreateObject.
+  const DenseIndex fresh = dense.InternObject(LogicalObjectId(9));
+  EXPECT_FALSE(dense.ExistsDense(fresh));
+  dense.CreateObjectDense(fresh, w1);
+  EXPECT_TRUE(dense.Exists(LogicalObjectId(9)));
+  EXPECT_TRUE(dense.WorkerHasLatest(LogicalObjectId(9), WorkerId(1)));
+}
+
+TEST(VersionMapDenseTest, CopiesGetFreshUidsSoCachedPlansCannotAlias) {
+  VersionMap a;
+  a.CreateObject(LogicalObjectId(1), WorkerId(0));
+  VersionMap b = a;
+  EXPECT_NE(a.uid(), b.uid());
+  // The copy carries the same interned state...
+  EXPECT_EQ(b.InternObject(LogicalObjectId(1)), a.InternObject(LogicalObjectId(1)));
+  EXPECT_TRUE(b.Exists(LogicalObjectId(1)));
+  // ...but diverges independently.
+  b.RecordWrite(LogicalObjectId(1), WorkerId(1));
+  EXPECT_EQ(a.latest(LogicalObjectId(1)), 0u);
+  EXPECT_EQ(b.latest(LogicalObjectId(1)), 1u);
+}
+
+}  // namespace
+}  // namespace nimbus
