@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/common/stats.h"
 
 namespace nimbus::bench {
 namespace {
@@ -97,6 +98,11 @@ void BM_ResolvePatchCacheHit(benchmark::State& state) {
   }
   state.counters["cache_hit"] = hit ? 1 : 0;
   state.counters["directives"] = static_cast<double>(first.size());
+  const CacheCounters& cc = block->manager.patch_cache().counters();
+  state.counters["cache_hits"] = static_cast<double>(cc.hits);
+  state.counters["cache_misses"] = static_cast<double>(cc.misses);
+  state.counters["cache_evictions"] = static_cast<double>(cc.evictions);
+  state.counters["cache_hit_rate"] = cc.HitRate();
 }
 BENCHMARK(BM_ResolvePatchCacheHit)->Unit(benchmark::kMillisecond);
 

@@ -17,6 +17,7 @@
 #define NIMBUS_SRC_COMMON_DENSE_ID_H_
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -91,6 +92,58 @@ class DenseMap {
 
  private:
   std::vector<T> values_;
+};
+
+// Per-sequence state keyed by a monotonically increasing uint64 (group sequence numbers).
+// Entries live in a deque addressed by (seq - base); sequences complete roughly in issue
+// order, so the window stays small and lookups are O(1) with no hashing. A slot whose value
+// is value-initialized counts as absent; Retire() compacts the done prefix.
+template <typename T>
+class SeqWindow {
+ public:
+  // Returns the slot for `seq`, growing the window as needed. `seq` must not precede the
+  // retired prefix (sequence numbers are issued in increasing order).
+  T& Slot(std::uint64_t seq) {
+    NIMBUS_CHECK_GE(seq, base_) << "sequence re-registered after retirement";
+    if (entries_.empty()) {
+      base_ = seq;
+    }
+    const std::uint64_t offset = seq - base_;
+    if (offset >= entries_.size()) {
+      entries_.resize(static_cast<std::size_t>(offset) + 1);
+    }
+    return entries_[static_cast<std::size_t>(offset)];
+  }
+
+  // The slot for `seq`, or nullptr if it was never created or already retired.
+  T* Find(std::uint64_t seq) {
+    if (seq < base_ || seq - base_ >= entries_.size()) {
+      return nullptr;
+    }
+    return &entries_[static_cast<std::size_t>(seq - base_)];
+  }
+
+  // Pops value-initialized (done/absent) slots from the front so the window tracks only
+  // live sequences. Call after clearing a slot.
+  void Retire() {
+    while (!entries_.empty() && entries_.front() == T{}) {
+      entries_.pop_front();
+      ++base_;
+    }
+  }
+
+  void Clear() {
+    base_ += entries_.size();
+    entries_.clear();
+  }
+
+  std::uint64_t base() const { return base_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::uint64_t base_ = 0;
+  std::deque<T> entries_;
 };
 
 // A growable bitset over dense indices; one test/set is one word operation.

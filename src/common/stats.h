@@ -6,9 +6,24 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace nimbus {
+
+// Hit/miss/eviction counters for the control plane's caches (patch cache, projection
+// cache...). Benchmarks export these through their reporters; examples print HitRate().
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+  void Clear() { *this = CacheCounters{}; }
+};
 
 // Accumulates samples and answers summary queries. Percentile queries sort a copy lazily.
 class SampleStats {

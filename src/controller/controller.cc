@@ -4,14 +4,6 @@
 
 namespace nimbus {
 
-namespace {
-
-CopyId MakeCopyId(std::uint64_t group_seq, std::int32_t copy_index) {
-  return CopyId((group_seq << 24) | static_cast<std::uint64_t>(copy_index));
-}
-
-}  // namespace
-
 NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* network,
                                    const sim::CostModel* costs, ObjectDirectory* directory,
                                    DurableStore* durable, sim::TraceRecorder* trace,
@@ -31,19 +23,50 @@ NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* ne
 
 void NimbusController::AttachWorker(Worker* worker) {
   workers_.push_back(worker);
-  last_heard_[worker->id()] = simulation_->now();
+  const DenseIndex index = worker_ids_.Intern(worker->id());
+  worker_records_.EnsureSize(worker_ids_.size());
+  WorkerRecord& record = worker_records_[index];
+  record.worker = worker;
+  record.last_heard = simulation_->now();
+  // A worker attached after failure detection was armed joins liveness accounting
+  // immediately — otherwise its death would go unnoticed forever.
+  if (failure_detection_) {
+    worker->StartHeartbeats(heartbeat_period_);
+    record.heartbeat_tracked = true;
+  }
+}
+
+NimbusController::WorkerRecord* NimbusController::RecordFor(WorkerId id) {
+  const DenseIndex index = worker_ids_.Find(id);
+  return index == kInvalidDenseIndex ? nullptr : &worker_records_[index];
+}
+
+const NimbusController::WorkerRecord* NimbusController::RecordFor(WorkerId id) const {
+  const DenseIndex index = worker_ids_.Find(id);
+  return index == kInvalidDenseIndex ? nullptr : &worker_records_[index];
 }
 
 void NimbusController::RevokeWorkers(const std::vector<WorkerId>& workers) {
   for (WorkerId w : workers) {
-    revoked_.insert(w);
+    if (WorkerRecord* record = RecordFor(w)) {
+      record->revoked = true;
+      record->heartbeat_tracked = false;
+    }
   }
   Rebalance();
 }
 
 void NimbusController::RestoreWorkers(const std::vector<WorkerId>& workers) {
   for (WorkerId w : workers) {
-    revoked_.erase(w);
+    WorkerRecord* record = RecordFor(w);
+    if (record == nullptr) {
+      continue;
+    }
+    record->revoked = false;
+    // Liveness restarts now: the stale pre-revocation timestamp must not count against a
+    // worker that was silent (legitimately) while out of the allocation.
+    record->last_heard = simulation_->now();
+    record->heartbeat_tracked = failure_detection_ && !record->failed;
   }
   Rebalance();
 }
@@ -51,7 +74,8 @@ void NimbusController::RestoreWorkers(const std::vector<WorkerId>& workers) {
 std::vector<WorkerId> NimbusController::ActiveWorkers() const {
   std::vector<WorkerId> out;
   for (const Worker* w : workers_) {
-    if (revoked_.count(w->id()) == 0 && failed_.count(w->id()) == 0) {
+    const WorkerRecord* record = RecordFor(w->id());
+    if (record != nullptr && !record->revoked && !record->failed) {
       out.push_back(w->id());
     }
   }
@@ -59,21 +83,13 @@ std::vector<WorkerId> NimbusController::ActiveWorkers() const {
 }
 
 Worker* NimbusController::FindWorker(WorkerId id) {
-  for (Worker* w : workers_) {
-    if (w->id() == id) {
-      return w;
-    }
-  }
-  return nullptr;
+  WorkerRecord* record = RecordFor(id);
+  return record == nullptr ? nullptr : record->worker;
 }
 
 const Worker* NimbusController::worker(WorkerId id) const {
-  for (const Worker* w : workers_) {
-    if (w->id() == id) {
-      return w;
-    }
-  }
-  return nullptr;
+  const WorkerRecord* record = RecordFor(id);
+  return record == nullptr ? nullptr : record->worker;
 }
 
 void NimbusController::SetPartitions(int partitions) {
@@ -92,6 +108,15 @@ void NimbusController::Rebalance() {
 VariableId NimbusController::DefineVariable(const std::string& name, int variable_partitions,
                                             std::int64_t virtual_bytes_per_partition) {
   return directory_->DefineVariable(name, variable_partitions, virtual_bytes_per_partition);
+}
+
+NimbusController::SetState& NimbusController::StateFor(WorkerTemplateId id) {
+  // Worker-template ids are allocated contiguously from 0 by the template manager, so the
+  // id value doubles as the dense index.
+  NIMBUS_CHECK(id.valid());
+  const auto index = static_cast<DenseIndex>(id.value());
+  set_states_.EnsureSize(index + 1);
+  return set_states_[index];
 }
 
 std::int64_t NimbusController::ObjectBytes(LogicalObjectId object) const {
@@ -114,27 +139,37 @@ NimbusController::PendingBlock* NimbusController::NewPendingBlock(BlockDone done
   return out;
 }
 
+void NimbusController::RegisterGroup(std::uint64_t seq, PendingBlock* block,
+                                     int participating) {
+  block->outstanding_groups.push_back(seq);
+  GroupTracker& tracker = groups_.Slot(seq);
+  tracker.block = block;
+  tracker.remaining = participating;
+}
+
 void NimbusController::OnGroupComplete(WorkerId worker_id, std::uint64_t seq,
                                        std::vector<ScalarResult> scalars) {
-  last_heard_[worker_id] = simulation_->now();
-  auto it = group_to_block_.find(seq);
-  if (it == group_to_block_.end()) {
+  if (WorkerRecord* record = RecordFor(worker_id); record != nullptr && !record->failed) {
+    record->last_heard = simulation_->now();
+  }
+  GroupTracker* tracker = groups_.Find(seq);
+  if (tracker == nullptr || tracker->block == nullptr) {
     return;  // stale (pre-recovery) groups are untracked
   }
-  PendingBlock* block = it->second;
+  PendingBlock* block = tracker->block;
   for (ScalarResult& s : scalars) {
     block->scalars.push_back(s);
   }
   // The same seq is shared by all workers participating in a block group: wait for all.
-  auto rit = seq_remaining_.find(seq);
-  NIMBUS_CHECK(rit != seq_remaining_.end());
-  if (--rit->second > 0) {
+  if (--tracker->remaining > 0) {
     return;
   }
-  seq_remaining_.erase(rit);
-  group_to_block_.erase(it);
-  block->outstanding_groups.erase(seq);
-  if (block->outstanding_groups.empty() && block->done) {
+  *tracker = GroupTracker{};
+  groups_.Retire();
+  auto& outstanding = block->outstanding_groups;
+  outstanding.erase(std::remove(outstanding.begin(), outstanding.end(), seq),
+                    outstanding.end());
+  if (outstanding.empty() && block->done) {
     BlockDone done = std::move(block->done);
     block->done = nullptr;
     std::vector<ScalarResult> collected = std::move(block->scalars);
@@ -157,10 +192,11 @@ void NimbusController::ErasePendingBlock(PendingBlock* block) {
 // -----------------------------------------------------------------------------------------
 
 void NimbusController::EnsureObjectsExist(const core::WorkerTemplateSet& set) {
-  for (const core::WriteDelta& delta : set.write_deltas()) {
-    if (!versions_.Exists(delta.object)) {
-      NIMBUS_CHECK(!delta.final_holders.empty());
-      versions_.CreateObject(delta.object, delta.final_holders.front());
+  // One sweep over the compiled write deltas: existence probes and creation are flat array
+  // operations in the version map's dense id space.
+  for (const auto& delta : set.CompiledFor(versions_).write_deltas) {
+    if (!versions_.ExistsDense(delta.object)) {
+      versions_.CreateObjectDense(delta.object, delta.primary_holder);
     }
   }
 }
@@ -324,11 +360,8 @@ void NimbusController::DispatchSetCentrally(
     }
   }
   if (participating > 0) {
-    block->outstanding_groups.insert(seq);
-    group_to_block_[seq] = block;
     // Every participating worker reports completion for `seq`; we need all of them.
-    // Track via a per-seq countdown embedded in group_to_block_: emulate by counting.
-    seq_remaining_[seq] = participating;
+    RegisterGroup(seq, block, participating);
   }
 }
 
@@ -398,9 +431,7 @@ void NimbusController::DispatchPatch(const core::Patch& patch, PendingBlock* blo
   }
 
   if (participating > 0) {
-    block->outstanding_groups.insert(seq);
-    group_to_block_[seq] = block;
-    seq_remaining_[seq] = participating;
+    RegisterGroup(seq, block, participating);
   }
 }
 
@@ -435,7 +466,7 @@ void NimbusController::InstantiateTemplate(
   // iteration 11).
   bool newly = false;
   core::WorkerTemplateSet* set = templates_.GetOrProject(tid, assignment_, BytesFn(), &newly);
-  SetState& state = set_states_[set->id()];
+  SetState& state = StateFor(set->id());
   if (newly) {
     control_thread_.Charge(costs_->install_worker_template_controller_per_task *
                            static_cast<sim::Duration>(tmpl->task_count()));
@@ -579,9 +610,7 @@ void NimbusController::InstantiateSet(
   tasks_dispatched_ += n_tasks;
 
   if (participating > 0) {
-    block->outstanding_groups.insert(seq);
-    group_to_block_[seq] = block;
-    seq_remaining_[seq] = participating;
+    RegisterGroup(seq, block, participating);
   } else if (block->done) {
     BlockDone cb = std::move(block->done);
     block->done = nullptr;
@@ -611,7 +640,7 @@ void NimbusController::PlanRandomMigrations(const std::string& name, int count, 
     return;
   }
 
-  SetState& state = set_states_[set->id()];
+  SetState& state = StateFor(set->id());
   const auto n_entries = static_cast<std::int64_t>(set->entry_meta().size());
   const std::vector<WorkerId> active = ActiveWorkers();
   NIMBUS_CHECK_GE(active.size(), 2u);
@@ -667,7 +696,7 @@ bool NimbusController::PlanRemoveTask(const std::string& name, std::int32_t glob
   if (plan.tasks_touched == 0) {
     return false;
   }
-  SetState& state = set_states_[set->id()];
+  SetState& state = StateFor(set->id());
   for (auto& [worker_id, ops_in] : plan.per_worker) {
     auto* ops = state.pending_edits.OpsFor(worker_id);
     ops->insert(ops->end(), ops_in.begin(), ops_in.end());
@@ -693,7 +722,7 @@ void NimbusController::PlanAddTask(const std::string& name, WorkerId worker,
   core::EditPlan plan = templates_.PlanAddTask(set, worker, function,
                                                std::move(read_objects),
                                                std::move(write_objects), duration);
-  SetState& state = set_states_[set->id()];
+  SetState& state = StateFor(set->id());
   for (auto& [worker_id, ops_in] : plan.per_worker) {
     auto* ops = state.pending_edits.OpsFor(worker_id);
     ops->insert(ops->end(), ops_in.begin(), ops_in.end());
@@ -751,9 +780,7 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
                    });
   }
   if (participating > 0) {
-    block->outstanding_groups.insert(seq);
-    group_to_block_[seq] = block;
-    seq_remaining_[seq] = participating;
+    RegisterGroup(seq, block, participating);
   } else if (block->done) {
     BlockDone cb = std::move(block->done);
     block->done = nullptr;
@@ -764,10 +791,16 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
 void NimbusController::EnableFailureDetection(sim::Duration heartbeat_period,
                                               sim::Duration timeout) {
   failure_detection_ = true;
+  heartbeat_period_ = heartbeat_period;
   heartbeat_timeout_ = timeout;
   for (Worker* w : workers_) {
+    WorkerRecord* record = RecordFor(w->id());
+    if (record == nullptr || record->failed) {
+      continue;  // a dead worker must not re-enter liveness accounting
+    }
     w->StartHeartbeats(heartbeat_period);
-    last_heard_[w->id()] = simulation_->now();
+    record->last_heard = simulation_->now();
+    record->heartbeat_tracked = !record->revoked;
   }
   simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
 }
@@ -776,13 +809,15 @@ void NimbusController::CheckHeartbeats() {
   if (!failure_detection_) {
     return;
   }
-  for (Worker* w : workers_) {
-    if (failed_.count(w->id()) > 0 || revoked_.count(w->id()) > 0) {
+  for (const WorkerRecord& record : worker_records_) {
+    if (record.worker == nullptr || record.failed || record.revoked ||
+        !record.heartbeat_tracked) {
       continue;
     }
-    if (simulation_->now() - last_heard_[w->id()] > heartbeat_timeout_) {
-      NIMBUS_LOG(Info) << "worker " << w->id() << " missed heartbeats; starting recovery";
-      OnWorkerFailed(w->id());
+    if (simulation_->now() - record.last_heard > heartbeat_timeout_) {
+      NIMBUS_LOG(Info) << "worker " << record.worker->id()
+                       << " missed heartbeats; starting recovery";
+      OnWorkerFailed(record.worker->id());
       return;  // recovery re-arms the check
     }
   }
@@ -790,7 +825,16 @@ void NimbusController::CheckHeartbeats() {
 }
 
 void NimbusController::OnHeartbeat(WorkerId worker_id) {
-  last_heard_[worker_id] = simulation_->now();
+  // Heartbeats from failed workers are stale by definition (detection already fired or the
+  // failure was injected); letting them refresh liveness would resurrect a dead worker.
+  if (WorkerRecord* record = RecordFor(worker_id); record != nullptr && !record->failed) {
+    record->last_heard = simulation_->now();
+  }
+}
+
+bool NimbusController::HeartbeatTracked(WorkerId worker_id) const {
+  const WorkerRecord* record = RecordFor(worker_id);
+  return record != nullptr && record->heartbeat_tracked;
 }
 
 void NimbusController::OnWorkerFailed(WorkerId worker_id) {
@@ -798,19 +842,24 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
     return;
   }
   recovering_ = true;
-  failed_.insert(worker_id);
+  if (WorkerRecord* record = RecordFor(worker_id)) {
+    record->failed = true;
+    // Evict the liveness entry: a dead worker must not look live to heartbeat accounting.
+    record->heartbeat_tracked = false;
+    record->last_heard = 0;
+  }
   versions_.DropWorker(worker_id);
 
   // Abandon all in-flight blocks: the driver reruns from the checkpoint marker.
-  group_to_block_.clear();
-  seq_remaining_.clear();
+  groups_.Clear();
   for (auto& block : pending_blocks_) {
     block->done = nullptr;
   }
 
   // Halt every surviving worker (paper §4.4: terminate tasks, flush queues).
   for (Worker* w : workers_) {
-    if (failed_.count(w->id()) > 0) {
+    const WorkerRecord* record = RecordFor(w->id());
+    if (record == nullptr || record->failed) {
       continue;
     }
     network_->Send(sim::kControllerAddress, w->address(), 16, [w]() { w->OnHalt(); });
@@ -862,9 +911,7 @@ void NimbusController::RunRecovery() {
                    });
   }
   NIMBUS_CHECK_GT(participating, 0);
-  block->outstanding_groups.insert(seq);
-  group_to_block_[seq] = block;
-  seq_remaining_[seq] = participating;
+  RegisterGroup(seq, block, participating);
 }
 
 }  // namespace nimbus

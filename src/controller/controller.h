@@ -20,10 +20,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/core/template_manager.h"
@@ -128,6 +128,10 @@ class NimbusController {
   void OnGroupComplete(WorkerId worker, std::uint64_t seq, std::vector<ScalarResult> scalars);
   void OnHeartbeat(WorkerId worker);
 
+  // Whether `worker` participates in heartbeat timeout accounting. Failed and revoked
+  // workers are untracked (regression surface for stale-liveness bugs).
+  bool HeartbeatTracked(WorkerId worker) const;
+
   // ---- Introspection ----
   const VersionMap& versions() const { return versions_; }
   core::TemplateManager& templates() { return templates_; }
@@ -139,7 +143,8 @@ class NimbusController {
 
  private:
   struct PendingBlock {
-    std::unordered_set<std::uint64_t> outstanding_groups;
+    // A block spans at most a handful of groups: a flat vector beats any hashed set.
+    std::vector<std::uint64_t> outstanding_groups;
     std::vector<ScalarResult> scalars;
     BlockDone done;
   };
@@ -150,6 +155,27 @@ class NimbusController {
     core::EditPlan pending_edits;
   };
 
+  // Completion tracking for one dispatched group; lives in a SeqWindow addressed by the
+  // monotonically increasing group sequence (no hashing on the completion path). A
+  // value-initialized tracker marks a finished/untracked slot.
+  struct GroupTracker {
+    PendingBlock* block = nullptr;
+    int remaining = 0;  // workers that still have to report completion
+
+    friend bool operator==(const GroupTracker& a, const GroupTracker& b) {
+      return a.block == b.block && a.remaining == b.remaining;
+    }
+  };
+
+  // One attached worker's control-plane record, in a flat array by dense worker id.
+  struct WorkerRecord {
+    Worker* worker = nullptr;
+    sim::TimePoint last_heard = 0;
+    bool revoked = false;          // temporarily out of the allocation
+    bool failed = false;
+    bool heartbeat_tracked = false;  // participates in timeout accounting
+  };
+
   struct CheckpointState {
     std::uint64_t driver_marker = 0;
     VersionMap::SnapshotState version_snapshot;
@@ -157,6 +183,10 @@ class NimbusController {
   };
 
   Worker* FindWorker(WorkerId id);
+  WorkerRecord* RecordFor(WorkerId id);
+  const WorkerRecord* RecordFor(WorkerId id) const;
+  SetState& StateFor(WorkerTemplateId id);
+  void RegisterGroup(std::uint64_t seq, PendingBlock* block, int participating);
   std::int64_t ObjectBytes(LogicalObjectId object) const;
   core::ObjectBytesFn BytesFn() const;
 
@@ -208,27 +238,29 @@ class NimbusController {
 
   int partitions_ = 0;
   core::Assignment assignment_;
-  std::vector<Worker*> workers_;            // all attached
-  std::unordered_set<WorkerId> revoked_;    // temporarily out of the allocation
-  std::unordered_set<WorkerId> failed_;
+  std::vector<Worker*> workers_;  // all attached, in attachment order
+  // Dense worker table: liveness, revocation, and heartbeat state in one flat array.
+  Interner<WorkerId> worker_ids_;
+  DenseMap<WorkerRecord> worker_records_;
 
   std::uint64_t next_group_seq_ = 1;
-  std::unordered_map<std::uint64_t, PendingBlock*> group_to_block_;
-  // How many workers still have to report completion for each group seq.
-  std::unordered_map<std::uint64_t, int> seq_remaining_;
+  // In-flight group completion trackers, windowed by group seq.
+  SeqWindow<GroupTracker> groups_;
   std::vector<std::unique_ptr<PendingBlock>> pending_blocks_;
 
-  std::unordered_map<WorkerTemplateId, SetState> set_states_;
+  // Per-worker-template-set state, indexed by id value (allocated contiguously from 0 by
+  // templates_.worker_template_ids()).
+  DenseMap<SetState> set_states_;
   std::uint64_t prev_executed_ = core::PatchCache::kEntryFromOutside;
 
   CheckpointState checkpoint_;
   std::function<void(std::uint64_t)> recovery_handler_;
   bool recovering_ = false;
 
-  // Heartbeat-based failure detection.
+  // Heartbeat-based failure detection (per-worker liveness lives in worker_records_).
   bool failure_detection_ = false;
+  sim::Duration heartbeat_period_ = 0;
   sim::Duration heartbeat_timeout_ = 0;
-  std::unordered_map<WorkerId, sim::TimePoint> last_heard_;
 
   std::uint64_t tasks_dispatched_ = 0;
   std::uint64_t tasks_via_templates_ = 0;

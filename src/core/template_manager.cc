@@ -129,8 +129,11 @@ Patch TemplateManager::ResolvePatch(const WorkerTemplateSet& set, std::uint64_t 
   if (required.empty()) {
     return Patch{};
   }
-  const Patch* cached = patch_cache_.Lookup(prev_executed, set.id());
-  if (cached != nullptr && PatchStillCorrect(*cached, required, versions)) {
+  // Reuse is confirmed entirely in dense id space: epoch/generation stamps plus
+  // O(directives) coverage and source probes (no PatchStillCorrect fallback).
+  const Patch* cached =
+      patch_cache_.Reusable(prev_executed, set.id(), required, set.generation(), versions);
+  if (cached != nullptr) {
     patch_cache_.RecordHit();
     if (cache_hit != nullptr) {
       *cache_hit = true;
@@ -140,7 +143,7 @@ Patch TemplateManager::ResolvePatch(const WorkerTemplateSet& set, std::uint64_t 
   patch_cache_.RecordMiss();
   Patch fresh;
   fresh.directives = std::move(required);
-  patch_cache_.Store(prev_executed, set.id(), fresh);
+  patch_cache_.Store(prev_executed, set.id(), fresh, set.generation(), versions);
   return fresh;
 }
 

@@ -120,6 +120,7 @@ class TemplateManager {
                        std::vector<LogicalObjectId> writes, sim::Duration duration);
 
   const PatchCache& patch_cache() const { return patch_cache_; }
+  PatchCache& mutable_patch_cache() { return patch_cache_; }
   std::size_t template_count() const { return templates_.size(); }
   std::size_t projection_count() const { return projections_.size(); }
   IdAllocator<WorkerTemplateId>& worker_template_ids() { return worker_template_ids_; }

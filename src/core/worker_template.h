@@ -352,6 +352,10 @@ class WorkerTemplateSet {
   std::int32_t copy_count() const { return copy_count_; }
   bool self_validating() const { return self_validating_; }
 
+  // Edit generation: bumped by every mutation that can change preconditions, write deltas,
+  // or object bytes. Keys the compiled plan below and the patch cache (DESIGN.md §6.7).
+  std::uint64_t generation() const { return generation_; }
+
   // Object virtual sizes for the network model (captured at projection).
   std::int64_t ObjectBytes(LogicalObjectId object) const {
     auto it = object_bytes_.find(object);

@@ -4,6 +4,11 @@
 // coeff, param...). Each partition of each variable is one *logical object*; logical objects
 // are the unit of placement, versioning and copying. Because objects are mutable (paper
 // §3.3), object ids are stable across iterations and can be cached inside templates.
+//
+// Layout (DESIGN.md §6.6): the directory allocates VariableId/LogicalObjectId itself,
+// contiguously from 0, so the id value *is* the dense index — per-id state lives in flat
+// arrays and every lookup is one bounds-checked array access. The sparse accessors below
+// are thin shims over those arrays; only the name lookup (cold, driver-facing) hashes.
 
 #ifndef NIMBUS_SRC_DATA_OBJECT_DIRECTORY_H_
 #define NIMBUS_SRC_DATA_OBJECT_DIRECTORY_H_
@@ -13,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/logging.h"
 
@@ -50,24 +56,35 @@ class ObjectDirectory {
     for (int p = 0; p < partitions; ++p) {
       const LogicalObjectId obj = object_ids_.Next();
       info.objects.push_back(obj);
-      objects_.emplace(obj,
-                       LogicalObjectInfo{obj, var, p, virtual_bytes_per_partition});
+      objects_.push_back(LogicalObjectInfo{obj, var, p, virtual_bytes_per_partition});
     }
     name_to_variable_.emplace(name, var);
-    variables_.emplace(var, std::move(info));
+    variables_.push_back(std::move(info));
     return var;
   }
 
+  // --- Dense accessors (id value == dense index; the allocator guarantees contiguity) ---
+
+  const VariableInfo& VariableAt(DenseIndex index) const {
+    NIMBUS_CHECK_LT(index, variables_.size());
+    return variables_[index];
+  }
+
+  const LogicalObjectInfo& ObjectAt(DenseIndex index) const {
+    NIMBUS_CHECK_LT(index, objects_.size());
+    return objects_[index];
+  }
+
+  // --- Sparse shims ---
+
   const VariableInfo& variable(VariableId id) const {
-    auto it = variables_.find(id);
-    NIMBUS_CHECK(it != variables_.end()) << "unknown variable " << id;
-    return it->second;
+    NIMBUS_CHECK(id.valid() && id.value() < variables_.size()) << "unknown variable " << id;
+    return variables_[static_cast<std::size_t>(id.value())];
   }
 
   const LogicalObjectInfo& object(LogicalObjectId id) const {
-    auto it = objects_.find(id);
-    NIMBUS_CHECK(it != objects_.end()) << "unknown object " << id;
-    return it->second;
+    NIMBUS_CHECK(id.valid() && id.value() < objects_.size()) << "unknown object " << id;
+    return objects_[static_cast<std::size_t>(id.value())];
   }
 
   bool HasVariable(const std::string& name) const {
@@ -90,14 +107,14 @@ class ObjectDirectory {
   std::size_t variable_count() const { return variables_.size(); }
   std::size_t object_count() const { return objects_.size(); }
 
-  const std::unordered_map<VariableId, VariableInfo>& variables() const { return variables_; }
+  const std::vector<VariableInfo>& variables() const { return variables_; }
 
  private:
   IdAllocator<VariableId> variable_ids_;
   IdAllocator<LogicalObjectId> object_ids_;
-  std::unordered_map<VariableId, VariableInfo> variables_;
-  std::unordered_map<LogicalObjectId, LogicalObjectInfo> objects_;
-  std::unordered_map<std::string, VariableId> name_to_variable_;
+  std::vector<VariableInfo> variables_;       // indexed by VariableId value
+  std::vector<LogicalObjectInfo> objects_;    // indexed by LogicalObjectId value
+  std::unordered_map<std::string, VariableId> name_to_variable_;  // cold, driver-facing
 };
 
 }  // namespace nimbus

@@ -52,6 +52,7 @@ class VersionMap {
         workers_(other.workers_),
         states_(other.states_),
         live_objects_(other.live_objects_),
+        churn_epoch_(other.churn_epoch_),
         uid_(NextUid()) {}
   VersionMap& operator=(const VersionMap& other) {
     if (this != &other) {
@@ -59,6 +60,7 @@ class VersionMap {
       workers_ = other.workers_;
       states_ = other.states_;
       live_objects_ = other.live_objects_;
+      churn_epoch_ = other.churn_epoch_;
       uid_ = NextUid();
     }
     return *this;
@@ -71,6 +73,7 @@ class VersionMap {
         workers_(std::move(other.workers_)),
         states_(std::move(other.states_)),
         live_objects_(other.live_objects_),
+        churn_epoch_(other.churn_epoch_),
         uid_(other.uid_) {
     other.uid_ = NextUid();
     other.live_objects_ = 0;
@@ -81,6 +84,7 @@ class VersionMap {
       workers_ = std::move(other.workers_);
       states_ = std::move(other.states_);
       live_objects_ = other.live_objects_;
+      churn_epoch_ = other.churn_epoch_;
       uid_ = other.uid_;
       other.uid_ = NextUid();
       other.live_objects_ = 0;
@@ -90,6 +94,14 @@ class VersionMap {
 
   // Identifies this map's dense id space for compiled-plan caching.
   std::uint64_t uid() const { return uid_; }
+
+  // Counts residency churn outside normal block flow: instance drops (worker failure,
+  // eviction), object destruction, and checkpoint restore. Writes and copies recorded by
+  // instantiations do NOT bump it. Cached patches are keyed on this epoch (DESIGN.md §6.7):
+  // within one epoch the residency pattern evolves only through deterministic block
+  // effects, so an epoch mismatch is the cheap "this cache entry may cite vanished
+  // replicas" signal.
+  std::uint64_t churn_epoch() const { return churn_epoch_; }
 
   // --- Dense id interning (logically const: resolving an id observes no state) ---
 
@@ -122,6 +134,7 @@ class VersionMap {
     }
     states_[index] = ObjectState{};  // slot stays allocated; the dense id is never reused
     --live_objects_;
+    ++churn_epoch_;
   }
 
   // Records that a task on `writer` wrote the object: the global version advances and every
@@ -143,6 +156,7 @@ class VersionMap {
       return;
     }
     EraseHolder(&states_[index], w);
+    ++churn_epoch_;
   }
 
   // Drops every instance held by `worker` (worker failure).
@@ -156,6 +170,7 @@ class VersionMap {
         EraseHolder(&state, w);
       }
     }
+    ++churn_epoch_;
   }
 
   Version latest(LogicalObjectId object) const { return states_[ExistingIndex(object)].latest; }
@@ -282,6 +297,7 @@ class VersionMap {
       }
       ++live_objects_;
     }
+    ++churn_epoch_;
   }
 
  private:
@@ -332,6 +348,7 @@ class VersionMap {
   mutable Interner<WorkerId> workers_;
   mutable DenseMap<ObjectState> states_;  // by dense object id; mutable only for slot growth
   std::size_t live_objects_ = 0;
+  std::uint64_t churn_epoch_ = 0;
   std::uint64_t uid_;
 };
 

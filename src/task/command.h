@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/logging.h"
 #include "src/common/serialize.h"
 #include "src/sim/virtual_time.h"
 
@@ -35,6 +36,26 @@ enum class CommandType : std::uint8_t {
 };
 
 const char* CommandTypeName(CommandType type);
+
+// Copy ids are structured: the high bits carry the (globally unique) group sequence number
+// of the command group both halves of the copy pair belong to, the low 24 bits the
+// block-local copy index. Workers rely on this to route an arriving data message to its
+// group with plain integer arithmetic — no id table and no hashing on the copy path.
+inline constexpr int kCopyIndexBits = 24;
+
+inline CopyId MakeCopyId(std::uint64_t group_seq, std::int32_t copy_index) {
+  // The packing is load-bearing (the decode routes data messages): an index overflowing
+  // its field would silently corrupt the group sequence, so fail fast instead.
+  NIMBUS_CHECK(copy_index >= 0 && copy_index < (1 << kCopyIndexBits))
+      << "copy index " << copy_index << " exceeds the copy-id field";
+  return CopyId((group_seq << kCopyIndexBits) | static_cast<std::uint64_t>(copy_index));
+}
+
+inline std::uint64_t CopyGroupSeq(CopyId copy) { return copy.value() >> kCopyIndexBits; }
+
+inline std::int32_t CopyLocalIndex(CopyId copy) {
+  return static_cast<std::int32_t>(copy.value() & ((std::uint64_t{1} << kCopyIndexBits) - 1));
+}
 
 struct Command {
   CommandId id;

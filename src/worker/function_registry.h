@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
@@ -25,19 +26,19 @@ namespace nimbus {
 
 class TaskContext {
  public:
-  TaskContext(ObjectStore* store, std::vector<LogicalObjectId> reads,
-              std::vector<LogicalObjectId> writes, const ParameterBlob* params)
-      : store_(store),
-        reads_(std::move(reads)),
-        writes_(std::move(writes)),
-        params_(params) {}
+  // `reads` and `writes` are the command's read/write sets already resolved to the store's
+  // dense indices (the sparse→dense boundary is the command table, not task execution);
+  // they must outlive the context. Every accessor below is a flat array probe.
+  TaskContext(ObjectStore* store, const std::vector<DenseIndex>* reads,
+              const std::vector<DenseIndex>* writes, const ParameterBlob* params)
+      : store_(store), reads_(reads), writes_(writes), params_(params) {}
 
-  std::size_t read_count() const { return reads_.size(); }
-  std::size_t write_count() const { return writes_.size(); }
+  std::size_t read_count() const { return reads_->size(); }
+  std::size_t write_count() const { return writes_->size(); }
 
   const Payload& read(std::size_t i) const {
-    NIMBUS_CHECK_LT(i, reads_.size());
-    return *store_->Get(reads_[i]);
+    NIMBUS_CHECK_LT(i, reads_->size());
+    return *store_->GetDense((*reads_)[i]);
   }
 
   // Typed read helpers.
@@ -101,17 +102,17 @@ class TaskContext {
  private:
   template <typename Factory>
   Payload* EnsureWrite(std::size_t i, Factory factory) {
-    NIMBUS_CHECK_LT(i, writes_.size());
-    const LogicalObjectId object = writes_[i];
-    if (!store_->Has(object)) {
-      store_->Put(object, 0, factory());
+    NIMBUS_CHECK_LT(i, writes_->size());
+    const DenseIndex object = (*writes_)[i];
+    if (!store_->HasDense(object)) {
+      store_->PutDense(object, 0, factory());
     }
-    return store_->GetMutable(object);
+    return store_->GetMutableDense(object);
   }
 
   ObjectStore* store_;
-  std::vector<LogicalObjectId> reads_;
-  std::vector<LogicalObjectId> writes_;
+  const std::vector<DenseIndex>* reads_;
+  const std::vector<DenseIndex>* writes_;
   const ParameterBlob* params_;
   double scalar_ = 0.0;
   bool has_scalar_ = false;

@@ -4,16 +4,6 @@
 
 namespace nimbus {
 
-namespace {
-
-// Globally-unique copy ids: instantiation/patch group sequence numbers are globally unique
-// and both endpoints of a copy pair derive the same id from (group_seq, copy_index).
-CopyId MakeCopyId(std::uint64_t group_seq, std::int32_t copy_index) {
-  return CopyId((group_seq << 24) | static_cast<std::uint64_t>(copy_index));
-}
-
-}  // namespace
-
 Worker::Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
                const sim::CostModel* costs, const FunctionRegistry* functions,
                DurableStore* durable, WorkerEnv env)
@@ -51,6 +41,7 @@ Worker::Group& Worker::GetOrCreateGroup(std::uint64_t seq, bool barrier) {
       return g;
     }
   }
+  NIMBUS_CHECK_GT(seq, stale_seq_floor_) << "group " << seq << " already finished or halted";
   groups_.push_back(Group{});
   Group& g = groups_.back();
   g.seq = seq;
@@ -58,16 +49,68 @@ Worker::Group& Worker::GetOrCreateGroup(std::uint64_t seq, bool barrier) {
   return g;
 }
 
+Worker::CopySlot& Worker::EnsureCopySlot(Group& group, std::int32_t copy_index) {
+  NIMBUS_CHECK_GE(copy_index, 0);
+  if (static_cast<std::size_t>(copy_index) >= group.copy_slots.size()) {
+    group.copy_slots.resize(static_cast<std::size_t>(copy_index) + 1);
+  }
+  return group.copy_slots[static_cast<std::size_t>(copy_index)];
+}
+
+void Worker::BindReceiveSlot(Group& group, std::int32_t index) {
+  RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
+  NIMBUS_CHECK_EQ(CopyGroupSeq(rc.cmd.copy_id), group.seq)
+      << "copy id " << rc.cmd.copy_id << " does not encode its group";
+  CopySlot& slot = EnsureCopySlot(group, CopyLocalIndex(rc.cmd.copy_id));
+  NIMBUS_CHECK_LT(slot.command, 0) << "duplicate receive for copy " << rc.cmd.copy_id;
+  slot.command = index;
+  // Claim a payload that arrived before this group existed.
+  for (auto it = early_data_.begin(); it != early_data_.end(); ++it) {
+    if (it->copy == rc.cmd.copy_id) {
+      slot.has_data = true;
+      slot.object = it->object;
+      slot.version = it->version;
+      slot.payload = std::move(it->payload);
+      early_data_.erase(it);
+      break;
+    }
+  }
+}
+
+void Worker::ResolveTaskObjects(RuntimeCommand& rc) {
+  switch (rc.cmd.type) {
+    case CommandType::kTask:
+      rc.reads_dense.reserve(rc.cmd.read_set.size());
+      for (LogicalObjectId r : rc.cmd.read_set) {
+        rc.reads_dense.push_back(store_.Intern(r));
+      }
+      rc.writes_dense.reserve(rc.cmd.write_set.size());
+      for (LogicalObjectId w : rc.cmd.write_set) {
+        rc.writes_dense.push_back(store_.Intern(w));
+      }
+      break;
+    case CommandType::kCopySend:
+      rc.object_dense = store_.Intern(rc.cmd.copy_object);
+      break;
+    default:
+      break;
+  }
+}
+
 void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
                         std::size_t expected_total, bool finalize, bool barrier) {
   if (failed_) {
     return;
+  }
+  if (group_seq <= stale_seq_floor_) {
+    return;  // in-flight leftovers of a group that finished or was halted: drop
   }
   const sim::Duration charge =
       costs_->worker_receive_task * static_cast<sim::Duration>(commands.size());
   control_thread_.Charge(charge);
 
   Group& group = GetOrCreateGroup(group_seq, barrier);
+  group.streaming = true;
   for (Command& cmd : commands) {
     AddCommandToGroup(group, std::move(cmd));
   }
@@ -86,95 +129,192 @@ void Worker::OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id) {
   const sim::Duration charge = costs_->install_worker_template_worker_per_task *
                                static_cast<sim::Duration>(half.entries.size());
   control_thread_.Charge(charge);
-  templates_[id] = std::move(half);
+  const DenseIndex index = template_ids_.Intern(id);
+  templates_.EnsureSize(template_ids_.size());
+  CachedTemplate& cached = templates_[index];
+  cached.half = std::move(half);
+  cached.dense.assign(cached.half.entries.size(), CachedTemplate::DenseSets{});
+  cached.installed = true;
+}
+
+std::size_t Worker::cached_template_count() const {
+  std::size_t n = 0;
+  for (const CachedTemplate& t : templates_) {
+    if (t.installed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Worker::HasTemplate(WorkerTemplateId id) const {
+  const DenseIndex index = template_ids_.Find(id);
+  return index != kInvalidDenseIndex && templates_[index].installed;
+}
+
+std::size_t Worker::buffered_copy_count() const {
+  std::size_t n = early_data_.size();
+  for (const Group& g : groups_) {
+    for (const CopySlot& slot : g.copy_slots) {
+      if (slot.has_data) {
+        ++n;
+      }
+    }
+  }
+  return n;
 }
 
 void Worker::OnInstantiate(InstantiateMsg msg) {
   if (failed_) {
     return;
   }
-  auto it = templates_.find(msg.worker_template);
-  NIMBUS_CHECK(it != templates_.end())
+  // The sparse template id is resolved once per message (the intern boundary); everything
+  // past this point runs on dense indices.
+  const DenseIndex tmpl_index = template_ids_.Find(msg.worker_template);
+  NIMBUS_CHECK(tmpl_index != kInvalidDenseIndex && templates_[tmpl_index].installed)
       << "worker " << id_ << " has no cached template " << msg.worker_template;
-  core::WorkerHalf& half = it->second;
+  CachedTemplate& cached = templates_[tmpl_index];
 
-  // Apply piggybacked edits to the cached structure first (paper §4.3).
+  // Apply piggybacked edits to the cached structure first (paper §4.3). Replaced slots
+  // drop their resolved object sets; appended slots start unresolved.
   if (!msg.edits.empty()) {
-    core::ApplyWorkerEditOps(&half, msg.edits);
+    core::ApplyWorkerEditOps(&cached.half, msg.edits);
+    for (const core::WorkerEditOp& op : msg.edits) {
+      if (op.kind == core::WorkerEditOp::Kind::kReplaceWithReceive &&
+          static_cast<std::size_t>(op.index) < cached.dense.size()) {
+        cached.dense[static_cast<std::size_t>(op.index)] = CachedTemplate::DenseSets{};
+      }
+    }
   }
 
   const sim::Duration charge = costs_->instantiate_worker_template_auto_per_task *
-                               static_cast<sim::Duration>(half.entries.size());
+                               static_cast<sim::Duration>(cached.half.entries.size());
 
   // Materialize the cached table into a runnable group after the control-thread charge.
-  control_thread_.Submit(charge, [this, msg = std::move(msg)]() {
-    if (failed_) {
+  // A halt between the charge and the materialization discards the instantiation: its
+  // group belongs to the abandoned pre-halt schedule (halt_epoch_ tracks this).
+  const std::uint64_t epoch = halt_epoch_;
+  control_thread_.Submit(charge, [this, tmpl_index, epoch, msg = std::move(msg)]() {
+    if (failed_ || epoch != halt_epoch_) {
       return;
     }
-    const core::WorkerHalf& tmpl = templates_.at(msg.worker_template);
-    Group& group = GetOrCreateGroup(msg.group_seq, /*barrier=*/true);
-
-    // Sparse parameter lookup by global entry index.
-    std::unordered_map<std::int32_t, const ParameterBlob*> params;
-    params.reserve(msg.params.size());
-    for (const auto& [slot, blob] : msg.params) {
-      params.emplace(slot, &blob);
-    }
-
-    for (std::size_t i = 0; i < tmpl.entries.size(); ++i) {
-      const core::WtEntry& e = tmpl.entries[i];
-      Command cmd;
-      cmd.id = CommandId(msg.command_base.value() + i);
-      for (std::int32_t b : e.before) {
-        cmd.before.push_back(CommandId(msg.command_base.value() + static_cast<std::uint64_t>(b)));
-      }
-      if (e.dead) {
-        cmd.type = CommandType::kDataCreate;  // benign no-op preserving the index
-        AddCommandToGroup(group, std::move(cmd));
-        continue;
-      }
-      cmd.type = e.type;
-      switch (e.type) {
-        case CommandType::kTask: {
-          cmd.function = e.function;
-          cmd.task_id = TaskId(msg.task_base.value() + static_cast<std::uint64_t>(e.global_entry));
-          cmd.duration = e.duration;
-          cmd.returns_scalar = e.returns_scalar;
-          cmd.read_set = e.reads;
-          cmd.write_set = e.writes;
-          auto pit = params.find(e.global_entry);
-          if (pit != params.end()) {
-            cmd.params = *pit->second;
-          } else {
-            cmd.params = e.cached_params;
-          }
-          break;
-        }
-        case CommandType::kCopySend:
-        case CommandType::kCopyReceive: {
-          cmd.copy_id = MakeCopyId(msg.group_seq, e.copy_index);
-          cmd.peer = e.peer;
-          cmd.copy_object = e.object;
-          cmd.copy_bytes = e.bytes;
-          break;
-        }
-        default:
-          cmd.data_object = e.object;
-          break;
-      }
-      AddCommandToGroup(group, std::move(cmd));
-    }
-    group.finalized = true;
-    group.expected_total = tmpl.entries.size();
-    MaybeStartGroups();
-    FinishGroupIfDone(msg.group_seq);
+    MaterializeInstantiation(tmpl_index, msg);
   });
 }
 
+void Worker::MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMsg& msg) {
+  CachedTemplate& cached = templates_[tmpl_index];
+  const std::vector<core::WtEntry>& entries = cached.half.entries;
+  cached.dense.resize(entries.size());
+
+  Group& group = GetOrCreateGroup(msg.group_seq, /*barrier=*/true);
+
+  // Sorted view of the sparse per-entry parameters: lookup below is a binary search, not a
+  // hash probe (steady state does no hashing per task).
+  std::vector<std::pair<std::int32_t, const ParameterBlob*>> params;
+  params.reserve(msg.params.size());
+  for (const auto& [slot, blob] : msg.params) {
+    params.emplace_back(slot, &blob);
+  }
+  std::sort(params.begin(), params.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  group.commands.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const core::WtEntry& e = entries[i];
+    CachedTemplate::DenseSets& ds = cached.dense[i];
+    if (!ds.valid && !e.dead) {
+      // Resolve this entry's objects to store-dense indices once; reused by every later
+      // instantiation until an edit replaces the slot.
+      ds.reads.clear();
+      ds.writes.clear();
+      ds.reads.reserve(e.reads.size());
+      for (LogicalObjectId r : e.reads) {
+        ds.reads.push_back(store_.Intern(r));
+      }
+      ds.writes.reserve(e.writes.size());
+      for (LogicalObjectId w : e.writes) {
+        ds.writes.push_back(store_.Intern(w));
+      }
+      ds.object = e.type == CommandType::kCopySend ? store_.Intern(e.object)
+                                                   : kInvalidDenseIndex;
+      ds.valid = true;
+    }
+
+    RuntimeCommand rc;
+    rc.cmd.id = CommandId(msg.command_base.value() + i);
+    if (e.dead) {
+      rc.cmd.type = CommandType::kDataCreate;  // benign no-op preserving the index
+      group.commands.push_back(std::move(rc));
+      continue;
+    }
+    rc.cmd.type = e.type;
+    switch (e.type) {
+      case CommandType::kTask: {
+        rc.cmd.function = e.function;
+        rc.cmd.task_id =
+            TaskId(msg.task_base.value() + static_cast<std::uint64_t>(e.global_entry));
+        rc.cmd.duration = e.duration;
+        rc.cmd.returns_scalar = e.returns_scalar;
+        const auto pit = std::lower_bound(
+            params.begin(), params.end(), e.global_entry,
+            [](const auto& p, std::int32_t slot) { return p.first < slot; });
+        if (pit != params.end() && pit->first == e.global_entry) {
+          rc.cmd.params = *pit->second;
+        } else {
+          rc.cmd.params = e.cached_params;
+        }
+        rc.reads_dense = ds.reads;
+        rc.writes_dense = ds.writes;
+        break;
+      }
+      case CommandType::kCopySend:
+      case CommandType::kCopyReceive: {
+        rc.cmd.copy_id = MakeCopyId(msg.group_seq, e.copy_index);
+        rc.cmd.peer = e.peer;
+        rc.cmd.copy_object = e.object;
+        rc.cmd.copy_bytes = e.bytes;
+        rc.object_dense = ds.object;
+        break;
+      }
+      default:
+        rc.cmd.data_object = e.object;
+        break;
+    }
+    group.commands.push_back(std::move(rc));
+    if (e.type == CommandType::kCopyReceive) {
+      BindReceiveSlot(group, static_cast<std::int32_t>(i));
+    }
+  }
+
+  // Second pass wires the before edges: edits can append providers after their dependents,
+  // so an edge may point forward. Dead slots keep their edges (ordering is index-stable).
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::int32_t b : entries[i].before) {
+      NIMBUS_CHECK_GE(b, 0);
+      NIMBUS_CHECK_LT(static_cast<std::size_t>(b), entries.size());
+      if (static_cast<std::size_t>(b) == i) {
+        continue;
+      }
+      group.commands[static_cast<std::size_t>(b)].waiters.push_back(
+          static_cast<std::int32_t>(i));
+      ++group.commands[i].remaining_before;
+    }
+  }
+
+  group.finalized = true;
+  group.expected_total = entries.size();
+  MaybeStartGroups();
+  FinishGroupIfDone(msg.group_seq);
+}
+
 void Worker::OnHalt() {
+  for (const Group& g : groups_) {
+    stale_seq_floor_ = std::max(stale_seq_floor_, g.seq);
+  }
   groups_.clear();
-  data_buffer_.clear();
-  receive_index_.clear();
+  early_data_.clear();
+  ++halt_epoch_;  // voids instantiations still queued behind their control-thread charge
 }
 
 void Worker::OnLoadObjects(std::uint64_t group_seq, std::vector<LogicalObjectId> objects) {
@@ -213,14 +353,11 @@ void Worker::AddCommandToGroup(Group& group, Command cmd) {
     ++rc.remaining_before;
   }
 
-  if (rc.cmd.type == CommandType::kCopyReceive) {
-    receive_index_[rc.cmd.copy_id] = {group.seq, index};
-    if (data_buffer_.count(rc.cmd.copy_id) > 0) {
-      rc.data_ready = true;
-    }
-  }
-
+  ResolveTaskObjects(rc);
   group.commands.push_back(std::move(rc));
+  if (group.commands.back().cmd.type == CommandType::kCopyReceive) {
+    BindReceiveSlot(group, index);
+  }
 
   // Resolve edges from commands that referenced this id before it arrived.
   auto pe = group.pending_edges.find(group.commands.back().cmd.id);
@@ -352,13 +489,13 @@ void Worker::ExecuteTask(Group& group, std::int32_t index) {
       return;
     }
     RuntimeCommand& cmd = g->commands[static_cast<std::size_t>(index)];
-    TaskContext ctx(&store_, cmd.cmd.read_set, cmd.cmd.write_set, &cmd.cmd.params);
+    TaskContext ctx(&store_, &cmd.reads_dense, &cmd.writes_dense, &cmd.cmd.params);
     functions_->Get(cmd.cmd.function)(ctx);
     ++tasks_executed_;
     // Bump local versions of written objects (informative; global truth is controller-side).
-    for (LogicalObjectId o : cmd.cmd.write_set) {
-      if (store_.Has(o)) {
-        store_.BumpVersion(o, store_.version(o) + 1);
+    for (DenseIndex o : cmd.writes_dense) {
+      if (store_.HasDense(o)) {
+        store_.BumpVersionDense(o, store_.VersionDense(o) + 1);
       }
     }
     if (cmd.cmd.returns_scalar) {
@@ -373,10 +510,10 @@ void Worker::ExecuteTask(Group& group, std::int32_t index) {
 
 void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
   RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
-  NIMBUS_CHECK(store_.Has(rc.cmd.copy_object))
+  NIMBUS_CHECK(store_.HasDense(rc.object_dense))
       << "worker " << id_ << ": copy-send of non-resident object " << rc.cmd.copy_object;
-  auto payload = store_.Get(rc.cmd.copy_object)->Clone();
-  const Version version = store_.version(rc.cmd.copy_object);
+  auto payload = store_.GetDense(rc.object_dense)->Clone();
+  const Version version = store_.VersionDense(rc.object_dense);
   Worker* peer = env_.peer(rc.cmd.peer);
   const CopyId copy = rc.cmd.copy_id;
   const LogicalObjectId object = rc.cmd.copy_object;
@@ -394,13 +531,16 @@ void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
 
 void Worker::ExecuteCopyReceive(Group& group, std::int32_t index) {
   RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
-  auto it = data_buffer_.find(rc.cmd.copy_id);
-  if (it == data_buffer_.end()) {
+  const std::int32_t ci = CopyLocalIndex(rc.cmd.copy_id);
+  NIMBUS_CHECK_LT(static_cast<std::size_t>(ci), group.copy_slots.size())
+      << "no copy slot for " << rc.cmd.copy_id;
+  CopySlot& slot = group.copy_slots[static_cast<std::size_t>(ci)];
+  NIMBUS_CHECK_EQ(slot.command, index) << "receive slot mismatch for copy " << rc.cmd.copy_id;
+  if (!slot.has_data) {
     return;  // completes when the data message arrives
   }
-  store_.Put(it->second.object, it->second.version, std::move(it->second.payload));
-  data_buffer_.erase(it);
-  receive_index_.erase(rc.cmd.copy_id);
+  store_.PutDense(store_.Intern(slot.object), slot.version, std::move(slot.payload));
+  slot.has_data = false;
   CompleteCommand(group.seq, index);
 }
 
@@ -409,27 +549,38 @@ void Worker::OnDataMessage(CopyId copy, LogicalObjectId object, Version version,
   if (failed_) {
     return;
   }
-  auto loc = receive_index_.find(copy);
-  if (loc != receive_index_.end()) {
-    const std::uint64_t group_seq = loc->second.first;
-    const std::int32_t index = loc->second.second;
-    Group* g = FindGroup(group_seq);
-    if (g != nullptr) {
-      RuntimeCommand& rc = g->commands[static_cast<std::size_t>(index)];
-      rc.data_ready = true;
-      if (rc.launched && !rc.done) {
-        store_.Put(object, version, std::move(payload));
-        receive_index_.erase(loc);
-        CompleteCommand(group_seq, index);
+  const std::uint64_t seq = CopyGroupSeq(copy);
+  if (seq <= stale_seq_floor_) {
+    return;  // the copy's group already finished or was halted: stale duplicate, drop
+  }
+  Group* g = FindGroup(seq);
+  if (g == nullptr) {
+    // The group does not exist yet (data raced ahead of the control plane): buffer until
+    // its receive command arrives.
+    for (EarlyData& e : early_data_) {
+      if (e.copy == copy) {
+        e.object = object;
+        e.version = version;
+        e.payload = std::move(payload);
         return;
       }
     }
+    early_data_.push_back(EarlyData{copy, object, version, std::move(payload)});
+    return;
   }
-  BufferedData buffered;
-  buffered.object = object;
-  buffered.version = version;
-  buffered.payload = std::move(payload);
-  data_buffer_[copy] = std::move(buffered);
+  CopySlot& slot = EnsureCopySlot(*g, CopyLocalIndex(copy));
+  if (slot.command >= 0) {
+    RuntimeCommand& rc = g->commands[static_cast<std::size_t>(slot.command)];
+    if (rc.launched && !rc.done) {
+      store_.PutDense(store_.Intern(object), version, std::move(payload));
+      CompleteCommand(seq, slot.command);
+      return;
+    }
+  }
+  slot.has_data = true;
+  slot.object = object;
+  slot.version = version;
+  slot.payload = std::move(payload);
 }
 
 void Worker::CompleteCommand(std::uint64_t group_seq, std::int32_t index) {
@@ -441,7 +592,9 @@ void Worker::CompleteCommand(std::uint64_t group_seq, std::int32_t index) {
   NIMBUS_CHECK(!rc.done);
   rc.done = true;
   ++group->done_count;
-  group->done_ids.insert(rc.cmd.id);
+  if (group->streaming) {
+    group->done_ids.insert(rc.cmd.id);  // late edges may still reference this id
+  }
   // Copy the waiter list: launching a waiter can cascade into completing the whole group,
   // which prunes it from the deque and frees `rc`.
   const std::vector<std::int32_t> waiters = rc.waiters;
@@ -478,15 +631,27 @@ void Worker::FinishGroupIfDone(std::uint64_t seq) {
                    });
   }
 
-  // Prune completed groups from the front and unblock any waiting barrier group.
+  // Prune completed groups from the front and unblock any waiting barrier group. Buffered
+  // copy data dies with its group; any early data addressed below the retired floor can
+  // never be claimed and is dropped too.
+  bool pruned = false;
   while (!groups_.empty()) {
     Group& front = groups_.front();
     if (front.finalized && front.started && front.reported &&
         front.done_count == front.expected_total) {
+      stale_seq_floor_ = std::max(stale_seq_floor_, front.seq);
       groups_.pop_front();
+      pruned = true;
     } else {
       break;
     }
+  }
+  if (pruned && !early_data_.empty()) {
+    early_data_.erase(std::remove_if(early_data_.begin(), early_data_.end(),
+                                     [this](const EarlyData& e) {
+                                       return CopyGroupSeq(e.copy) <= stale_seq_floor_;
+                                     }),
+                      early_data_.end());
   }
   MaybeStartGroups();
 }

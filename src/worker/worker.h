@@ -9,6 +9,14 @@
 // instantiation, one patch, or a batch of individually-dispatched commands (the no-template
 // path). Groups marked `barrier` start only after every earlier group completes, which is
 // how patch copies are ordered before the block that needs them.
+//
+// Hot-path layout (DESIGN.md §6.6): cached templates live in a flat array indexed by dense
+// template id and carry per-entry read/write sets pre-resolved to store-dense indices, so
+// materializing an instantiation and executing its tasks does no hashing. Copy routing is
+// arithmetic on the structured copy id (command.h): the embedded group sequence finds the
+// group, the embedded copy index addresses a per-group slot array. The id-keyed tables
+// (`index_of`, `pending_edges`, `done_ids`) exist only for streaming command arrival — the
+// central-dispatch slow path.
 
 #ifndef NIMBUS_SRC_WORKER_WORKER_H_
 #define NIMBUS_SRC_WORKER_WORKER_H_
@@ -22,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/core/worker_template.h"
 #include "src/data/durable_store.h"
@@ -119,10 +128,12 @@ class Worker {
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
   sim::CorePool& cores() { return cores_; }
-  std::size_t cached_template_count() const { return templates_.size(); }
-  bool HasTemplate(WorkerTemplateId id) const { return templates_.count(id) > 0; }
+  std::size_t cached_template_count() const;
+  bool HasTemplate(WorkerTemplateId id) const;
   std::uint64_t tasks_executed() const { return tasks_executed_; }
   bool idle() const { return groups_.empty(); }
+  // Copy payloads buffered ahead of their receive command (in groups or pre-group).
+  std::size_t buffered_copy_count() const;
 
   void StartHeartbeats(sim::Duration period);
 
@@ -133,7 +144,22 @@ class Worker {
     std::vector<std::int32_t> waiters;  // local indexes depending on this command
     bool done = false;
     bool launched = false;
-    bool data_ready = false;  // copy-receive: payload arrived
+    // Read/write sets resolved to store-dense indices at command build; task execution and
+    // copy sends probe the store through these with no hashing.
+    std::vector<DenseIndex> reads_dense;
+    std::vector<DenseIndex> writes_dense;
+    DenseIndex object_dense = kInvalidDenseIndex;  // copy-send object
+  };
+
+  // Per-group state of one copy pair's receiving half, addressed by the copy id's embedded
+  // block-local index. Holds the payload if it arrives before the command is ready, and
+  // dies with the group — buffered data cannot outlive its group.
+  struct CopySlot {
+    std::int32_t command = -1;  // local index of the receive command, -1 until it arrives
+    bool has_data = false;
+    LogicalObjectId object;
+    Version version = 0;
+    std::unique_ptr<Payload> payload;
   };
 
   struct Group {
@@ -142,9 +168,12 @@ class Worker {
     bool finalized = false;
     bool started = false;
     bool reported = false;
+    bool streaming = false;  // built command-by-command via OnCommands
     std::size_t expected_total = 0;
     std::size_t done_count = 0;
     std::vector<RuntimeCommand> commands;
+    std::vector<CopySlot> copy_slots;  // by block-local copy index
+    // Streaming-only id-keyed tables (template materialization never touches them).
     std::unordered_map<CommandId, std::int32_t> index_of;
     // before-ids referenced before their command arrived (streaming dispatch).
     std::unordered_map<CommandId, std::vector<std::int32_t>> pending_edges;
@@ -152,9 +181,37 @@ class Worker {
     std::vector<ScalarResult> scalars;
   };
 
+  // A cached worker template plus its entries' read/write sets resolved to store-dense
+  // indices. The dense sets are (re)built lazily per entry, so edits only invalidate the
+  // slots they touch.
+  struct CachedTemplate {
+    bool installed = false;
+    core::WorkerHalf half;
+    struct DenseSets {
+      bool valid = false;
+      std::vector<DenseIndex> reads;
+      std::vector<DenseIndex> writes;
+      DenseIndex object = kInvalidDenseIndex;
+    };
+    std::vector<DenseSets> dense;  // parallel to half.entries
+  };
+
+  // Copy data that arrived before its group existed.
+  struct EarlyData {
+    CopyId copy;
+    LogicalObjectId object;
+    Version version = 0;
+    std::unique_ptr<Payload> payload;
+  };
+
   Group& GetOrCreateGroup(std::uint64_t seq, bool barrier);
   Group* FindGroup(std::uint64_t seq);
+  CopySlot& EnsureCopySlot(Group& group, std::int32_t copy_index);
+  // Binds a receive command to its copy slot and claims any early-buffered payload.
+  void BindReceiveSlot(Group& group, std::int32_t index);
   void AddCommandToGroup(Group& group, Command cmd);
+  void ResolveTaskObjects(RuntimeCommand& rc);
+  void MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMsg& msg);
   void MaybeStartGroups();
   void StartGroup(std::uint64_t seq);
   void TryLaunch(Group& group, std::int32_t index);
@@ -179,22 +236,26 @@ class Worker {
   sim::CorePool cores_;
   sim::Processor control_thread_;  // processes control messages serially
 
-  // Cached worker templates (the worker half). Workers cache several (paper §2.3).
-  std::unordered_map<WorkerTemplateId, core::WorkerHalf> templates_;
+  // Cached worker templates (the worker half), in a flat array by dense template id.
+  // Workers cache several (paper §2.3); the sparse id is resolved once per message.
+  Interner<WorkerTemplateId> template_ids_;
+  DenseMap<CachedTemplate> templates_;
 
   // Active groups in arrival order. Completed groups are pruned from the front.
   std::deque<Group> groups_;
 
-  // Data that arrived before its copy-receive command (or before its group started).
-  struct BufferedData {
-    LogicalObjectId object;
-    Version version = 0;
-    std::unique_ptr<Payload> payload;
-  };
-  std::unordered_map<CopyId, BufferedData> data_buffer_;
+  // Data that arrived before its group was created. Claimed when the matching receive
+  // command is added; entries for retired groups are dropped (they cannot be claimed).
+  std::vector<EarlyData> early_data_;
 
-  // Locates the copy-receive command waiting for a given copy id: (group seq, local index).
-  std::unordered_map<CopyId, std::pair<std::uint64_t, std::int32_t>> receive_index_;
+  // Highest group sequence known to be finished or halted. Arrival order matches sequence
+  // order, so messages addressed at or below the floor are stale (duplicate or post-halt)
+  // and are dropped instead of buffered forever.
+  std::uint64_t stale_seq_floor_ = 0;
+
+  // Bumped by every halt; instantiations deferred behind their control-thread charge
+  // compare it to discard pre-halt work instead of materializing a zombie group.
+  std::uint64_t halt_epoch_ = 0;
 
   bool failed_ = false;
   bool heartbeats_running_ = false;

@@ -1,9 +1,11 @@
-// Unit tests for the common layer: strong ids, serialization, RNG, statistics.
+// Unit tests for the common layer: strong ids, dense-id containers, serialization, RNG,
+// statistics.
 
 #include <gtest/gtest.h>
 
 #include <unordered_set>
 
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/serialize.h"
@@ -167,6 +169,56 @@ TEST(SampleStatsTest, EmptyIsSafe) {
   EXPECT_EQ(s.Mean(), 0.0);
   EXPECT_EQ(s.Percentile(0.5), 0.0);
   EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SeqWindowTest, SlotFindAndRetire) {
+  SeqWindow<int> window;
+  EXPECT_EQ(window.Find(5), nullptr);
+
+  window.Slot(5) = 2;
+  window.Slot(6) = 1;
+  window.Slot(8) = 3;  // gap at 7 is a value-initialized (absent) slot
+  EXPECT_EQ(window.base(), 5u);
+  EXPECT_EQ(*window.Find(6), 1);
+  EXPECT_EQ(*window.Find(7), 0);
+  EXPECT_EQ(window.Find(4), nullptr);
+  EXPECT_EQ(window.Find(9), nullptr);
+
+  // Completing out of order: retire compacts only the done prefix.
+  *window.Find(6) = 0;
+  window.Retire();
+  EXPECT_EQ(window.base(), 5u);
+  *window.Find(5) = 0;
+  window.Retire();
+  EXPECT_EQ(window.base(), 8u);  // 5, 6 and the gap at 7 all retired
+  EXPECT_EQ(*window.Find(8), 3);
+
+  *window.Find(8) = 0;
+  window.Retire();
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.Find(8), nullptr);
+}
+
+TEST(SeqWindowTest, ClearAdvancesPastLiveEntries) {
+  SeqWindow<int> window;
+  window.Slot(3) = 7;
+  window.Slot(4) = 8;
+  window.Clear();
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.Find(3), nullptr);
+  // New sequences keep working after a clear.
+  window.Slot(9) = 1;
+  EXPECT_EQ(*window.Find(9), 1);
+}
+
+TEST(CacheCountersTest, HitRate) {
+  CacheCounters c;
+  EXPECT_DOUBLE_EQ(c.HitRate(), 0.0);
+  c.hits = 3;
+  c.misses = 1;
+  EXPECT_DOUBLE_EQ(c.HitRate(), 0.75);
+  c.Clear();
+  EXPECT_EQ(c.lookups(), 0u);
 }
 
 }  // namespace

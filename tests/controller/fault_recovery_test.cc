@@ -116,6 +116,60 @@ TEST(FaultRecoveryTest, RecoveryRedistributesToSurvivors) {
   EXPECT_GT(norm, 0.0);
 }
 
+TEST(FaultRecoveryTest, FailedWorkerIsEvictedFromHeartbeatAccounting) {
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  LogisticRegressionApp app(&job, SmallConfig());
+  app.Setup();
+  cluster.controller().EnableFailureDetection(sim::Millis(100), sim::Millis(500));
+  app.RunInnerLoop(2);
+  job.Checkpoint(2);
+
+  for (WorkerId w : cluster.worker_ids()) {
+    EXPECT_TRUE(cluster.controller().HeartbeatTracked(w)) << "worker " << w;
+  }
+
+  cluster.FailWorker(WorkerId(2));
+  auto result = app.RunInnerIteration();
+  while (!result.recovered) {
+    result = app.RunInnerIteration();
+  }
+
+  // Regression: the dead worker must not still look live to heartbeat accounting.
+  EXPECT_FALSE(cluster.controller().HeartbeatTracked(WorkerId(2)));
+  for (WorkerId w : cluster.controller().ActiveWorkers()) {
+    EXPECT_TRUE(cluster.controller().HeartbeatTracked(w)) << "worker " << w;
+  }
+}
+
+TEST(FaultRecoveryTest, RestoreAfterLongRevocationDoesNotTripFailureDetection) {
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  LogisticRegressionApp app(&job, SmallConfig());
+  app.Setup();
+  cluster.controller().EnableFailureDetection(sim::Millis(100), sim::Millis(500));
+  app.RunInnerLoop(2);
+
+  // Revoked workers leave liveness accounting; parking one far past the heartbeat timeout
+  // and restoring it must not read the stale timestamp as a missed heartbeat.
+  cluster.controller().RevokeWorkers({WorkerId(3)});
+  EXPECT_FALSE(cluster.controller().HeartbeatTracked(WorkerId(3)));
+  app.RunInnerLoop(30);  // >> timeout of virtual time with worker 3 out
+
+  cluster.controller().RestoreWorkers({WorkerId(3)});
+  EXPECT_TRUE(cluster.controller().HeartbeatTracked(WorkerId(3)));
+  app.RunInnerLoop(2);
+  EXPECT_EQ(cluster.trace().Counter("recoveries"), 0);
+}
+
 TEST(FaultRecoveryTest, FailureWithoutCheckpointAborts) {
   ClusterOptions options;
   options.workers = 2;

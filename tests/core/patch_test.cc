@@ -90,6 +90,50 @@ TEST(PatchTest, StaleCachedPatchIsRecomputed) {
   }
 }
 
+TEST(PatchTest, WorkerChurnInvalidatesCachedPatchByEpoch) {
+  Fixture f;
+  bool hit = true;
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit);
+  // Churn that does not disturb this patch's source: another worker's instance vanishes.
+  // The epoch key refuses the entry outright (no source re-validation is attempted).
+  f.versions.DropInstance(LogicalObjectId(0), WorkerId(0));
+  Patch p = f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit) << "a churn-epoch mismatch must read as a miss";
+  EXPECT_EQ(p.size(), 1u);
+  // The entry was re-stored under the current epoch: steady state hits again.
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(PatchTest, SetEditInvalidatesCachedPatchByGeneration) {
+  Fixture f;
+  bool hit = true;
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit);
+  // Any edit that can change preconditions bumps the set generation and voids the entry.
+  f.set->AddPrecondition(LogicalObjectId(100), WorkerId(0));
+  f.manager.ResolvePatch(*f.set, 7, f.versions, &hit);
+  EXPECT_FALSE(hit) << "a set-generation mismatch must read as a miss";
+}
+
+TEST(PatchTest, CacheCapsAndEvicts) {
+  Fixture f;
+  auto& cache = f.manager.mutable_patch_cache();
+  cache.SetCapacity(4);
+  bool hit = false;
+  // Distinct predecessors create distinct entries; the cap bounds the table.
+  for (std::uint64_t prev = 0; prev < 10; ++prev) {
+    f.manager.ResolvePatch(*f.set, prev, f.versions, &hit);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_EQ(cache.counters().evictions, 6u);
+  EXPECT_EQ(cache.counters().misses, 10u);
+  // The most recently used entry survived.
+  f.manager.ResolvePatch(*f.set, 9, f.versions, &hit);
+  EXPECT_TRUE(hit);
+}
+
 TEST(PatchTest, PatchStillCorrectRules) {
   VersionMap versions;
   versions.CreateObject(LogicalObjectId(1), WorkerId(0));

@@ -107,6 +107,42 @@ TEST(ObjectStoreTest, SnapshotIsDeepCopy) {
   EXPECT_DOUBLE_EQ(snap->values()[0], 1.0);
 }
 
+TEST(ObjectStoreTest, DenseAccessorsMatchSparseShims) {
+  ObjectStore store;
+  const DenseIndex a = store.Intern(LogicalObjectId(40));
+  EXPECT_EQ(store.Intern(LogicalObjectId(40)), a) << "interning is idempotent";
+  EXPECT_FALSE(store.HasDense(a));
+
+  store.PutDense(a, 5, std::make_unique<ScalarPayload>(1.25));
+  EXPECT_TRUE(store.Has(LogicalObjectId(40)));
+  EXPECT_EQ(store.version(LogicalObjectId(40)), 5u);
+  EXPECT_EQ(store.VersionDense(a), 5u);
+  store.BumpVersionDense(a, 6);
+  EXPECT_EQ(store.version(LogicalObjectId(40)), 6u);
+
+  store.EraseDense(a);
+  EXPECT_FALSE(store.Has(LogicalObjectId(40)));
+  EXPECT_EQ(store.size(), 0u);
+  // The dense index survives erasure (never reused) and accepts a new instance.
+  store.PutDense(a, 7, std::make_unique<ScalarPayload>(2.5));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(VersionMapTest, ChurnEpochTracksResidencyChurnOnly) {
+  VersionMap vm;
+  const std::uint64_t start = vm.churn_epoch();
+  vm.CreateObject(LogicalObjectId(1), WorkerId(0));
+  vm.RecordWrite(LogicalObjectId(1), WorkerId(0));
+  vm.RecordCopyToLatest(LogicalObjectId(1), WorkerId(1));
+  EXPECT_EQ(vm.churn_epoch(), start) << "normal block flow must not bump the epoch";
+
+  vm.DropInstance(LogicalObjectId(1), WorkerId(1));
+  EXPECT_GT(vm.churn_epoch(), start);
+  const std::uint64_t after_drop = vm.churn_epoch();
+  vm.DropWorker(WorkerId(0));
+  EXPECT_GT(vm.churn_epoch(), after_drop);
+}
+
 TEST(PayloadTest, CloneIsIndependent) {
   VectorPayload v(std::vector<double>{1, 2, 3});
   auto clone = v.Clone();

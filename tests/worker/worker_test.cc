@@ -164,13 +164,14 @@ TEST(WorkerTest, CopyPairMovesDataBetweenWorkers) {
     read_back = ctx.ReadVector(0).values()[1];
   });
 
-  // Worker 0: write + send. Worker 1: receive + read.
+  // Worker 0: write + send. Worker 1: receive + read. Copy ids encode (group seq, index).
+  const CopyId copy = MakeCopyId(1, 0);
   std::vector<Command> g0;
   g0.push_back(TaskCmd(1, fw, {}, {LogicalObjectId(5)}));
   Command send;
   send.id = CommandId(2);
   send.type = CommandType::kCopySend;
-  send.copy_id = CopyId(77);
+  send.copy_id = copy;
   send.peer = WorkerId(1);
   send.copy_object = LogicalObjectId(5);
   send.copy_bytes = 16;
@@ -182,7 +183,7 @@ TEST(WorkerTest, CopyPairMovesDataBetweenWorkers) {
   Command recv;
   recv.id = CommandId(3);
   recv.type = CommandType::kCopyReceive;
-  recv.copy_id = CopyId(77);
+  recv.copy_id = copy;
   recv.peer = WorkerId(0);
   recv.copy_object = LogicalObjectId(5);
   g1.push_back(std::move(recv));
@@ -201,15 +202,16 @@ TEST(WorkerTest, DataArrivingBeforeReceiveCommandIsBuffered) {
     read_back = ctx.ReadScalar(0);
   });
 
-  // Push the data message directly, before any receive command exists.
-  h.w(1).OnDataMessage(CopyId(9), LogicalObjectId(3), 1,
-                       std::make_unique<ScalarPayload>(42.0));
+  // Push the data message directly, before the receive's group even exists.
+  const CopyId copy = MakeCopyId(1, 0);
+  h.w(1).OnDataMessage(copy, LogicalObjectId(3), 1, std::make_unique<ScalarPayload>(42.0));
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 1u);
 
   std::vector<Command> g;
   Command recv;
   recv.id = CommandId(1);
   recv.type = CommandType::kCopyReceive;
-  recv.copy_id = CopyId(9);
+  recv.copy_id = copy;
   recv.peer = WorkerId(0);
   recv.copy_object = LogicalObjectId(3);
   g.push_back(std::move(recv));
@@ -217,6 +219,82 @@ TEST(WorkerTest, DataArrivingBeforeReceiveCommandIsBuffered) {
   h.w(1).OnCommands(1, std::move(g), 2, true, true);
   h.simulation.Run();
   EXPECT_DOUBLE_EQ(read_back, 42.0);
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 0u);
+}
+
+TEST(WorkerTest, HaltMidGroupDropsBufferedCopyData) {
+  Harness h(2);
+  const FunctionId slow = h.functions.Register("slow", [](TaskContext&) {});
+  // Group 1 keeps the worker busy so the barrier group 2 cannot start.
+  std::vector<Command> g1;
+  g1.push_back(TaskCmd(1, slow, {}, {}, {}, sim::Millis(50)));
+  h.w(1).OnCommands(1, std::move(g1), 1, true, true);
+
+  // Group 2: a receive whose payload arrives while the group is still blocked.
+  const CopyId copy = MakeCopyId(2, 0);
+  std::vector<Command> g2;
+  Command recv;
+  recv.id = CommandId(10);
+  recv.type = CommandType::kCopyReceive;
+  recv.copy_id = copy;
+  recv.peer = WorkerId(0);
+  recv.copy_object = LogicalObjectId(3);
+  g2.push_back(std::move(recv));
+  h.w(1).OnCommands(2, std::move(g2), 1, true, true);
+  h.w(1).OnDataMessage(copy, LogicalObjectId(3), 1, std::make_unique<ScalarPayload>(1.5));
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 1u);
+
+  // Controller-style halt mid-group: buffered payloads die with their groups instead of
+  // dangling in the receive index.
+  h.w(1).OnHalt();
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 0u);
+  EXPECT_TRUE(h.w(1).idle());
+
+  // A duplicate of the in-flight payload arriving after the halt is stale and dropped.
+  h.w(1).OnDataMessage(copy, LogicalObjectId(3), 1, std::make_unique<ScalarPayload>(1.5));
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 0u);
+  h.simulation.Run();
+  EXPECT_FALSE(h.w(1).store().Has(LogicalObjectId(3)));
+  EXPECT_TRUE(h.completions.empty());
+}
+
+TEST(WorkerTest, FailedWorkerMidGroupIgnoresInFlightData) {
+  Harness h(2);
+  const CopyId copy = MakeCopyId(1, 0);
+  std::vector<Command> g;
+  Command recv;
+  recv.id = CommandId(1);
+  recv.type = CommandType::kCopyReceive;
+  recv.copy_id = copy;
+  recv.peer = WorkerId(0);
+  recv.copy_object = LogicalObjectId(3);
+  g.push_back(std::move(recv));
+  h.w(1).OnCommands(1, std::move(g), 1, true, true);
+
+  // The worker dies while the copy's payload is still in flight; the late delivery must
+  // not buffer anything on the corpse.
+  h.w(1).Fail();
+  h.w(1).OnDataMessage(copy, LogicalObjectId(3), 1, std::make_unique<ScalarPayload>(2.5));
+  EXPECT_EQ(h.w(1).buffered_copy_count(), 0u);
+  h.simulation.Run();
+  EXPECT_TRUE(h.completions.empty());
+  EXPECT_FALSE(h.w(1).store().Has(LogicalObjectId(3)));
+}
+
+TEST(WorkerTest, StaleDataForFinishedGroupIsDropped) {
+  Harness h(1);
+  const FunctionId f = h.functions.Register("fn", [](TaskContext&) {});
+  std::vector<Command> g;
+  g.push_back(TaskCmd(1, f, {}, {}));
+  h.w(0).OnCommands(1, std::move(g), 1, true, true);
+  h.simulation.Run();
+  ASSERT_EQ(h.completions.size(), 1u);  // group 1 finished and was pruned
+
+  // A late/duplicate payload addressed at the finished group must not dangle forever in
+  // the buffers (the group it names can never claim it).
+  h.w(0).OnDataMessage(MakeCopyId(1, 0), LogicalObjectId(7), 1,
+                       std::make_unique<ScalarPayload>(3.0));
+  EXPECT_EQ(h.w(0).buffered_copy_count(), 0u);
 }
 
 TEST(WorkerTest, ScalarsReportedWithCompletion) {
