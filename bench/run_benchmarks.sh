@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the Table 1-3 microbenchmarks and writes BENCH_table{1,2,3}.json at the repo root,
+# Runs the Table 1-4 microbenchmarks and writes BENCH_table{1,2,3,4}.json at the repo root,
 # so every PR leaves a comparable perf sample behind (the paper's Tables 1-3 are the
-# control-plane cost claims this reproduction tracks).
+# control-plane cost claims this reproduction tracks; Table 4 is this repo's shard-scaling
+# series for the runtime engine, DESIGN.md §7).
 #
 # Usage: bench/run_benchmarks.sh [extra google-benchmark flags...]
 #   e.g. bench/run_benchmarks.sh --benchmark_repetitions=5
@@ -16,9 +17,10 @@ BUILD="${BUILD_DIR:-$ROOT/build}"
 
 cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
-  --target bench_table1_install bench_table2_instantiate bench_table3_edits >/dev/null
+  --target bench_table1_install bench_table2_instantiate bench_table3_edits \
+  bench_table4_sharding >/dev/null
 
-for bench in table1_install table2_instantiate table3_edits; do
+for bench in table1_install table2_instantiate table3_edits table4_sharding; do
   out="$ROOT/BENCH_${bench%%_*}.json"
   echo "== $bench -> $out"
   "$BUILD/bench/bench_${bench}" \

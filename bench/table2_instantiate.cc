@@ -16,6 +16,8 @@
 
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/instantiation_pipeline.h"
 
 namespace nimbus::bench {
 namespace {
@@ -105,6 +107,45 @@ void BM_ResolvePatchCacheHit(benchmark::State& state) {
   state.counters["cache_hit_rate"] = cc.HitRate();
 }
 BENCHMARK(BM_ResolvePatchCacheHit)->Unit(benchmark::kMillisecond);
+
+// The same full-validation loop driven through the instantiation engine in the
+// controller's configuration (InlineExecutor, 1 shard — DESIGN.md §7). Must track
+// BM_InstantiateWorkerTemplateFullValidation within noise; exports the engine's executor
+// and per-shard counters alongside the cache counters above.
+void BM_EngineFullValidationInline(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+  runtime::InlineExecutor executor;
+  runtime::InstantiationPipeline pipeline(&executor, 1);
+  core::Patch no_patch;
+  for (auto _ : state) {
+    auto needed = pipeline.Validate(set, versions);
+    benchmark::DoNotOptimize(needed);
+    pipeline.ApplyEffects(set, no_patch, &versions);
+  }
+  const ExecutorCounters& ec = executor.counters();
+  state.counters["executor_jobs"] = static_cast<double>(ec.jobs_run);
+  state.counters["executor_batches"] = static_cast<double>(ec.batches);
+  state.counters["executor_steals"] = static_cast<double>(ec.steals);
+  state.counters["executor_busy_ns"] = static_cast<double>(ec.busy_ns);
+  state.counters["executor_critical_path_ns"] = static_cast<double>(ec.critical_path_ns);
+  const ShardCounters& sc = pipeline.shard_counters();
+  double checked = 0, failures = 0, deltas = 0;
+  for (std::size_t s = 0; s < sc.preconditions_checked.size(); ++s) {
+    checked += static_cast<double>(sc.preconditions_checked[s]);
+    failures += static_cast<double>(sc.validation_failures[s]);
+    deltas += static_cast<double>(sc.deltas_applied[s]);
+  }
+  state.counters["shard_preconditions_checked"] = checked;
+  state.counters["shard_validation_failures"] = failures;
+  state.counters["shard_deltas_applied"] = deltas;
+  ReportPerTaskTime(state, 8000.0);
+}
+BENCHMARK(BM_EngineFullValidationInline)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace nimbus::bench

@@ -25,6 +25,56 @@ struct CacheCounters {
   void Clear() { *this = CacheCounters{}; }
 };
 
+// Work accounting for a runtime::Executor. `busy_ns` is per-job CPU time summed over all
+// jobs; `critical_path_ns` accumulates, per batch, the greedy-schedule lower bound
+// max(longest job, busy / concurrency) — on a single-core container wall clock cannot show
+// shard scaling, so benchmarks report modeled throughput from this critical path (and say
+// so). `steals` counts jobs claimed by a thread other than the job's home thread
+// (index-striped), the shared-queue analogue of work stealing.
+struct ExecutorCounters {
+  std::uint64_t jobs_run = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t critical_path_ns = 0;
+  // Caller-side wall time spent inside Run() barriers. On an undersubscribed machine this
+  // includes scheduler churn; benchmarks model ideal-parallel runs as
+  // (loop wall - wall_ns + critical_path_ns).
+  std::uint64_t wall_ns = 0;
+
+  double MeanJobNs() const {
+    return jobs_run == 0 ? 0.0 : static_cast<double>(busy_ns) / static_cast<double>(jobs_run);
+  }
+  // busy / (concurrency * critical_path): 1.0 = perfectly balanced batches.
+  double ParallelEfficiency(std::size_t concurrency) const {
+    const double denom =
+        static_cast<double>(critical_path_ns) * static_cast<double>(concurrency);
+    return denom == 0.0 ? 0.0 : static_cast<double>(busy_ns) / denom;
+  }
+  void Clear() { *this = ExecutorCounters{}; }
+};
+
+// Per-shard accounting for the sharded instantiation pipeline. Vectors are indexed by shard
+// and sized on first use; `validation_failures[s]` counts preconditions that failed in shard
+// s's dense-index range (a skew diagnostic: one hot shard means the striping is off).
+struct ShardCounters {
+  std::uint64_t validate_batches = 0;
+  std::uint64_t apply_batches = 0;
+  std::uint64_t assemble_jobs = 0;
+  std::vector<std::uint64_t> preconditions_checked;   // by shard
+  std::vector<std::uint64_t> validation_failures;     // by shard
+  std::vector<std::uint64_t> deltas_applied;          // by shard
+
+  void EnsureShards(std::size_t shards) {
+    if (preconditions_checked.size() < shards) {
+      preconditions_checked.resize(shards, 0);
+      validation_failures.resize(shards, 0);
+      deltas_applied.resize(shards, 0);
+    }
+  }
+  void Clear() { *this = ShardCounters{}; }
+};
+
 // Accumulates samples and answers summary queries. Percentile queries sort a copy lazily.
 class SampleStats {
  public:

@@ -193,12 +193,8 @@ void NimbusController::ErasePendingBlock(PendingBlock* block) {
 
 void NimbusController::EnsureObjectsExist(const core::WorkerTemplateSet& set) {
   // One sweep over the compiled write deltas: existence probes and creation are flat array
-  // operations in the version map's dense id space.
-  for (const auto& delta : set.CompiledFor(versions_).write_deltas) {
-    if (!versions_.ExistsDense(delta.object)) {
-      versions_.CreateObjectDense(delta.object, delta.primary_holder);
-    }
-  }
+  // operations in the version map's dense id space (serial — creation is map-global).
+  pipeline_.EnsureObjectsExist(set, &versions_);
 }
 
 void NimbusController::SubmitStages(const std::vector<StageDescriptor>& stages,
@@ -252,7 +248,7 @@ void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>
     EnsureObjectsExist(set);
 
     // Cross-worker block inputs become explicit copies (no templates => no preconditions).
-    const std::vector<core::PatchDirective> needed = templates_.Validate(set, versions_);
+    const std::vector<core::PatchDirective> needed = pipeline_.Validate(set, versions_);
     if (!needed.empty()) {
       core::Patch patch;
       patch.directives = needed;
@@ -273,7 +269,7 @@ void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>
 
     core::Patch no_patch;
     // Patch effects were applied above; only the write deltas remain.
-    templates_.ApplyInstantiationEffects(set, no_patch, &versions_);
+    pipeline_.ApplyEffects(set, no_patch, &versions_);
   }
   prev_executed_ = core::PatchCache::kEntryFromOutside;
 }
@@ -511,7 +507,7 @@ void NimbusController::InstantiateTemplate(
 void NimbusController::RunSetCentrallyWithPatches(
     const core::WorkerTemplateSet& set,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
-  const std::vector<core::PatchDirective> needed = templates_.Validate(set, versions_);
+  const std::vector<core::PatchDirective> needed = pipeline_.Validate(set, versions_);
   if (!needed.empty()) {
     core::Patch patch;
     patch.directives = needed;
@@ -522,7 +518,7 @@ void NimbusController::RunSetCentrallyWithPatches(
   }
   DispatchSetCentrally(set, params, block);
   core::Patch no_patch;
-  templates_.ApplyInstantiationEffects(set, no_patch, &versions_);
+  pipeline_.ApplyEffects(set, no_patch, &versions_);
 }
 
 void NimbusController::InstantiateSet(
@@ -565,7 +561,10 @@ void NimbusController::InstantiateSet(
     const std::uint64_t cache_key =
         disable_patch_cache_ ? core::PatchCache::kEntryFromOutside - 1 - next_group_seq_
                              : prev_executed_;
-    patch = templates_.ResolvePatch(*set, cache_key, versions_, &cache_hit);
+    // The engine runs the sharded precondition sweep; the template manager only resolves
+    // the result against the patch cache.
+    patch = templates_.ResolvePatchFrom(*set, cache_key, versions_,
+                                        pipeline_.Validate(*set, versions_), &cache_hit);
     if (!patch.empty()) {
       control_thread_.Charge((cache_hit ? costs_->patch_directive_cost
                                         : costs_->patch_compute_per_entry)
@@ -576,29 +575,32 @@ void NimbusController::InstantiateSet(
 
   EnsureObjectsExist(*set);
 
-  // One instantiation message per worker (steady state: n+1 messages total, §2.2).
+  // One instantiation message per worker (steady state: n+1 messages total, §2.2). The
+  // engine's assembly stage routes params and edit ops to the worker owning each entry
+  // (smaller wire than broadcasting the full parameter list to every worker).
   const std::uint64_t seq = NewGroupSeq();
   const TaskId task_base = task_ids_.NextRange(n_tasks);
+  std::vector<runtime::WorkerMessage> assembled =
+      pipeline_.AssembleMessages(*set, params, has_edits ? &edits : nullptr);
   int participating = 0;
-  for (const core::WorkerHalf& half : set->halves()) {
-    if (half.entries.empty()) {
-      continue;
-    }
-    Worker* worker = FindWorker(half.worker);
+  for (runtime::WorkerMessage& wm : assembled) {
+    Worker* worker = FindWorker(wm.worker);
     NIMBUS_CHECK(worker != nullptr);
     ++participating;
 
     InstantiateMsg msg;
     msg.worker_template = set->id();
     msg.group_seq = seq;
-    msg.command_base = command_ids_.NextRange(half.entries.size());
+    msg.command_base =
+        command_ids_.NextRange(set->halves()[wm.half_index].entries.size());
     msg.task_base = task_base;
-    msg.params = params;  // sparse; workers ignore entries not on them
-    auto eit = edits.per_worker.find(half.worker);
-    if (eit != edits.per_worker.end()) {
-      msg.edits = eit->second;
+    msg.params = std::move(wm.params);
+    if (wm.edits != nullptr) {
+      msg.edits = *wm.edits;
     }
-    const std::int64_t wire = msg.WireSize();
+    // Assembly already sized the message (WorkerMessage::wire_size mirrors
+    // InstantiateMsg::WireSize; the equivalence tests pin them together).
+    const std::int64_t wire = wm.wire_size;
     control_thread_.Submit(0, [this, worker, msg = std::move(msg), wire]() mutable {
       network_->Send(sim::kControllerAddress, worker->address(), wire,
                      [worker, msg = std::move(msg)]() mutable {
@@ -617,7 +619,7 @@ void NimbusController::InstantiateSet(
     cb({});
   }
 
-  templates_.ApplyInstantiationEffects(*set, patch, &versions_);
+  pipeline_.ApplyEffects(*set, patch, &versions_);
   prev_executed_ = set->id().value();
 }
 

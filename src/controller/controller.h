@@ -30,6 +30,8 @@
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
 #include "src/data/version_map.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/instantiation_pipeline.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
@@ -135,6 +137,11 @@ class NimbusController {
   // ---- Introspection ----
   const VersionMap& versions() const { return versions_; }
   core::TemplateManager& templates() { return templates_; }
+  // The sharded instantiation engine this controller drives instantiations through
+  // (DESIGN.md §7). Ships on InlineExecutor with 1 shard: the simulator must stay
+  // bit-reproducible, and engine results are executor- and shard-count-invariant, so any
+  // reconfiguration (tests poke it) cannot change observable behavior.
+  runtime::InstantiationPipeline& instantiation_pipeline() { return pipeline_; }
   sim::Duration control_busy() const { return control_thread_.total_busy(); }
   std::uint64_t tasks_dispatched() const { return tasks_dispatched_; }
   std::uint64_t tasks_via_templates() const { return tasks_via_templates_; }
@@ -235,6 +242,10 @@ class NimbusController {
   sim::Processor control_thread_;
   core::TemplateManager templates_;
   VersionMap versions_;
+  // Instantiation engine: validation, version-map effects, and per-worker message assembly
+  // all route through the pipeline (declared after the state it borrows).
+  runtime::InlineExecutor inline_executor_;
+  runtime::InstantiationPipeline pipeline_{&inline_executor_, 1};
 
   int partitions_ = 0;
   core::Assignment assignment_;

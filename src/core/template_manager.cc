@@ -13,7 +13,9 @@ TemplateId TemplateManager::BeginCapture(const std::string& name) {
   const TemplateId id = template_ids_.Next();
   auto tmpl = std::make_unique<ControllerTemplate>(id, name);
   capturing_ = tmpl.get();
-  templates_.emplace(id, std::move(tmpl));
+  // Ids are allocated contiguously from 0: the new slot is always the back.
+  NIMBUS_CHECK_EQ(id.value(), templates_.size());
+  templates_.push_back(TemplateSlot{std::move(tmpl), {}});
   by_name_[name] = id;
   return id;
 }
@@ -46,13 +48,17 @@ ControllerTemplate* TemplateManager::FinishCapture() {
 }
 
 ControllerTemplate* TemplateManager::Find(TemplateId id) {
-  auto it = templates_.find(id);
-  return it == templates_.end() ? nullptr : it->second.get();
+  if (!id.valid() || id.value() >= templates_.size()) {
+    return nullptr;
+  }
+  return templates_[static_cast<std::size_t>(id.value())].controller_template.get();
 }
 
 const ControllerTemplate* TemplateManager::Find(TemplateId id) const {
-  auto it = templates_.find(id);
-  return it == templates_.end() ? nullptr : it->second.get();
+  if (!id.valid() || id.value() >= templates_.size()) {
+    return nullptr;
+  }
+  return templates_[static_cast<std::size_t>(id.value())].controller_template.get();
 }
 
 TemplateId TemplateManager::FindByName(const std::string& name) const {
@@ -67,20 +73,23 @@ TemplateId TemplateManager::FindByName(const std::string& name) const {
 WorkerTemplateSet* TemplateManager::GetOrProject(TemplateId id, const Assignment& assignment,
                                                  const ObjectBytesFn& object_bytes,
                                                  bool* newly_projected) {
-  const ProjectionKey key{id, assignment.Signature()};
-  auto it = projections_.find(key);
-  if (it != projections_.end()) {
+  if (WorkerTemplateSet* found = FindProjection(id, assignment)) {
     if (newly_projected != nullptr) {
       *newly_projected = false;
     }
-    return it->second.get();
+    return found;
   }
   ControllerTemplate* tmpl = Find(id);
   NIMBUS_CHECK(tmpl != nullptr) << "unknown template " << id;
+  const WorkerTemplateId wtid = worker_template_ids_.Next();
   auto set = std::make_unique<WorkerTemplateSet>(
-      ProjectBlock(*tmpl, assignment, worker_template_ids_.Next(), object_bytes));
+      ProjectBlock(*tmpl, assignment, wtid, object_bytes));
   WorkerTemplateSet* out = set.get();
-  projections_.emplace(key, std::move(set));
+  // Worker-template ids are allocated contiguously from 0: the id value is the index.
+  NIMBUS_CHECK_EQ(wtid.value(), projections_.size());
+  projections_.push_back(std::move(set));
+  templates_[static_cast<std::size_t>(id.value())].projections.emplace_back(
+      assignment.Signature(), static_cast<DenseIndex>(wtid.value()));
   if (newly_projected != nullptr) {
     *newly_projected = true;
   }
@@ -89,8 +98,18 @@ WorkerTemplateSet* TemplateManager::GetOrProject(TemplateId id, const Assignment
 
 WorkerTemplateSet* TemplateManager::FindProjection(TemplateId id,
                                                    const Assignment& assignment) {
-  auto it = projections_.find(ProjectionKey{id, assignment.Signature()});
-  return it == projections_.end() ? nullptr : it->second.get();
+  if (!id.valid() || id.value() >= templates_.size()) {
+    return nullptr;
+  }
+  // A template has a handful of cached schedules: a linear scan of its (signature ->
+  // worker-template id) list beats any hash, and the pair key cannot alias.
+  const std::uint64_t signature = assignment.Signature();
+  for (const auto& [sig, index] : templates_[static_cast<std::size_t>(id.value())].projections) {
+    if (sig == signature) {
+      return projections_[index].get();
+    }
+  }
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------------------
@@ -122,7 +141,14 @@ std::vector<PatchDirective> TemplateManager::Validate(const WorkerTemplateSet& s
 
 Patch TemplateManager::ResolvePatch(const WorkerTemplateSet& set, std::uint64_t prev_executed,
                                     const VersionMap& versions, bool* cache_hit) {
-  std::vector<PatchDirective> required = Validate(set, versions);
+  return ResolvePatchFrom(set, prev_executed, versions, Validate(set, versions), cache_hit);
+}
+
+Patch TemplateManager::ResolvePatchFrom(const WorkerTemplateSet& set,
+                                        std::uint64_t prev_executed,
+                                        const VersionMap& versions,
+                                        std::vector<PatchDirective> required,
+                                        bool* cache_hit) {
   if (cache_hit != nullptr) {
     *cache_hit = false;
   }

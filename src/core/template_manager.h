@@ -25,7 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/common/hash.h"
+#include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/core/controller_template.h"
 #include "src/core/patch.h"
@@ -93,6 +93,13 @@ class TemplateManager {
   Patch ResolvePatch(const WorkerTemplateSet& set, std::uint64_t prev_executed,
                      const VersionMap& versions, bool* cache_hit = nullptr);
 
+  // Same, but takes the validation result instead of recomputing it — the entry point for
+  // the sharded engine, which validates through its own per-shard sweep
+  // (runtime::InstantiationPipeline) and only needs the cache consulted here.
+  Patch ResolvePatchFrom(const WorkerTemplateSet& set, std::uint64_t prev_executed,
+                         const VersionMap& versions, std::vector<PatchDirective> required,
+                         bool* cache_hit = nullptr);
+
   // --- Instantiation bookkeeping ---
 
   // Applies the set's cached version-map delta (write counts + final holders) and the
@@ -126,30 +133,24 @@ class TemplateManager {
   IdAllocator<WorkerTemplateId>& worker_template_ids() { return worker_template_ids_; }
 
  private:
-  // A cached projection is identified by the full (template, assignment signature) pair —
-  // folding the two into one uint64 key could silently alias two distinct projections.
-  struct ProjectionKey {
-    TemplateId id;
-    std::uint64_t signature = 0;
-
-    friend bool operator==(const ProjectionKey& a, const ProjectionKey& b) {
-      return a.id == b.id && a.signature == b.signature;
-    }
-  };
-
-  struct ProjectionKeyHash {
-    std::size_t operator()(const ProjectionKey& key) const {
-      return HashCombine(std::hash<TemplateId>{}(key.id),
-                         std::hash<std::uint64_t>{}(key.signature));
-    }
+  // Dense layout (DESIGN.md §6.6): TemplateId and WorkerTemplateId are allocated
+  // contiguously from 0 by this class, so the id value doubles as the index into flat
+  // arrays. A cached projection is found via its parent template's small (signature ->
+  // worker-template id) list — templates have a handful of schedules, so a linear scan
+  // beats hashing and keeps the full (template, signature) pair as the identity (folding
+  // the two into one uint64 key could silently alias two distinct projections). The only
+  // hash map left is the name lookup: the string intern boundary.
+  struct TemplateSlot {
+    std::unique_ptr<ControllerTemplate> controller_template;
+    // Projections of this template: (assignment signature, index into projections_).
+    std::vector<std::pair<std::uint64_t, DenseIndex>> projections;
   };
 
   IdAllocator<TemplateId> template_ids_;
   IdAllocator<WorkerTemplateId> worker_template_ids_;
-  std::unordered_map<TemplateId, std::unique_ptr<ControllerTemplate>> templates_;
-  std::unordered_map<std::string, TemplateId> by_name_;
-  std::unordered_map<ProjectionKey, std::unique_ptr<WorkerTemplateSet>, ProjectionKeyHash>
-      projections_;
+  std::vector<TemplateSlot> templates_;  // by TemplateId value
+  std::vector<std::unique_ptr<WorkerTemplateSet>> projections_;  // by WorkerTemplateId value
+  std::unordered_map<std::string, TemplateId> by_name_;  // cold, driver-facing
   ControllerTemplate* capturing_ = nullptr;
   PatchCache patch_cache_;
 };

@@ -1,0 +1,176 @@
+#include "src/runtime/executor.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace nimbus::runtime {
+
+std::uint64_t Executor::ThreadNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void Executor::AccountBatch(const std::vector<std::uint64_t>& job_busy_ns,
+                            std::uint64_t steals, std::uint64_t wall_ns) {
+  std::uint64_t busy = 0;
+  std::uint64_t longest = 0;
+  for (std::uint64_t ns : job_busy_ns) {
+    busy += ns;
+    longest = std::max(longest, ns);
+  }
+  counters_.jobs_run += job_busy_ns.size();
+  counters_.batches += 1;
+  counters_.steals += steals;
+  counters_.busy_ns += busy;
+  // Greedy-schedule lower bound for this batch on `concurrency()` lanes.
+  counters_.critical_path_ns +=
+      std::max(longest, busy / static_cast<std::uint64_t>(concurrency()));
+  counters_.wall_ns += wall_ns;
+}
+
+namespace {
+std::uint64_t WallNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+// -----------------------------------------------------------------------------------------
+// InlineExecutor
+// -----------------------------------------------------------------------------------------
+
+void InlineExecutor::Run(std::size_t count, const JobFn& fn) {
+  const std::uint64_t wall_start = WallNowNs();
+  std::vector<std::uint64_t> job_busy_ns(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t start = ThreadNowNs();
+    fn(i);
+    job_busy_ns[i] = ThreadNowNs() - start;
+  }
+  AccountBatch(job_busy_ns, /*steals=*/0, WallNowNs() - wall_start);
+}
+
+// -----------------------------------------------------------------------------------------
+// ThreadPoolExecutor
+// -----------------------------------------------------------------------------------------
+
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads) {
+  NIMBUS_CHECK_GT(threads, 0u);
+  threads_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    // Pool thread t drains as claimant lane t; the submitting thread claims as the last
+    // lane (see Run).
+    threads_.emplace_back([this, t]() { WorkerLoop(t); });
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPoolExecutor::Drain(Batch* batch, std::size_t thread_index) {
+  const std::size_t lanes = concurrency();
+  for (;;) {
+    const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->count) {
+      return;
+    }
+    if (i % lanes != thread_index) {
+      batch->steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t start = ThreadNowNs();
+    (*batch->fn)(i);
+    batch->job_busy_ns[i] = ThreadNowNs() - start;
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->count) {
+      // Lock before notifying: without it the submitter can check the predicate, miss this
+      // notification, and sleep forever (classic lost wakeup).
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPoolExecutor::WorkerLoop(std::size_t thread_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&]() { return stopping_ || batch_epoch_ != seen_epoch; });
+      if (stopping_) {
+        return;
+      }
+      seen_epoch = batch_epoch_;
+      batch = current_;
+      if (batch != nullptr) {
+        // Registered under the lock: Run() cannot retire the batch while this thread holds
+        // a pointer into it (the batch lives on Run's stack).
+        ++batch->drainers;
+      }
+    }
+    if (batch != nullptr) {
+      Drain(batch, thread_index);
+      std::lock_guard<std::mutex> lock(mu_);
+      --batch->drainers;
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPoolExecutor::Run(std::size_t count, const JobFn& fn) {
+  if (count == 0) {
+    return;
+  }
+  const std::uint64_t wall_start = WallNowNs();
+  if (count == 1) {
+    // A single job cannot parallelize: run it on the caller and skip the wakeup round
+    // trip entirely (a 1-shard engine on a pool must behave like the serial engine).
+    std::vector<std::uint64_t> job_busy_ns(1, 0);
+    const std::uint64_t start = ThreadNowNs();
+    fn(0);
+    job_busy_ns[0] = ThreadNowNs() - start;
+    AccountBatch(job_busy_ns, /*steals=*/0, WallNowNs() - wall_start);
+    return;
+  }
+  Batch batch;
+  batch.fn = &fn;
+  batch.count = count;
+  batch.job_busy_ns.assign(count, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+    ++batch_epoch_;
+  }
+  work_ready_.notify_all();
+  // The submitting thread claims as the last lane, so a 1-core container still makes
+  // progress while pool threads wait for timeslices.
+  Drain(&batch, threads_.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&]() {
+      return batch.done.load(std::memory_order_acquire) == batch.count &&
+             batch.drainers == 0;
+    });
+    // Un-publish before the batch leaves scope: late-waking workers must find nullptr.
+    current_ = nullptr;
+  }
+  AccountBatch(batch.job_busy_ns, batch.steals.load(std::memory_order_relaxed),
+               WallNowNs() - wall_start);
+}
+
+}  // namespace nimbus::runtime

@@ -1,0 +1,441 @@
+#include "src/runtime/instantiation_pipeline.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace nimbus::runtime {
+
+InstantiationPipeline::InstantiationPipeline(Executor* executor, std::uint32_t shard_count)
+    : executor_(executor), shard_count_(shard_count) {
+  NIMBUS_CHECK(IsPowerOfTwo(shard_count))
+      << "shard count must be a power of two, got " << shard_count;
+  shard_counters_.EnsureShards(shard_count_);
+}
+
+void InstantiationPipeline::Configure(Executor* executor, std::uint32_t shard_count) {
+  NIMBUS_CHECK(IsPowerOfTwo(shard_count))
+      << "shard count must be a power of two, got " << shard_count;
+  executor_ = executor;
+  shard_count_ = shard_count;
+  plans_ = DenseMap<ShardPlan>{};
+  shard_counters_.Clear();
+  shard_counters_.EnsureShards(shard_count_);
+}
+
+// -----------------------------------------------------------------------------------------
+// Shard plans
+// -----------------------------------------------------------------------------------------
+
+void InstantiationPipeline::BuildPlan(const core::CompiledInstantiation& compiled,
+                                      std::uint32_t shard_count, ShardPlan* plan) {
+  plan->map_uid = compiled.map_uid;
+  plan->set_generation = compiled.set_generation;
+  plan->shard_count = shard_count;
+  plan->built = true;
+  // A rebuild can cover objects the old plan never swept (edits add write deltas, ad-hoc
+  // plans serve unrelated sets): the existence memo must not survive it.
+  plan->all_objects_exist = false;
+  plan->exist_checked_epoch = 0;
+  plan->pre_by_shard.assign(shard_count, {});
+  plan->delta_by_shard.assign(shard_count, {});
+  for (std::uint32_t i = 0; i < compiled.preconditions.size(); ++i) {
+    const auto& pre = compiled.preconditions[i];
+    plan->pre_by_shard[ShardOfIndex(pre.object, shard_count)].push_back(
+        PlannedPrecondition{pre, i});
+  }
+  for (const auto& delta : compiled.write_deltas) {
+    plan->delta_by_shard[ShardOfIndex(delta.object, shard_count)].push_back(delta);
+  }
+}
+
+InstantiationPipeline::ShardPlan& InstantiationPipeline::PlanFor(
+    const core::WorkerTemplateSet& set, const core::CompiledInstantiation& compiled) {
+  // Ad-hoc sets (invalid id) never reach here: they take the flat sweeps directly.
+  NIMBUS_CHECK(set.id().valid());
+  // Worker-template ids are allocated contiguously from 0 (see TemplateManager), so the
+  // id value doubles as the dense index, like the controller's set_states_.
+  const auto index = static_cast<DenseIndex>(set.id().value());
+  plans_.EnsureSize(index + 1);
+  ShardPlan* plan = &plans_[index];
+  if (!plan->built || plan->map_uid != compiled.map_uid ||
+      plan->set_generation != compiled.set_generation ||
+      plan->shard_count != shard_count_) {
+    BuildPlan(compiled, shard_count_, plan);
+  }
+  return *plan;
+}
+
+// -----------------------------------------------------------------------------------------
+// Validate
+// -----------------------------------------------------------------------------------------
+
+std::uint32_t InstantiationPipeline::ValidateSubchunks() const {
+  return std::min(shard_count_, 4u);
+}
+
+std::size_t InstantiationPipeline::ValidateJobCount() const {
+  return static_cast<std::size_t>(shard_count_) * ValidateSubchunks();
+}
+
+void InstantiationPipeline::ValidateJob(const ShardPlan& plan, const VersionMap& versions,
+                                        std::size_t job, std::vector<TaggedFailure>* out,
+                                        std::uint64_t* checked) {
+  const std::uint32_t subs = ValidateSubchunks();
+  const auto s = static_cast<std::uint32_t>(job / subs);
+  const std::size_t sub = job % subs;
+  const auto& planned_pres = plan.pre_by_shard[s];
+  const std::size_t begin = sub * planned_pres.size() / subs;
+  const std::size_t end = (sub + 1) * planned_pres.size() / subs;
+  // The shard view is how this sweep promises to stay inside its dense-index range; the
+  // underlying probes are the same flat-array accesses the flat sweep does.
+  ShardedVersionMap sharded(const_cast<VersionMap*>(&versions), shard_count_);
+  ShardedVersionMap::Shard shard = sharded.shard(s);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& pre = planned_pres[i].pre;
+    ++*checked;
+    if (!shard.ExistsDense(pre.object)) {
+      // Not created yet: the block itself creates it on first write (see the flat sweep).
+      continue;
+    }
+    if (!shard.WorkerHasLatestDense(pre.object, pre.worker)) {
+      const WorkerId src = shard.AnyLatestHolderDense(pre.object);
+      NIMBUS_CHECK(src.valid()) << "no live replica of object " << pre.sparse_object
+                                << " (unrecoverable data loss outside checkpoint path)";
+      out->push_back(TaggedFailure{
+          planned_pres[i].compiled_index,
+          core::PatchDirective{pre.sparse_object, src, pre.sparse_worker, pre.bytes}});
+    }
+  }
+}
+
+void InstantiationPipeline::FoldValidateCounters(
+    const std::vector<std::vector<TaggedFailure>>& failures,
+    const std::vector<std::uint64_t>& checked) {
+  const std::uint32_t subs = ValidateSubchunks();
+  for (std::size_t job = 0; job < failures.size(); ++job) {
+    const auto s = static_cast<std::uint32_t>(job / subs);
+    shard_counters_.preconditions_checked[s] += checked[job];
+    shard_counters_.validation_failures[s] += failures[job].size();
+  }
+  ++shard_counters_.validate_batches;
+}
+
+std::vector<core::PatchDirective> InstantiationPipeline::MergeFailures(
+    std::vector<std::vector<TaggedFailure>> failures) {
+  std::vector<TaggedFailure> all;
+  std::size_t total = 0;
+  for (const auto& f : failures) {
+    total += f.size();
+  }
+  all.reserve(total);
+  for (auto& f : failures) {
+    all.insert(all.end(), std::make_move_iterator(f.begin()),
+               std::make_move_iterator(f.end()));
+  }
+  // Restore the flat sweep's order (compiled preconditions are (object, dst)-sorted, and
+  // downstream consumers — the patch cache's reuse check — rely on it).
+  std::sort(all.begin(), all.end(), [](const TaggedFailure& a, const TaggedFailure& b) {
+    return a.compiled_index < b.compiled_index;
+  });
+  std::vector<core::PatchDirective> out;
+  out.reserve(all.size());
+  for (TaggedFailure& f : all) {
+    out.push_back(std::move(f.directive));
+  }
+  return out;
+}
+
+// The flat precondition sweep (TemplateManager::Validate's logic) over an arbitrary
+// compiled range, appending directly in compiled order.
+namespace {
+template <typename PlannedRange>
+std::uint64_t SweepPreconditions(const PlannedRange& range, const VersionMap& versions,
+                                 std::vector<core::PatchDirective>* out) {
+  std::uint64_t checked = 0;
+  for (const auto& entry : range) {
+    const auto& pre = entry.pre;
+    ++checked;
+    if (!versions.ExistsDense(pre.object)) {
+      continue;  // not created yet: the block itself creates it on first write
+    }
+    if (!versions.WorkerHasLatestDense(pre.object, pre.worker)) {
+      const WorkerId src = versions.AnyLatestHolderDense(pre.object);
+      NIMBUS_CHECK(src.valid()) << "no live replica of object " << pre.sparse_object
+                                << " (unrecoverable data loss outside checkpoint path)";
+      out->push_back(
+          core::PatchDirective{pre.sparse_object, src, pre.sparse_worker, pre.bytes});
+    }
+  }
+  return checked;
+}
+
+// Adapts raw compiled preconditions to SweepPreconditions' entry.pre shape.
+struct CompiledRangeView {
+  const std::vector<core::CompiledInstantiation::CompiledPrecondition>& pres;
+  struct Entry {
+    const core::CompiledInstantiation::CompiledPrecondition& pre;
+  };
+  struct Iterator {
+    const core::CompiledInstantiation::CompiledPrecondition* p;
+    Entry operator*() const { return Entry{*p}; }
+    Iterator& operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return p != o.p; }
+  };
+  Iterator begin() const { return Iterator{pres.data()}; }
+  Iterator end() const { return Iterator{pres.data() + pres.size()}; }
+};
+}  // namespace
+
+std::vector<core::PatchDirective> InstantiationPipeline::Validate(
+    const core::WorkerTemplateSet& set, const VersionMap& versions) {
+  // Compiling (and plan building) intern through hash maps: strictly before the batch.
+  const core::CompiledInstantiation& compiled = set.CompiledFor(versions);
+  if (!set.id().valid()) {
+    // Ad-hoc sets (the central-dispatch path) are throwaway: a shard plan costs more to
+    // build than it could ever save, so they take the flat sweep directly.
+    std::vector<core::PatchDirective> out;
+    shard_counters_.preconditions_checked[0] +=
+        SweepPreconditions(CompiledRangeView{compiled.preconditions}, versions, &out);
+    shard_counters_.validation_failures[0] += out.size();
+    ++shard_counters_.validate_batches;
+    return out;
+  }
+  const ShardPlan& plan = PlanFor(set, compiled);
+  const std::size_t jobs = ValidateJobCount();
+  if (jobs == 1) {
+    // The controller's shipped configuration (1 shard): one contiguous sweep appending in
+    // compiled order — no tagging, no merge, no sort.
+    std::vector<core::PatchDirective> out;
+    std::uint64_t checked = 0;
+    executor_->Run(1, [&](std::size_t) {
+      checked = SweepPreconditions(plan.pre_by_shard[0], versions, &out);
+    });
+    shard_counters_.preconditions_checked[0] += checked;
+    shard_counters_.validation_failures[0] += out.size();
+    ++shard_counters_.validate_batches;
+    return out;
+  }
+  std::vector<std::vector<TaggedFailure>> failures(jobs);
+  std::vector<std::uint64_t> checked(jobs, 0);
+  executor_->Run(jobs, [&](std::size_t job) {
+    ValidateJob(plan, versions, job, &failures[job], &checked[job]);
+  });
+  FoldValidateCounters(failures, checked);
+  return MergeFailures(std::move(failures));
+}
+
+// -----------------------------------------------------------------------------------------
+// Apply
+// -----------------------------------------------------------------------------------------
+
+void InstantiationPipeline::EnsureObjectsExistPlanned(
+    ShardPlan* plan, const core::CompiledInstantiation& compiled, VersionMap* versions) {
+  if (plan->all_objects_exist && plan->exist_checked_epoch == versions->churn_epoch()) {
+    return;  // nothing destroyed since the last full sweep: every delta object still exists
+  }
+  for (const auto& delta : compiled.write_deltas) {
+    if (!versions->ExistsDense(delta.object)) {
+      versions->CreateObjectDense(delta.object, delta.primary_holder);
+    }
+  }
+  plan->all_objects_exist = true;
+  plan->exist_checked_epoch = versions->churn_epoch();
+}
+
+void InstantiationPipeline::ApplyEffects(const core::WorkerTemplateSet& set,
+                                         const core::Patch& patch, VersionMap* versions) {
+  const core::CompiledInstantiation& compiled = set.CompiledFor(*versions);
+  if (!set.id().valid()) {
+    // Ad-hoc sets: flat application (TemplateManager::ApplyInstantiationEffects' logic),
+    // no shard plan.
+    for (const core::PatchDirective& d : patch.directives) {
+      versions->RecordCopyToLatest(d.object, d.dst);
+    }
+    for (const auto& delta : compiled.write_deltas) {
+      if (!versions->ExistsDense(delta.object)) {
+        versions->CreateObjectDense(delta.object, delta.primary_holder);
+      }
+      versions->AdvanceVersionsDense(delta.object, delta.primary_holder, delta.write_count);
+      for (DenseIndex holder : delta.extra_holders) {
+        versions->RecordCopyToLatestDense(delta.object, holder);
+      }
+    }
+    shard_counters_.deltas_applied[0] += compiled.write_deltas.size();
+    ++shard_counters_.apply_batches;
+    return;
+  }
+  ShardPlan& plan = PlanFor(set, compiled);
+
+  // Serial prologue: interning mutates the id-space hash maps, and object creation bumps
+  // map-global counters — both stay off the shard batch.
+  struct DenseCopy {
+    DenseIndex object;
+    DenseIndex dst;
+  };
+  std::vector<std::vector<DenseCopy>> copies_by_shard(shard_count_);
+  for (const core::PatchDirective& d : patch.directives) {
+    const DenseIndex object = versions->InternObject(d.object);
+    copies_by_shard[ShardOfIndex(object, shard_count_)].push_back(
+        DenseCopy{object, versions->InternWorker(d.dst)});
+  }
+  EnsureObjectsExistPlanned(&plan, compiled, versions);
+
+  ShardedVersionMap sharded(versions, shard_count_);
+  executor_->Run(shard_count_, [&](std::size_t job) {
+    const auto s = static_cast<std::uint32_t>(job);
+    ShardedVersionMap::Shard shard = sharded.shard(s);
+    // Patch copies land before the block's own writes, as in the flat path; per object
+    // both live in the same shard, so the relative order is preserved.
+    for (const DenseCopy& c : copies_by_shard[s]) {
+      shard.RecordCopyToLatestDense(c.object, c.dst);
+    }
+    for (const auto& delta : plan.delta_by_shard[s]) {
+      shard.AdvanceVersionsDense(delta.object, delta.primary_holder, delta.write_count);
+      for (DenseIndex holder : delta.extra_holders) {
+        shard.RecordCopyToLatestDense(delta.object, holder);
+      }
+    }
+    shard_counters_.deltas_applied[s] += plan.delta_by_shard[s].size();
+  });
+  ++shard_counters_.apply_batches;
+}
+
+void InstantiationPipeline::EnsureObjectsExist(const core::WorkerTemplateSet& set,
+                                               VersionMap* versions) {
+  const core::CompiledInstantiation& compiled = set.CompiledFor(*versions);
+  if (!set.id().valid()) {
+    for (const auto& delta : compiled.write_deltas) {
+      if (!versions->ExistsDense(delta.object)) {
+        versions->CreateObjectDense(delta.object, delta.primary_holder);
+      }
+    }
+    return;
+  }
+  EnsureObjectsExistPlanned(&PlanFor(set, compiled), compiled, versions);
+}
+
+// -----------------------------------------------------------------------------------------
+// Assemble (+ overlapped next-block validation)
+// -----------------------------------------------------------------------------------------
+
+void InstantiationPipeline::AssembleChunk(const core::WorkerTemplateSet& set,
+                                          const ParamList& params,
+                                          const core::EditPlan* edits, std::size_t begin,
+                                          std::size_t end,
+                                          std::vector<WorkerMessage>* messages) {
+  const auto& halves = set.halves();
+  const auto& meta = set.entry_meta();
+  for (std::size_t h = begin; h < end; ++h) {
+    const core::WorkerHalf& half = halves[h];
+    WorkerMessage& msg = (*messages)[h];
+    msg.worker = half.worker;
+    msg.half_index = static_cast<std::uint32_t>(h);
+    if (half.entries.empty()) {
+      continue;  // dropped by the caller; the dispatcher skips workers with no commands
+    }
+    msg.entry_count = half.entries.size();
+    std::int64_t wire = 64;
+    for (const auto& [slot, blob] : params) {
+      // Route each parameter to the worker owning its entry (the flat path shipped the
+      // full list to every worker and let them discard foreign slots).
+      if (slot >= 0 && static_cast<std::size_t>(slot) < meta.size() &&
+          meta[static_cast<std::size_t>(slot)].worker == half.worker) {
+        msg.params.emplace_back(slot, blob);
+        wire += 8 + static_cast<std::int64_t>(blob.size());
+      }
+    }
+    if (edits != nullptr) {
+      auto it = edits->per_worker.find(half.worker);
+      if (it != edits->per_worker.end() && !it->second.empty()) {
+        msg.edits = &it->second;
+        for (const core::WorkerEditOp& op : it->second) {
+          wire += op.WireSize();
+        }
+      }
+    }
+    msg.wire_size = wire;
+  }
+}
+
+std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
+    const core::WorkerTemplateSet& set, const ParamList& params, const core::EditPlan* edits,
+    const core::WorkerTemplateSet* next_set, const VersionMap* versions,
+    std::vector<core::PatchDirective>* next_required) {
+  const auto& halves = set.halves();
+  std::vector<WorkerMessage> messages(halves.size());
+
+  const ShardPlan* next_plan = nullptr;
+  const std::size_t next_jobs = next_set != nullptr ? ValidateJobCount() : 0;
+  std::vector<std::vector<TaggedFailure>> next_failures(next_jobs);
+  std::vector<std::uint64_t> next_checked(next_jobs, 0);
+  if (next_set != nullptr) {
+    NIMBUS_CHECK(versions != nullptr && next_required != nullptr);
+    next_plan = &PlanFor(*next_set, next_set->CompiledFor(*versions));  // serial: interns
+  }
+
+  // The engine's parallelism degree is the shard count across every stage: assembly runs
+  // as shard_count contiguous chunks of halves, not one job per half (per-worker jobs are
+  // too fine for the executor's per-job overhead, and would make a 1-shard engine
+  // implicitly parallel).
+  const std::size_t chunks = shard_count_;
+  const std::size_t total_jobs = chunks + next_jobs;
+  executor_->Run(total_jobs, [&](std::size_t job) {
+    if (job >= chunks) {
+      // Block N+1's validation riding the same batch: it only reads the version map, which
+      // no assembly job touches.
+      const std::size_t vjob = job - chunks;
+      ValidateJob(*next_plan, *versions, vjob, &next_failures[vjob], &next_checked[vjob]);
+      return;
+    }
+    const std::size_t begin = job * halves.size() / chunks;
+    const std::size_t end = (job + 1) * halves.size() / chunks;
+    AssembleChunk(set, params, edits, begin, end, &messages);
+  });
+
+  shard_counters_.assemble_jobs += chunks;
+  if (next_set != nullptr) {
+    FoldValidateCounters(next_failures, next_checked);
+    *next_required = MergeFailures(std::move(next_failures));
+  }
+
+  // Compact out empty halves, preserving half order (the dispatch order of the flat path).
+  std::vector<WorkerMessage> out;
+  out.reserve(messages.size());
+  for (WorkerMessage& m : messages) {
+    if (!halves[m.half_index].entries.empty()) {
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+// -----------------------------------------------------------------------------------------
+// Full engine-driven instantiation
+// -----------------------------------------------------------------------------------------
+
+InstantiationOutcome InstantiationPipeline::Run(const core::WorkerTemplateSet& set,
+                                                VersionMap* versions, const ParamList& params,
+                                                const core::EditPlan* edits,
+                                                const ResolvePatchFn& resolve_patch,
+                                                const core::WorkerTemplateSet* next_set) {
+  InstantiationOutcome outcome;
+  outcome.required = Validate(set, *versions);
+  if (!outcome.required.empty()) {
+    if (resolve_patch) {
+      outcome.patch = resolve_patch(outcome.required, &outcome.patch_cache_hit);
+    } else {
+      outcome.patch.directives = outcome.required;
+    }
+  }
+  ApplyEffects(set, outcome.patch, versions);  // creates missing objects itself
+  // Overlap point: block N's messages assemble while block N+1 validates.
+  outcome.messages = AssembleMessages(set, params, edits, next_set, versions,
+                                      next_set != nullptr ? &outcome.next_required : nullptr);
+  return outcome;
+}
+
+}  // namespace nimbus::runtime

@@ -1,0 +1,207 @@
+// The sharded instantiation engine (DESIGN.md §7).
+//
+// Splits one worker-template-set instantiation into independent jobs an Executor can run in
+// parallel without giving up the flat path's determinism:
+//
+//  * validate     — one job per shard, sweeping the shard's slice of the compiled
+//                   precondition array against its dense-index range of the version map;
+//  * apply-delta  — one job per shard, applying the shard's patch-copy effects and compiled
+//                   write deltas (shard-disjoint writes, order-independent by construction);
+//  * assemble     — one job per worker half, routing instantiation parameters and pending
+//                   edit ops to the worker they address and sizing the wire message.
+//
+// The assemble batch can additionally carry the *next* block's validate jobs: message
+// assembly never touches the version map, so once block N's deltas are applied, validating
+// block N+1 overlaps with assembling block N's messages (the ROADMAP's pipelined controller
+// loop). With the InlineExecutor the same batches run sequentially in index order and the
+// engine is bit-identical to the flat path — which is why the simulator keeps it.
+//
+// Shard plans (which compiled-array entries each shard owns) are cached per worker-template
+// set and revalidated by (map uid, set edit generation, shard count), exactly like compiled
+// instantiations (§6.3).
+
+#ifndef NIMBUS_SRC_RUNTIME_INSTANTIATION_PIPELINE_H_
+#define NIMBUS_SRC_RUNTIME_INSTANTIATION_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/dense_id.h"
+#include "src/common/ids.h"
+#include "src/common/serialize.h"
+#include "src/common/stats.h"
+#include "src/core/patch.h"
+#include "src/core/template_manager.h"
+#include "src/core/worker_template.h"
+#include "src/data/version_map.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/sharded_version_map.h"
+
+namespace nimbus::runtime {
+
+// Sparse per-entry instantiation parameters: (global entry index, blob).
+using ParamList = std::vector<std::pair<std::int32_t, ParameterBlob>>;
+
+// One worker's assembled share of an instantiation: everything the controller needs to
+// build the wire message, with parameters already routed to the worker that owns the entry
+// (workers used to receive the full parameter list and discard foreign slots; routing here
+// shrinks the wire and parallelizes the routing work).
+struct WorkerMessage {
+  WorkerId worker;
+  std::uint32_t half_index = 0;  // index into set.halves()
+  std::size_t entry_count = 0;   // table size incl. tombstones (O(1); live_count is O(n))
+  ParamList params;  // only slots whose entry lives on this worker
+  const std::vector<core::WorkerEditOp>* edits = nullptr;  // borrowed from the EditPlan
+  std::int64_t wire_size = 0;  // mirrors InstantiateMsg::WireSize()
+};
+
+// Everything one engine-driven instantiation produced. `required` is what validation found
+// (the resolved patch may come from the patch cache); `next_required` is block N+1's
+// validation result when a next set was supplied for overlap.
+struct InstantiationOutcome {
+  std::vector<core::PatchDirective> required;
+  core::Patch patch;
+  bool patch_cache_hit = false;
+  std::vector<WorkerMessage> messages;
+  std::vector<core::PatchDirective> next_required;
+};
+
+// Resolves the patch for a validation result (typically TemplateManager::ResolvePatchFrom,
+// which consults the patch cache).
+using ResolvePatchFn =
+    std::function<core::Patch(std::vector<core::PatchDirective> required, bool* cache_hit)>;
+
+class InstantiationPipeline {
+ public:
+  // The pipeline borrows the executor. `shard_count` must be a power of two.
+  InstantiationPipeline(Executor* executor, std::uint32_t shard_count);
+
+  // Swaps the executor and/or shard count (drops cached shard plans and counters). The
+  // simulator stays on (InlineExecutor, any shard count) — results are identical; real
+  // parallelism is for the bench/test harnesses.
+  void Configure(Executor* executor, std::uint32_t shard_count);
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  Executor* executor() { return executor_; }
+
+  // Sharded equivalent of TemplateManager::Validate: returns the copy directives required
+  // to make all preconditions of `set` hold, in exactly the flat sweep's order.
+  std::vector<core::PatchDirective> Validate(const core::WorkerTemplateSet& set,
+                                             const VersionMap& versions);
+
+  // Sharded equivalent of TemplateManager::ApplyInstantiationEffects: patch-copy effects
+  // plus the compiled write deltas. Object creation (map-global state) runs serially before
+  // the shard batch.
+  void ApplyEffects(const core::WorkerTemplateSet& set, const core::Patch& patch,
+                    VersionMap* versions);
+
+  // First write creates an object on its in-block home (the controller's pre-dispatch
+  // sweep; serial — creation mutates map-global counters).
+  void EnsureObjectsExist(const core::WorkerTemplateSet& set, VersionMap* versions);
+
+  // Per-worker message assembly. Halves with no entries produce no message. When
+  // `next_set` is non-null its validation jobs ride in the same executor batch
+  // (assembly reads no version-map state, so this is the block-overlap point);
+  // the result lands in `next_required`, ordered like Validate().
+  std::vector<WorkerMessage> AssembleMessages(
+      const core::WorkerTemplateSet& set, const ParamList& params,
+      const core::EditPlan* edits, const core::WorkerTemplateSet* next_set = nullptr,
+      const VersionMap* versions = nullptr,
+      std::vector<core::PatchDirective>* next_required = nullptr);
+
+  // One full engine-driven instantiation: validate -> resolve patch -> apply ->
+  // [assemble || validate next]. The bench and the equivalence tests drive this; the
+  // controller calls the stages directly because cost accounting and network dispatch
+  // interleave with them.
+  InstantiationOutcome Run(const core::WorkerTemplateSet& set, VersionMap* versions,
+                           const ParamList& params, const core::EditPlan* edits,
+                           const ResolvePatchFn& resolve_patch,
+                           const core::WorkerTemplateSet* next_set = nullptr);
+
+  const ShardCounters& shard_counters() const { return shard_counters_; }
+  void ClearCounters() {
+    shard_counters_.Clear();
+    shard_counters_.EnsureShards(shard_count_);  // jobs index per-shard slots unguarded
+  }
+
+ private:
+  // A compiled precondition tagged with its index in the compiled array (merging per-shard
+  // failures back into flat-sweep order needs it).
+  struct PlannedPrecondition {
+    core::CompiledInstantiation::CompiledPrecondition pre;
+    std::uint32_t compiled_index = 0;
+  };
+
+  // Each shard's slice of the compiled arrays, cached per set and revalidated by (map uid,
+  // set generation, shard count). Entries are *materialized* per shard, not indexed: a
+  // shard's sweep must be a contiguous scan like the flat path's, or the hash partition
+  // turns every probe into a cache miss.
+  struct ShardPlan {
+    std::uint64_t map_uid = 0;
+    std::uint64_t set_generation = ~std::uint64_t{0};
+    std::uint32_t shard_count = 0;
+    bool built = false;
+    std::vector<std::vector<PlannedPrecondition>> pre_by_shard;
+    std::vector<std::vector<core::CompiledInstantiation::CompiledDelta>> delta_by_shard;
+    // Existence-sweep memo: once every delta object exists, it stays existing until the
+    // map's churn epoch moves (creation doesn't bump the epoch; destruction/restore does),
+    // so the O(deltas) create-missing sweep is skipped in steady state.
+    bool all_objects_exist = false;
+    std::uint64_t exist_checked_epoch = 0;
+  };
+
+  // A validation failure tagged with its index in the compiled precondition array, so
+  // per-shard results merge back into the flat sweep's order.
+  struct TaggedFailure {
+    std::uint32_t compiled_index = 0;
+    core::PatchDirective directive;
+  };
+
+  ShardPlan& PlanFor(const core::WorkerTemplateSet& set,
+                     const core::CompiledInstantiation& compiled);
+  static void BuildPlan(const core::CompiledInstantiation& compiled,
+                        std::uint32_t shard_count, ShardPlan* plan);
+
+  // The create-missing sweep behind EnsureObjectsExist/ApplyEffects, memoized on `plan`.
+  void EnsureObjectsExistPlanned(ShardPlan* plan,
+                                 const core::CompiledInstantiation& compiled,
+                                 VersionMap* versions);
+
+  // Validation decomposes finer than shards: the sweep only READS the version map, so a
+  // shard's slice can be scheduled as several sub-ranges (shorter critical path on an
+  // uneven batch) without touching the single-writer invariant — which only binds the
+  // apply stage. A 1-shard engine still gets exactly one job: sub-chunking scales with the
+  // shard count, never past it.
+  std::uint32_t ValidateSubchunks() const;
+  std::size_t ValidateJobCount() const;
+
+  // Runs validation job `job` (shard job/subs, sub-range job%subs) into `out[job]`,
+  // counting probes into `checked[job]`. Called from executor jobs; each job writes only
+  // its own slots.
+  void ValidateJob(const ShardPlan& plan, const VersionMap& versions, std::size_t job,
+                   std::vector<TaggedFailure>* out, std::uint64_t* checked);
+
+  // Serially folds per-job probe/failure counts into the per-shard counters after a batch.
+  void FoldValidateCounters(const std::vector<std::vector<TaggedFailure>>& failures,
+                            const std::vector<std::uint64_t>& checked);
+
+  // Assembles messages for halves [begin, end) into their slots of `messages`. Called from
+  // executor jobs; chunks write disjoint slots.
+  void AssembleChunk(const core::WorkerTemplateSet& set, const ParamList& params,
+                     const core::EditPlan* edits, std::size_t begin, std::size_t end,
+                     std::vector<WorkerMessage>* messages);
+
+  static std::vector<core::PatchDirective> MergeFailures(
+      std::vector<std::vector<TaggedFailure>> failures);
+
+  Executor* executor_;
+  std::uint32_t shard_count_;
+  DenseMap<ShardPlan> plans_;  // by worker-template-set id value (contiguous from 0)
+  ShardCounters shard_counters_;
+};
+
+}  // namespace nimbus::runtime
+
+#endif  // NIMBUS_SRC_RUNTIME_INSTANTIATION_PIPELINE_H_

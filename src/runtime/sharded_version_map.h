@@ -1,0 +1,186 @@
+// Sharded views over the control plane's flat per-object state (DESIGN.md §7).
+//
+// The dense-id migration (DESIGN.md §6) left VersionMap and ObjectDirectory as contiguous
+// arrays indexed by dense object id. That makes per-object state trivially partitionable:
+// a ShardedVersionMap is a zero-copy view that assigns every dense index to exactly one
+// shard and hands out per-shard writer views. The underlying arrays are *stolen*, not
+// copied — a shard view is a (map pointer, shard number) pair plus ownership checks.
+//
+// Ownership invariants:
+//  * `ShardOf` is a pure function of the dense index (a Fibonacci multiplicative hash of
+//    it — creation order interleaves object roles, e.g. tdata/grad pairs, so low-bit
+//    striping would send whole roles to one shard; the hash decorrelates them). It never
+//    changes as the interner grows, so shard plans compiled against the dense id space
+//    stay valid for the map's lifetime — the same reason compiled instantiations can cache
+//    dense indices (§6.3).
+//  * During a shard-parallel batch, shard s is the ONLY writer of the dense indices it
+//    owns, and per-object state is self-contained (no cross-object links in the arrays),
+//    so shards never contend and the final state is independent of execution order. Every
+//    Shard accessor checks ownership.
+//  * Object lifecycle operations (create/destroy/restore) mutate map-global state
+//    (live-object count, churn epoch) and are deliberately NOT on the Shard view: the
+//    pipeline performs them on the flat map between batches.
+//
+// Shard counts must be powers of two so ownership is a multiply-and-shift, not a division.
+
+#ifndef NIMBUS_SRC_RUNTIME_SHARDED_VERSION_MAP_H_
+#define NIMBUS_SRC_RUNTIME_SHARDED_VERSION_MAP_H_
+
+#include <cstdint>
+
+#include "src/common/dense_id.h"
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+#include "src/data/object_directory.h"
+#include "src/data/version_map.h"
+
+namespace nimbus::runtime {
+
+inline bool IsPowerOfTwo(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// The shard owning a dense index, for a power-of-two shard count. Fibonacci multiplicative
+// hashing: dense ids are assigned in creation order, which strides object roles (data /
+// gradient / reduction slots) through the id space; taking low bits would hand entire roles
+// to single shards, so the owner comes from the high bits of index * 2^32/phi instead.
+// Pure and total in the index: ownership never moves as the interner grows.
+inline std::uint32_t ShardOfIndex(DenseIndex index, std::uint32_t shard_count) {
+  if (shard_count == 1) {
+    return 0;
+  }
+  const std::uint32_t hashed = index * 2654435769u;  // 2^32 / golden ratio
+  return hashed >> (32 - static_cast<std::uint32_t>(__builtin_ctz(shard_count)));
+}
+
+class ShardedVersionMap {
+ public:
+  // One shard's read/write view: per-object state only, restricted to the dense indices the
+  // shard owns. Copyable by value into executor jobs.
+  class Shard {
+   public:
+    Shard(VersionMap* map, std::uint32_t shard, std::uint32_t shard_count)
+        : map_(map), shard_(shard), shard_count_(shard_count) {}
+
+    std::uint32_t shard() const { return shard_; }
+
+    bool ExistsDense(DenseIndex object) const {
+      CheckOwned(object);
+      return map_->ExistsDense(object);
+    }
+
+    bool WorkerHasLatestDense(DenseIndex object, DenseIndex worker) const {
+      CheckOwned(object);
+      return map_->WorkerHasLatestDense(object, worker);
+    }
+
+    WorkerId AnyLatestHolderDense(DenseIndex object) const {
+      CheckOwned(object);
+      return map_->AnyLatestHolderDense(object);
+    }
+
+    Version AdvanceVersionsDense(DenseIndex object, DenseIndex writer, std::uint32_t count) {
+      CheckOwned(object);
+      return map_->AdvanceVersionsDense(object, writer, count);
+    }
+
+    void RecordCopyToLatestDense(DenseIndex object, DenseIndex dst) {
+      CheckOwned(object);
+      map_->RecordCopyToLatestDense(object, dst);
+    }
+
+   private:
+    void CheckOwned(DenseIndex object) const {
+      NIMBUS_CHECK_EQ(ShardOfIndex(object, shard_count_), shard_)
+          << "shard " << shard_ << " touched foreign dense index " << object;
+    }
+
+    VersionMap* map_;
+    std::uint32_t shard_;
+    std::uint32_t shard_count_;
+  };
+
+  ShardedVersionMap(VersionMap* map, std::uint32_t shard_count)
+      : map_(map), shard_count_(shard_count) {
+    NIMBUS_CHECK(IsPowerOfTwo(shard_count))
+        << "shard count must be a power of two, got " << shard_count;
+  }
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  std::uint32_t ShardOf(DenseIndex object) const {
+    return ShardOfIndex(object, shard_count_);
+  }
+
+  Shard shard(std::uint32_t s) {
+    NIMBUS_CHECK_LT(s, shard_count_);
+    return Shard(map_, s, shard_count_);
+  }
+
+  // The underlying flat map, for serial (between-batch) phases: interning, object
+  // lifecycle, snapshots.
+  VersionMap& flat() { return *map_; }
+  const VersionMap& flat() const { return *map_; }
+
+ private:
+  VersionMap* map_;
+  std::uint32_t shard_count_;
+};
+
+// The same hash partitioning over the object directory's flat arrays. The directory is
+// read-only on the instantiation hot path (object metadata never changes after
+// DefineVariable), so per-shard views are read views; they exist so a future
+// multi-controller split can hand each scheduler thread its own directory slice with the
+// same ownership discipline as the version map.
+class ShardedObjectDirectory {
+ public:
+  class Shard {
+   public:
+    Shard(const ObjectDirectory* directory, std::uint32_t shard, std::uint32_t shard_count)
+        : directory_(directory), shard_(shard), shard_count_(shard_count) {}
+
+    std::uint32_t shard() const { return shard_; }
+
+    const LogicalObjectInfo& ObjectAt(DenseIndex index) const {
+      NIMBUS_CHECK_EQ(ShardOfIndex(index, shard_count_), shard_)
+          << "shard " << shard_ << " touched foreign object index " << index;
+      return directory_->ObjectAt(index);
+    }
+
+    std::size_t owned_count() const {
+      std::size_t n = 0;
+      for (DenseIndex i = 0; i < directory_->object_count(); ++i) {
+        if (ShardOfIndex(i, shard_count_) == shard_) {
+          ++n;
+        }
+      }
+      return n;
+    }
+
+   private:
+    const ObjectDirectory* directory_;
+    std::uint32_t shard_;
+    std::uint32_t shard_count_;
+  };
+
+  ShardedObjectDirectory(const ObjectDirectory* directory, std::uint32_t shard_count)
+      : directory_(directory), shard_count_(shard_count) {
+    NIMBUS_CHECK(IsPowerOfTwo(shard_count))
+        << "shard count must be a power of two, got " << shard_count;
+  }
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  std::uint32_t ShardOf(DenseIndex index) const {
+    return ShardOfIndex(index, shard_count_);
+  }
+
+  Shard shard(std::uint32_t s) const {
+    NIMBUS_CHECK_LT(s, shard_count_);
+    return Shard(directory_, s, shard_count_);
+  }
+
+ private:
+  const ObjectDirectory* directory_;
+  std::uint32_t shard_count_;
+};
+
+}  // namespace nimbus::runtime
+
+#endif  // NIMBUS_SRC_RUNTIME_SHARDED_VERSION_MAP_H_

@@ -122,27 +122,25 @@ using TaskFunction = std::function<void(TaskContext&)>;
 
 // Registry shared by all workers in a cluster (the application binary is the same on every
 // node). Functions are registered once by the application before the job starts.
+//
+// Layout (DESIGN.md §6.6): FunctionId is allocated contiguously from 0 by this class, so
+// the id value is the dense index — per-function state lives in a flat array and every
+// task launch resolves its function with one bounds-checked array access. The name map is
+// the string intern boundary (cold, registration/debug only).
 class FunctionRegistry {
  public:
   FunctionId Register(const std::string& name, TaskFunction fn) {
     NIMBUS_CHECK(by_name_.find(name) == by_name_.end()) << "duplicate function: " << name;
     const FunctionId id = ids_.Next();
-    functions_.emplace(id, Entry{name, std::move(fn)});
+    NIMBUS_CHECK_EQ(id.value(), functions_.size());  // contiguous: id value == index
+    functions_.push_back(Entry{name, std::move(fn)});
     by_name_.emplace(name, id);
     return id;
   }
 
-  const TaskFunction& Get(FunctionId id) const {
-    auto it = functions_.find(id);
-    NIMBUS_CHECK(it != functions_.end()) << "unknown function " << id;
-    return it->second.fn;
-  }
+  const TaskFunction& Get(FunctionId id) const { return At(id).fn; }
 
-  const std::string& Name(FunctionId id) const {
-    auto it = functions_.find(id);
-    NIMBUS_CHECK(it != functions_.end()) << "unknown function " << id;
-    return it->second.name;
-  }
+  const std::string& Name(FunctionId id) const { return At(id).name; }
 
   FunctionId FindByName(const std::string& name) const {
     auto it = by_name_.find(name);
@@ -158,9 +156,14 @@ class FunctionRegistry {
     TaskFunction fn;
   };
 
+  const Entry& At(FunctionId id) const {
+    NIMBUS_CHECK(id.valid() && id.value() < functions_.size()) << "unknown function " << id;
+    return functions_[static_cast<std::size_t>(id.value())];
+  }
+
   IdAllocator<FunctionId> ids_;
-  std::unordered_map<FunctionId, Entry> functions_;
-  std::unordered_map<std::string, FunctionId> by_name_;
+  std::vector<Entry> functions_;  // by FunctionId value
+  std::unordered_map<std::string, FunctionId> by_name_;  // string intern boundary
 };
 
 }  // namespace nimbus
