@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Runs the Table 1-4 microbenchmarks and writes BENCH_table{1,2,3,4}.json at the repo root,
-# so every PR leaves a comparable perf sample behind (the paper's Tables 1-3 are the
-# control-plane cost claims this reproduction tracks; Table 4 is this repo's shard-scaling
-# series for the runtime engine, DESIGN.md §7).
+# Runs the Table 1-4 microbenchmarks (and the Fig 8 series) and writes
+# BENCH_table{1,2,3,4}.json + BENCH_fig8.json at the repo root, so every PR leaves a
+# comparable perf sample behind (the paper's Tables 1-3 are the control-plane cost claims
+# this reproduction tracks; Table 4 is this repo's shard-scaling series for the runtime
+# engine, DESIGN.md §7; Fig 8 carries the central-batched dispatch series, §8).
 #
-# Usage: bench/run_benchmarks.sh [extra google-benchmark flags...]
-#   e.g. bench/run_benchmarks.sh --benchmark_repetitions=5
+# Usage:
+#   bench/run_benchmarks.sh [extra google-benchmark flags...]
+#       Regenerate every committed BENCH JSON (each written to a temp file and moved into
+#       place only on success, so a crashing bench cannot leave a half-written JSON).
+#   bench/run_benchmarks.sh --check
+#       CI perf gate: rerun the Table 2 full-validation canary into a scratch dir and
+#       compare its per_task_us against the committed BENCH_table2.json. Exits nonzero if
+#       the fresh value deviates by more than BENCH_CHECK_TOLERANCE (default 0.15 = ±15%)
+#       in either direction — a slowdown is a hot-path regression; a big speedup means the
+#       committed JSON is stale and must be regenerated.
 #
 # The JSON goes through --benchmark_out (not --benchmark_format) because the table
 # binaries print the paper's reference numbers on stdout first; the out-file stays clean.
@@ -15,14 +24,77 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
+CANARY_BENCH="BM_InstantiateWorkerTemplateFullValidation"
+TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.15}"
+
+# A failing bench must name itself: with `set -e` alone the script dies silently mid-loop
+# and CI logs show only an exit code.
+trap 'status=$?; [ "$status" -ne 0 ] && echo "run_benchmarks.sh: FAILED (exit $status)" >&2; exit $status' EXIT
+
+run_bench_json() {
+  # run_bench_json <binary> <out.json> [flags...] — atomic: write to tmp, move on success.
+  local binary="$1" out="$2"
+  shift 2
+  local tmp="${out}.tmp"
+  "$binary" --benchmark_out="$tmp" --benchmark_out_format=json "$@"
+  mv "$tmp" "$out"
+}
+
+check_canary() {
+  local fresh="$1" committed="$ROOT/BENCH_table2.json"
+  python3 - "$committed" "$fresh" "$CANARY_BENCH" "$TOLERANCE" <<'PY'
+import json, sys
+
+committed_path, fresh_path, canary, tolerance = sys.argv[1:5]
+tolerance = float(tolerance)
+
+def canary_value(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc["benchmarks"]:
+        if bench["name"] == canary and "per_task_us" in bench:
+            return float(bench["per_task_us"])
+    sys.exit(f"{path}: canary benchmark '{canary}' with per_task_us not found")
+
+committed = canary_value(committed_path)
+fresh = canary_value(fresh_path)
+ratio = fresh / committed
+drift = ratio - 1.0
+print(f"Table 2 canary ({canary}): committed {committed:.3e}, fresh {fresh:.3e}, "
+      f"drift {drift:+.1%} (tolerance ±{tolerance:.0%})")
+if abs(drift) > tolerance:
+    kind = "REGRESSION" if drift > 0 else "STALE BASELINE (regenerate BENCH JSONs)"
+    print(f"FAIL: canary drift beyond tolerance — {kind}", file=sys.stderr)
+    sys.exit(1)
+print("OK: canary within tolerance")
+PY
+}
+
+if [ "${1:-}" = "--check" ]; then
+  shift
+  cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
+  cmake --build "$BUILD" -j"$(nproc)" --target bench_table2_instantiate >/dev/null
+  CHECK_DIR="$BUILD/bench-check"
+  mkdir -p "$CHECK_DIR"
+  echo "== table2_instantiate (perf-gate canary) -> $CHECK_DIR/BENCH_table2.json"
+  run_bench_json "$BUILD/bench/bench_table2_instantiate" "$CHECK_DIR/BENCH_table2.json" "$@"
+  check_canary "$CHECK_DIR/BENCH_table2.json"
+  exit 0
+fi
+
 cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
   --target bench_table1_install bench_table2_instantiate bench_table3_edits \
-  bench_table4_sharding >/dev/null
+  bench_table4_sharding bench_fig8_task_throughput >/dev/null
 
 for bench in table1_install table2_instantiate table3_edits table4_sharding; do
   out="$ROOT/BENCH_${bench%%_*}.json"
   echo "== $bench -> $out"
-  "$BUILD/bench/bench_${bench}" \
-    --benchmark_out="$out" --benchmark_out_format=json "$@"
+  run_bench_json "$BUILD/bench/bench_${bench}" "$out" "$@"
 done
+
+# Fig 8 writes its own JSON (plain driver, no google-benchmark harness) and exits nonzero
+# if either the paper shape or the central-batched >=1.5x claim fails to reproduce.
+echo "== fig8_task_throughput -> $ROOT/BENCH_fig8.json"
+"$BUILD/bench/bench_fig8_task_throughput" --json "$ROOT/BENCH_fig8.json.tmp"
+mv "$ROOT/BENCH_fig8.json.tmp" "$ROOT/BENCH_fig8.json"

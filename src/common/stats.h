@@ -61,6 +61,15 @@ struct ShardCounters {
   std::uint64_t validate_batches = 0;
   std::uint64_t apply_batches = 0;
   std::uint64_t assemble_jobs = 0;
+  // Shard-plan cache (one materialized plan per worker-template set, revalidated by
+  // map uid + set edit generation + shard count). `plan_builds` counts cold builds AND
+  // invalidation rebuilds; steady state is all reuses.
+  std::uint64_t plan_builds = 0;
+  std::uint64_t plan_reuses = 0;
+  // Batched central dispatch (DESIGN.md §8): per-worker command batches assembled by the
+  // engine instead of per-task controller dispatch.
+  std::uint64_t command_batches = 0;
+  std::uint64_t commands_assembled = 0;
   std::vector<std::uint64_t> preconditions_checked;   // by shard
   std::vector<std::uint64_t> validation_failures;     // by shard
   std::vector<std::uint64_t> deltas_applied;          // by shard

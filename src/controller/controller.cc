@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/hash.h"
+
 namespace nimbus {
 
 NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* network,
@@ -212,36 +214,23 @@ void NimbusController::SubmitStages(const std::vector<StageDescriptor>& stages,
 void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>& stages,
                                               PendingBlock* block) {
   for (const StageDescriptor& stage : stages) {
+    if (central_batching_) {
+      // Engine-driven path: cached stage plan + per-worker command batches (DESIGN.md §8).
+      ExecuteStageBatched(stage, block);
+      continue;
+    }
     // Build a throwaway single-stage template and run the full dependency analysis through
     // the same projection code the template path uses.
-    core::ControllerTemplate adhoc(TemplateId::Invalid(), stage.name);
-    for (const TaskDescriptor& task : stage.tasks) {
-      core::TemplateEntry entry;
-      entry.function = task.function;
-      for (const ObjRef& r : task.reads) {
-        entry.reads.push_back(directory_->ObjectFor(r.variable, r.partition));
-      }
-      for (const ObjRef& w : task.writes) {
-        entry.writes.push_back(directory_->ObjectFor(w.variable, w.partition));
-      }
-      entry.placement_partition =
-          task.placement_partition >= 0
-              ? task.placement_partition
-              : (task.writes.empty() ? 0 : task.writes.front().partition % partitions_);
-      entry.duration = task.duration;
-      entry.returns_scalar = task.returns_scalar;
-      entry.cached_params = task.params;
-      adhoc.AppendEntry(std::move(entry));
+    core::ControllerTemplate adhoc = CompileStageTemplate(stage, /*include_params=*/true);
 
-      // Capture feeds the template being recorded, charging the Table 1 install cost.
-      if (templates_.capturing()) {
-        const core::TemplateEntry& e = adhoc.entries().back();
+    // Capture feeds the template being recorded, charging the Table 1 install cost.
+    if (templates_.capturing()) {
+      for (const core::TemplateEntry& e : adhoc.entries()) {
         templates_.CaptureTask(e.function, e.reads, e.writes, e.placement_partition,
                                e.duration, e.returns_scalar, e.cached_params);
         control_thread_.Charge(costs_->install_controller_template_per_task);
       }
     }
-    adhoc.MarkFinished();
 
     core::WorkerTemplateSet set = core::ProjectBlock(
         adhoc, assignment_, WorkerTemplateId::Invalid(), BytesFn());
@@ -274,6 +263,169 @@ void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>
   prev_executed_ = core::PatchCache::kEntryFromOutside;
 }
 
+// -----------------------------------------------------------------------------------------
+// Batched central path (DESIGN.md §8)
+// -----------------------------------------------------------------------------------------
+
+std::uint64_t NimbusController::StageSignature(const StageDescriptor& stage) const {
+  // Content hash over everything that shapes the projected plan: the schedule (assignment +
+  // partition space) and each task's function, placement, duration, and object references.
+  // Per-task params are deliberately excluded — they are instantiation parameters, routed
+  // fresh on every dispatch. Size fields separate the variable-length sections so
+  // concatenation ambiguity cannot alias two stages.
+  std::size_t h = HashCombine(0x53544147u, std::hash<std::string>{}(stage.name));
+  h = HashCombine(h, static_cast<std::size_t>(assignment_.Signature()));
+  h = HashCombine(h, static_cast<std::size_t>(partitions_));
+  h = HashCombine(h, stage.tasks.size());
+  for (const TaskDescriptor& task : stage.tasks) {
+    h = HashCombine(h, static_cast<std::size_t>(task.function.value()));
+    h = HashCombine(h, static_cast<std::size_t>(task.placement_partition + 1));
+    h = HashCombine(h, static_cast<std::size_t>(task.duration));
+    h = HashCombine(h, task.returns_scalar ? 1u : 2u);
+    h = HashCombine(h, task.reads.size());
+    for (const ObjRef& r : task.reads) {
+      h = HashCombine(h, static_cast<std::size_t>(r.variable.value()));
+      h = HashCombine(h, static_cast<std::size_t>(r.partition));
+    }
+    h = HashCombine(h, task.writes.size());
+    for (const ObjRef& w : task.writes) {
+      h = HashCombine(h, static_cast<std::size_t>(w.variable.value()));
+      h = HashCombine(h, static_cast<std::size_t>(w.partition));
+    }
+  }
+  return h;
+}
+
+core::ControllerTemplate NimbusController::CompileStageTemplate(const StageDescriptor& stage,
+                                                                bool include_params) {
+  core::ControllerTemplate adhoc(TemplateId::Invalid(), stage.name);
+  for (const TaskDescriptor& task : stage.tasks) {
+    core::TemplateEntry entry;
+    entry.function = task.function;
+    for (const ObjRef& r : task.reads) {
+      entry.reads.push_back(directory_->ObjectFor(r.variable, r.partition));
+    }
+    for (const ObjRef& w : task.writes) {
+      entry.writes.push_back(directory_->ObjectFor(w.variable, w.partition));
+    }
+    entry.placement_partition =
+        task.placement_partition >= 0
+            ? task.placement_partition
+            : (task.writes.empty() ? 0 : task.writes.front().partition % partitions_);
+    entry.duration = task.duration;
+    entry.returns_scalar = task.returns_scalar;
+    // Stage plans cache structure only (dispatch routes the current stage's non-empty
+    // params as overrides — exactly when the per-task path would have used them, since
+    // empty params resolve to empty either way); the per-task path and capture bake them.
+    if (include_params) {
+      entry.cached_params = task.params;
+    }
+    adhoc.AppendEntry(std::move(entry));
+  }
+  adhoc.MarkFinished();
+  return adhoc;
+}
+
+void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
+                                           PendingBlock* block) {
+  // Capture feeds the template being recorded exactly like the per-task path does,
+  // independent of the plan cache (capture is a one-off; the plan may already be warm).
+  if (templates_.capturing()) {
+    const core::ControllerTemplate adhoc = CompileStageTemplate(stage,
+                                                                /*include_params=*/true);
+    for (const core::TemplateEntry& e : adhoc.entries()) {
+      templates_.CaptureTask(e.function, e.reads, e.writes, e.placement_partition,
+                             e.duration, e.returns_scalar, e.cached_params);
+      control_thread_.Charge(costs_->install_controller_template_per_task);
+    }
+  }
+
+  bool newly = false;
+  core::WorkerTemplateSet* set = templates_.GetOrBuildStagePlan(
+      StageSignature(stage), assignment_,
+      [this, &stage]() { return CompileStageTemplate(stage, /*include_params=*/false); },
+      BytesFn(), stage.tasks.size(), &newly);
+  if (newly) {
+    // Plan compilation IS the dependency analysis the per-task path re-runs every stage:
+    // charge it at the same per-task rate, but only on the cold build.
+    control_thread_.Charge(costs_->nimbus_central_schedule_per_task *
+                           static_cast<sim::Duration>(stage.tasks.size()));
+  }
+  EnsureObjectsExist(*set);
+
+  // Sharded precondition sweep (the plan has a valid id, so the engine caches its shard
+  // plan); failures become explicit patch copies exactly as on the per-task path.
+  const std::vector<core::PatchDirective> needed = pipeline_.Validate(*set, versions_);
+  control_thread_.Charge(costs_->validate_per_entry *
+                         static_cast<sim::Duration>(set->preconditions().size()));
+  if (!needed.empty()) {
+    core::Patch patch;
+    patch.directives = needed;
+    DispatchPatch(patch, block);
+    for (const core::PatchDirective& d : needed) {
+      versions_.RecordCopyToLatest(d.object, d.dst);
+    }
+  }
+
+  std::vector<std::pair<std::int32_t, ParameterBlob>> params;
+  for (std::size_t i = 0; i < stage.tasks.size(); ++i) {
+    if (!stage.tasks[i].params.empty()) {
+      params.emplace_back(static_cast<std::int32_t>(i), stage.tasks[i].params);
+    }
+  }
+  DispatchCentralBlock(*set, params, block);
+
+  core::Patch no_patch;
+  // Patch effects were applied above; only the write deltas remain (sharded apply).
+  pipeline_.ApplyEffects(*set, no_patch, &versions_);
+}
+
+void NimbusController::DispatchCentralBlock(
+    const core::WorkerTemplateSet& set,
+    const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
+  const std::uint64_t seq = NewGroupSeq();
+  const TaskId task_base = task_ids_.NextRange(set.entry_meta().size());
+
+  // Command-id ranges are allocated per participating half in halves order — the same
+  // allocation sequence as the per-task dispatcher, so ids match bit-for-bit.
+  const auto& halves = set.halves();
+  std::vector<CommandId> bases(halves.size(), CommandId::Invalid());
+  for (std::size_t h = 0; h < halves.size(); ++h) {
+    if (!halves[h].entries.empty()) {
+      bases[h] = command_ids_.NextRange(halves[h].entries.size());
+    }
+  }
+
+  std::vector<runtime::CommandBatch> batches =
+      pipeline_.AssembleCommandBatches(set, params, seq, task_base, bases);
+
+  int participating = 0;
+  for (runtime::CommandBatch& batch : batches) {
+    Worker* worker = FindWorker(batch.worker);
+    NIMBUS_CHECK(worker != nullptr) << "dispatch to unknown worker " << batch.worker;
+    ++participating;
+    tasks_dispatched_ += batch.task_count;
+    const std::size_t total = batch.commands.size();
+    // One scheduling charge and one message per worker: per-batch fixed cost plus the
+    // (cheaper) batched per-task cost — the gap Fig 1/8's central-batched series measures.
+    const sim::Duration cost =
+        costs_->nimbus_central_batch_per_worker +
+        costs_->nimbus_central_batched_per_task * static_cast<sim::Duration>(total);
+    const std::int64_t wire = batch.wire_size;
+    control_thread_.Submit(
+        cost, [this, worker, cmds = std::move(batch.commands), seq, total, wire]() mutable {
+          network_->Send(sim::kControllerAddress, worker->address(), wire,
+                         [worker, cmds = std::move(cmds), seq, total]() mutable {
+                           worker->OnCommands(seq, std::move(cmds), total,
+                                              /*finalize=*/true, /*barrier=*/true);
+                         });
+        });
+  }
+  if (participating > 0) {
+    RegisterGroup(seq, block, participating);
+  }
+}
+
 void NimbusController::DispatchSetCentrally(
     const core::WorkerTemplateSet& set,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
@@ -303,41 +455,17 @@ void NimbusController::DispatchSetCentrally(
     const std::size_t total = half.entries.size();
     for (std::size_t i = 0; i < half.entries.size(); ++i) {
       const core::WtEntry& e = half.entries[i];
-      Command cmd;
-      cmd.id = CommandId(base.value() + i);
-      for (std::int32_t bidx : e.before) {
-        cmd.before.push_back(CommandId(base.value() + static_cast<std::uint64_t>(bidx)));
-      }
-      cmd.type = e.type;
-      switch (e.type) {
-        case CommandType::kTask: {
-          cmd.function = e.function;
-          cmd.task_id =
-              TaskId(task_base.value() + static_cast<std::uint64_t>(e.global_entry));
-          cmd.duration = e.duration;
-          cmd.returns_scalar = e.returns_scalar;
-          cmd.read_set = e.reads;
-          cmd.write_set = e.writes;
-          auto pit = param_of.find(e.global_entry);
-          if (pit != param_of.end()) {
-            cmd.params = *pit->second;
-          } else {
-            cmd.params = e.cached_params;
-          }
-          ++tasks_dispatched_;
-          break;
+      const ParameterBlob* override_params = nullptr;
+      if (e.type == CommandType::kTask) {
+        auto pit = param_of.find(e.global_entry);
+        if (pit != param_of.end()) {
+          override_params = pit->second;
         }
-        case CommandType::kCopySend:
-        case CommandType::kCopyReceive:
-          cmd.copy_id = MakeCopyId(seq, e.copy_index);
-          cmd.peer = e.peer;
-          cmd.copy_object = e.object;
-          cmd.copy_bytes = e.bytes;
-          break;
-        default:
-          cmd.data_object = e.object;
-          break;
+        ++tasks_dispatched_;
       }
+      // One shared builder with the engine's batched assembly (core::CommandFromEntry):
+      // the bit-identical-streams contract between the two dispatchers is structural.
+      Command cmd = core::CommandFromEntry(e, i, base, task_base, seq, override_params);
 
       // Each command is individually scheduled (per-task controller cost) and sent as its
       // own message: this is exactly the bottleneck the paper's Fig 1/8 demonstrate.
@@ -516,7 +644,13 @@ void NimbusController::RunSetCentrallyWithPatches(
       versions_.RecordCopyToLatest(d.object, d.dst);
     }
   }
-  DispatchSetCentrally(set, params, block);
+  if (central_batching_ && set.id().valid()) {
+    // Template bring-up iterations ride the batched dispatcher too: the projected set
+    // already has a real id, so the engine shards and caches its plan like any other.
+    DispatchCentralBlock(set, params, block);
+  } else {
+    DispatchSetCentrally(set, params, block);
+  }
   core::Patch no_patch;
   pipeline_.ApplyEffects(set, no_patch, &versions_);
 }

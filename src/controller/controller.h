@@ -66,6 +66,18 @@ class NimbusController {
   // Recomputes every patch from scratch, disabling the patch cache of §4.2.
   void set_disable_patch_cache(bool v) { disable_patch_cache_ = v; }
 
+  // --- Batched central dispatch (DESIGN.md §8) ---
+  // Routes the central-scheduling path through the runtime engine: each submitted stage is
+  // compiled once into a cached stage plan (a worker-template set keyed by stage identity +
+  // schedule), validated/applied through the sharded pipeline, and dispatched as ONE
+  // per-worker command batch instead of one message per task. Off by default: kCentralOnly
+  // with per-task dispatch is the paper's Fig 1/8 baseline; the "central-batched" bench
+  // series and the bit-equality tests turn this on. Output (worker command streams,
+  // version-map state, scalars) is identical either way — only cost accounting and message
+  // count change.
+  void set_central_batching(bool v) { central_batching_ = v; }
+  bool central_batching() const { return central_batching_; }
+
   // ---- Cluster membership (resource manager interface, Fig 2) ----
   void AttachWorker(Worker* worker);
   // Gracefully revokes workers: they stop receiving tasks but can still source data copies.
@@ -210,6 +222,26 @@ class NimbusController {
                             const std::vector<std::pair<std::int32_t, ParameterBlob>>& params,
                             PendingBlock* block);
 
+  // --- Batched central path (DESIGN.md §8) ---
+  // Content hash identifying one stage under the current schedule (excludes per-task
+  // params, which ride each dispatch as instantiation parameters).
+  std::uint64_t StageSignature(const StageDescriptor& stage) const;
+  // Builds the throwaway single-stage template central dispatch projects from — the single
+  // home of the read/write resolution and placement-fallback rules (per-task path, batched
+  // path, and template capture all consume its entries). With `include_params` the stage's
+  // current params are baked as cached_params (per-task dispatch, capture); stage plans
+  // strip them (the plan caches structure, dispatch supplies fresh parameters).
+  core::ControllerTemplate CompileStageTemplate(const StageDescriptor& stage,
+                                                bool include_params);
+  // One stage through the engine: cached plan -> sharded validate -> patch -> batched
+  // dispatch -> sharded apply.
+  void ExecuteStageBatched(const StageDescriptor& stage, PendingBlock* block);
+  // Dispatches `set` as one per-worker command batch assembled by the engine, charging
+  // per-batch + per-task costs (same command streams as DispatchSetCentrally).
+  void DispatchCentralBlock(const core::WorkerTemplateSet& set,
+                            const std::vector<std::pair<std::int32_t, ParameterBlob>>& params,
+                            PendingBlock* block);
+
   // Sends the patch as barrier command groups (send half on src, receive half on dst).
   void DispatchPatch(const core::Patch& patch, PendingBlock* block);
 
@@ -277,6 +309,7 @@ class NimbusController {
   std::uint64_t tasks_via_templates_ = 0;
   bool force_full_validation_ = false;
   bool disable_patch_cache_ = false;
+  bool central_batching_ = false;
 
   IdAllocator<TaskId> task_ids_;
   IdAllocator<CommandId> command_ids_;

@@ -112,6 +112,42 @@ WorkerTemplateSet* TemplateManager::FindProjection(TemplateId id,
   return nullptr;
 }
 
+WorkerTemplateSet* TemplateManager::GetOrBuildStagePlan(
+    std::uint64_t signature, const Assignment& assignment,
+    const std::function<ControllerTemplate()>& build, const ObjectBytesFn& object_bytes,
+    std::size_t expected_tasks, bool* newly_built) {
+  auto it = stage_plans_.find(signature);
+  if (it != stage_plans_.end()) {
+    WorkerTemplateSet* found = projections_[it->second].get();
+    // The signature is a content hash; a collision would dispatch the wrong plan, so the
+    // cheap structural invariant is checked on every hit.
+    NIMBUS_CHECK_EQ(found->entry_meta().size(), expected_tasks)
+        << "stage-plan signature collision";
+    ++stage_plan_counters_.hits;
+    if (newly_built != nullptr) {
+      *newly_built = false;
+    }
+    return found;
+  }
+  ++stage_plan_counters_.misses;
+  const ControllerTemplate adhoc = build();
+  NIMBUS_CHECK_EQ(adhoc.task_count(), expected_tasks);
+  const WorkerTemplateId wtid = worker_template_ids_.Next();
+  auto set = std::make_unique<WorkerTemplateSet>(
+      ProjectBlock(adhoc, assignment, wtid, object_bytes));
+  WorkerTemplateSet* out = set.get();
+  // Stage plans share the projection table (and its contiguous id space) with template
+  // projections, so downstream per-set state (engine shard plans, controller SetState)
+  // indexes both uniformly.
+  NIMBUS_CHECK_EQ(wtid.value(), projections_.size());
+  projections_.push_back(std::move(set));
+  stage_plans_.emplace(signature, static_cast<DenseIndex>(wtid.value()));
+  if (newly_built != nullptr) {
+    *newly_built = true;
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------------------
 // Validation & patching
 // ---------------------------------------------------------------------------------------

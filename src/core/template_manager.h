@@ -19,6 +19,7 @@
 #define NIMBUS_SRC_CORE_TEMPLATE_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
+#include "src/common/stats.h"
 #include "src/core/controller_template.h"
 #include "src/core/patch.h"
 #include "src/core/worker_template.h"
@@ -80,6 +82,22 @@ class TemplateManager {
 
   // Looks up a cached projection without building one.
   WorkerTemplateSet* FindProjection(TemplateId id, const Assignment& assignment);
+
+  // --- Ad-hoc stage plans (batched central dispatch, DESIGN.md §8) ---
+
+  // Returns the cached stage plan for `signature` (a content hash of stage identity +
+  // schedule computed by the caller), projecting one from `build()`'s throwaway template on
+  // first use. Stage plans are ordinary worker-template sets with a real id — so the
+  // runtime engine caches and revalidates shard plans for them by (map uid, set
+  // generation) exactly like template projections — but have no parent template and are
+  // never installed on workers: the controller dispatches their commands explicitly.
+  // `expected_tasks` guards against signature collisions (entry-count mismatch aborts).
+  WorkerTemplateSet* GetOrBuildStagePlan(std::uint64_t signature, const Assignment& assignment,
+                                         const std::function<ControllerTemplate()>& build,
+                                         const ObjectBytesFn& object_bytes,
+                                         std::size_t expected_tasks,
+                                         bool* newly_built = nullptr);
+  const CacheCounters& stage_plan_counters() const { return stage_plan_counters_; }
 
   // --- Validation & patching ---
 
@@ -151,6 +169,11 @@ class TemplateManager {
   std::vector<TemplateSlot> templates_;  // by TemplateId value
   std::vector<std::unique_ptr<WorkerTemplateSet>> projections_;  // by WorkerTemplateId value
   std::unordered_map<std::string, TemplateId> by_name_;  // cold, driver-facing
+  // Stage plans by content signature. Entries persist for the job's lifetime: a driver
+  // submits a handful of distinct stage shapes, and a superseded schedule's plans simply
+  // stop being hit (the signature covers the assignment).
+  std::unordered_map<std::uint64_t, DenseIndex> stage_plans_;
+  CacheCounters stage_plan_counters_;
   ControllerTemplate* capturing_ = nullptr;
   PatchCache patch_cache_;
 };

@@ -416,4 +416,38 @@ void ApplyWorkerEditOps(WorkerHalf* half, const std::vector<WorkerEditOp>& ops) 
   }
 }
 
+Command CommandFromEntry(const WtEntry& entry, std::size_t index, CommandId command_base,
+                         TaskId task_base, std::uint64_t group_seq,
+                         const ParameterBlob* override_params) {
+  Command cmd;
+  cmd.id = CommandId(command_base.value() + index);
+  for (std::int32_t bidx : entry.before) {
+    cmd.before.push_back(CommandId(command_base.value() + static_cast<std::uint64_t>(bidx)));
+  }
+  cmd.type = entry.type;
+  switch (entry.type) {
+    case CommandType::kTask:
+      cmd.function = entry.function;
+      cmd.task_id =
+          TaskId(task_base.value() + static_cast<std::uint64_t>(entry.global_entry));
+      cmd.duration = entry.duration;
+      cmd.returns_scalar = entry.returns_scalar;
+      cmd.read_set = entry.reads;
+      cmd.write_set = entry.writes;
+      cmd.params = override_params != nullptr ? *override_params : entry.cached_params;
+      break;
+    case CommandType::kCopySend:
+    case CommandType::kCopyReceive:
+      cmd.copy_id = MakeCopyId(group_seq, entry.copy_index);
+      cmd.peer = entry.peer;
+      cmd.copy_object = entry.object;
+      cmd.copy_bytes = entry.bytes;
+      break;
+    default:
+      cmd.data_object = entry.object;
+      break;
+  }
+  return cmd;
+}
+
 }  // namespace nimbus::core

@@ -62,6 +62,9 @@ InstantiationPipeline::ShardPlan& InstantiationPipeline::PlanFor(
       plan->set_generation != compiled.set_generation ||
       plan->shard_count != shard_count_) {
     BuildPlan(compiled, shard_count_, plan);
+    ++shard_counters_.plan_builds;
+  } else {
+    ++shard_counters_.plan_reuses;
   }
   return *plan;
 }
@@ -195,8 +198,9 @@ std::vector<core::PatchDirective> InstantiationPipeline::Validate(
   // Compiling (and plan building) intern through hash maps: strictly before the batch.
   const core::CompiledInstantiation& compiled = set.CompiledFor(versions);
   if (!set.id().valid()) {
-    // Ad-hoc sets (the central-dispatch path) are throwaway: a shard plan costs more to
-    // build than it could ever save, so they take the flat sweep directly.
+    // Invalid-id sets are throwaway (the per-task central path rebuilds its projection
+    // every stage): a shard plan costs more to build than it could ever save, so they take
+    // the flat sweep directly. Cached stage plans carry real ids and shard like templates.
     std::vector<core::PatchDirective> out;
     shard_counters_.preconditions_checked[0] +=
         SweepPreconditions(CompiledRangeView{compiled.preconditions}, versions, &out);
@@ -409,6 +413,90 @@ std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
     if (!halves[m.half_index].entries.empty()) {
       out.push_back(std::move(m));
     }
+  }
+  return out;
+}
+
+// -----------------------------------------------------------------------------------------
+// Batched central dispatch: per-worker explicit command batches (DESIGN.md §8)
+// -----------------------------------------------------------------------------------------
+
+namespace {
+
+// Builds one half's command list through core::CommandFromEntry — the same builder the
+// per-task dispatcher uses, so the batched wire stream is bit-identical to the per-task
+// stream by construction. `sorted_params` is slot-ascending.
+void BuildHalfCommands(const core::WorkerHalf& half, const ParamList& sorted_params,
+                       std::uint64_t group_seq, TaskId task_base, CommandId base,
+                       CommandBatch* out) {
+  out->commands.reserve(half.entries.size());
+  std::int64_t wire = 0;
+  for (std::size_t i = 0; i < half.entries.size(); ++i) {
+    const core::WtEntry& e = half.entries[i];
+    const ParameterBlob* override_params = nullptr;
+    if (e.type == CommandType::kTask) {
+      const auto pit = std::lower_bound(
+          sorted_params.begin(), sorted_params.end(), e.global_entry,
+          [](const std::pair<std::int32_t, ParameterBlob>& p, std::int32_t slot) {
+            return p.first < slot;
+          });
+      if (pit != sorted_params.end() && pit->first == e.global_entry) {
+        override_params = &pit->second;
+      }
+      ++out->task_count;
+    }
+    Command cmd = core::CommandFromEntry(e, i, base, task_base, group_seq, override_params);
+    wire += cmd.WireSize();
+    out->commands.push_back(std::move(cmd));
+  }
+  out->wire_size = wire;
+}
+
+}  // namespace
+
+std::vector<CommandBatch> InstantiationPipeline::AssembleCommandBatches(
+    const core::WorkerTemplateSet& set, const ParamList& params, std::uint64_t group_seq,
+    TaskId task_base, const std::vector<CommandId>& half_bases) {
+  const auto& halves = set.halves();
+  NIMBUS_CHECK_EQ(half_bases.size(), halves.size());
+
+  // Sparse params sorted once by slot: each task entry pays one binary search instead of
+  // a hash probe (the per-task dispatcher's param_of map, without the allocation).
+  ParamList sorted_params = params;
+  std::stable_sort(sorted_params.begin(), sorted_params.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<CommandBatch> batches(halves.size());
+  // Same chunking as message assembly: the engine's parallelism degree is the shard count
+  // across every stage, and chunks write disjoint batch slots.
+  const std::size_t chunks = shard_count_;
+  executor_->Run(chunks, [&](std::size_t job) {
+    const std::size_t begin = job * halves.size() / chunks;
+    const std::size_t end = (job + 1) * halves.size() / chunks;
+    for (std::size_t h = begin; h < end; ++h) {
+      CommandBatch& batch = batches[h];
+      batch.worker = halves[h].worker;
+      batch.half_index = static_cast<std::uint32_t>(h);
+      if (halves[h].entries.empty()) {
+        continue;  // compacted out below; the dispatcher skips workers with no commands
+      }
+      NIMBUS_CHECK(half_bases[h].valid());
+      BuildHalfCommands(halves[h], sorted_params, group_seq, task_base, half_bases[h],
+                        &batch);
+    }
+  });
+  shard_counters_.assemble_jobs += chunks;
+
+  // Compact out empty halves, preserving half order (the per-task dispatch order).
+  std::vector<CommandBatch> out;
+  out.reserve(batches.size());
+  for (CommandBatch& b : batches) {
+    if (halves[b.half_index].entries.empty()) {
+      continue;
+    }
+    shard_counters_.commands_assembled += b.commands.size();
+    ++shard_counters_.command_batches;
+    out.push_back(std::move(b));
   }
   return out;
 }

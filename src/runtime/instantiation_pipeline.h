@@ -57,6 +57,18 @@ struct WorkerMessage {
   std::int64_t wire_size = 0;  // mirrors InstantiateMsg::WireSize()
 };
 
+// One worker's fully-built share of a batched central dispatch (DESIGN.md §8): the
+// explicit command list the per-task path would have sent one message at a time, assembled
+// as one engine job and shipped as one wire message. Command/task ids are derived from the
+// caller-allocated bases, so the batch is bit-identical to the per-task stream.
+struct CommandBatch {
+  WorkerId worker;
+  std::uint32_t half_index = 0;      // index into set.halves()
+  std::vector<Command> commands;     // in the half's entry order
+  std::uint64_t task_count = 0;      // kTask commands in `commands`
+  std::int64_t wire_size = 0;        // sum of per-command wire sizes (one message)
+};
+
 // Everything one engine-driven instantiation produced. `required` is what validation found
 // (the resolved patch may come from the patch cache); `next_required` is block N+1's
 // validation result when a next set was supplied for overlap.
@@ -110,6 +122,17 @@ class InstantiationPipeline {
       const core::EditPlan* edits, const core::WorkerTemplateSet* next_set = nullptr,
       const VersionMap* versions = nullptr,
       std::vector<core::PatchDirective>* next_required = nullptr);
+
+  // Entry point for ad-hoc stage plans (batched central dispatch): builds, per worker
+  // half, the half's full explicit command list — exactly the commands the per-task
+  // dispatcher would emit, in the same order, with the same ids. `half_bases[h]` is the
+  // command-id base pre-allocated for half h (invalid for empty halves, which produce no
+  // batch); task ids are task_base + global entry; copy ids embed `group_seq`. Assembly
+  // runs as shard_count contiguous chunks of halves, like AssembleMessages.
+  std::vector<CommandBatch> AssembleCommandBatches(const core::WorkerTemplateSet& set,
+                                                   const ParamList& params,
+                                                   std::uint64_t group_seq, TaskId task_base,
+                                                   const std::vector<CommandId>& half_bases);
 
   // One full engine-driven instantiation: validate -> resolve patch -> apply ->
   // [assemble || validate next]. The bench and the equivalence tests drive this; the

@@ -37,6 +37,14 @@ struct CostModel {
   // Worker-side cost to receive and enqueue one individually-dispatched task.
   Duration worker_receive_task = Micros(5);
 
+  // ---- Batched central dispatch (engine-driven, DESIGN.md §8) ----
+  // With a cached stage plan the controller skips the per-stage dependency re-analysis and
+  // ships each worker ONE message carrying all of its commands, so the per-task controller
+  // cost drops to command construction + versioning; the message build/send overhead is
+  // paid once per worker per stage instead of once per task.
+  Duration nimbus_central_batched_per_task = Micros(45);
+  Duration nimbus_central_batch_per_worker = Micros(30);
+
   // ---- Template installation costs (paper Table 1) ----
   Duration install_controller_template_per_task = Micros(25);
   Duration install_worker_template_controller_per_task = Micros(15);

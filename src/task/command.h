@@ -91,6 +91,18 @@ struct Command {
     return 48 + static_cast<std::int64_t>(
                     (read_set.size() + write_set.size() + before.size()) * 8 + params.size());
   }
+
+  // Full-field equality: the dispatch-equivalence tests compare whole command streams, and
+  // keeping the comparator next to the struct means a new field cannot be silently skipped.
+  friend bool operator==(const Command& a, const Command& b) {
+    return a.id == b.id && a.type == b.type && a.read_set == b.read_set &&
+           a.write_set == b.write_set && a.before == b.before && a.params == b.params &&
+           a.task_id == b.task_id && a.function == b.function && a.duration == b.duration &&
+           a.returns_scalar == b.returns_scalar && a.copy_id == b.copy_id &&
+           a.peer == b.peer && a.copy_object == b.copy_object &&
+           a.copy_version == b.copy_version && a.copy_bytes == b.copy_bytes &&
+           a.data_object == b.data_object;
+  }
 };
 
 // A reference to one partition of one variable, used by the driver before objects are

@@ -109,6 +109,10 @@ void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
       costs_->worker_receive_task * static_cast<sim::Duration>(commands.size());
   control_thread_.Charge(charge);
 
+  if (command_log_enabled_) {
+    command_log_.insert(command_log_.end(), commands.begin(), commands.end());
+  }
+
   Group& group = GetOrCreateGroup(group_seq, barrier);
   group.streaming = true;
   for (Command& cmd : commands) {

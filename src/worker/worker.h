@@ -135,6 +135,12 @@ class Worker {
   // Copy payloads buffered ahead of their receive command (in groups or pre-group).
   std::size_t buffered_copy_count() const;
 
+  // Test hook: record every command accepted by OnCommands, in arrival order. The log is
+  // the worker's observed explicit-command stream — the controller-level equality tests
+  // compare it between per-task and batched central dispatch (DESIGN.md §8).
+  void EnableCommandLog() { command_log_enabled_ = true; }
+  const std::vector<Command>& command_log() const { return command_log_; }
+
   void StartHeartbeats(sim::Duration period);
 
  private:
@@ -260,6 +266,10 @@ class Worker {
   bool failed_ = false;
   bool heartbeats_running_ = false;
   std::uint64_t tasks_executed_ = 0;
+
+  // Test-only explicit-command arrival log (see EnableCommandLog).
+  bool command_log_enabled_ = false;
+  std::vector<Command> command_log_;
 };
 
 }  // namespace nimbus

@@ -406,6 +406,91 @@ TEST(InstantiationEngineTest, OverlappedNextBlockValidationMatchesSequential) {
 }
 
 // -----------------------------------------------------------------------------------------
+// Shard-plan cache: revalidated by set generation, rebuilt on edits
+// -----------------------------------------------------------------------------------------
+
+TEST(InstantiationEngineTest, ShardPlanRebuiltWhenSetGenerationBumps) {
+  auto block = BuildMicroBlock(32, 4);
+  core::WorkerTemplateSet set = core::ProjectBlock(
+      *block->manager.Find(block->template_id), block->assignment, WorkerTemplateId(0),
+      [](LogicalObjectId) { return 80; });
+  VersionMap versions;
+  SeedVersions(*block, &versions);
+
+  InlineExecutor inline_exec;
+  InstantiationPipeline pipeline(&inline_exec, 2);
+  pipeline.Validate(set, versions);
+  EXPECT_EQ(pipeline.shard_counters().plan_builds, 1u);  // cold build
+  pipeline.Validate(set, versions);
+  pipeline.Validate(set, versions);
+  EXPECT_EQ(pipeline.shard_counters().plan_builds, 1u);  // steady state: reuse only
+  EXPECT_GE(pipeline.shard_counters().plan_reuses, 2u);
+
+  // A set edit bumps the generation: the cached plan must not survive it (it could be
+  // missing the new precondition's shard entry).
+  set.AddPrecondition(block->coeff, block->assignment.WorkerFor(1));
+  pipeline.Validate(set, versions);
+  EXPECT_EQ(pipeline.shard_counters().plan_builds, 2u);
+  pipeline.Validate(set, versions);
+  EXPECT_EQ(pipeline.shard_counters().plan_builds, 2u);
+}
+
+// -----------------------------------------------------------------------------------------
+// Batched central dispatch: per-worker command batches (DESIGN.md §8)
+// -----------------------------------------------------------------------------------------
+
+// Command batches must be executor- and shard-count-invariant (the batch chunks write
+// disjoint slots; this is also the sanitizer-raced coverage for the assembly stage).
+TEST(InstantiationEngineTest, CommandBatchesIdenticalAcrossExecutorsAndShards) {
+  auto block = BuildMicroBlock(64, 8);
+  core::WorkerTemplateSet set = core::ProjectBlock(
+      *block->manager.Find(block->template_id), block->assignment, WorkerTemplateId(0),
+      [](LogicalObjectId) { return 80; });
+
+  ParamList params;
+  params.emplace_back(3, ParameterBlob{1, 2, 3});
+  params.emplace_back(17, ParameterBlob{9});
+
+  std::vector<CommandId> bases(set.halves().size(), CommandId::Invalid());
+  std::uint64_t next = 1000;
+  for (std::size_t h = 0; h < set.halves().size(); ++h) {
+    if (!set.halves()[h].entries.empty()) {
+      bases[h] = CommandId(next);
+      next += set.halves()[h].entries.size();
+    }
+  }
+
+  InlineExecutor inline_exec;
+  InstantiationPipeline reference_pipeline(&inline_exec, 1);
+  const std::vector<CommandBatch> reference = reference_pipeline.AssembleCommandBatches(
+      set, params, /*group_seq=*/7, TaskId(500), bases);
+  ASSERT_FALSE(reference.empty());
+  std::size_t reference_tasks = 0;
+  for (const CommandBatch& b : reference) {
+    reference_tasks += b.task_count;
+  }
+  EXPECT_EQ(reference_tasks, set.entry_meta().size());
+
+  ThreadPoolExecutor pool(4);
+  for (std::uint32_t shards : {2u, 8u}) {
+    InstantiationPipeline pipeline(&pool, shards);
+    const std::vector<CommandBatch> got =
+        pipeline.AssembleCommandBatches(set, params, /*group_seq=*/7, TaskId(500), bases);
+    ASSERT_EQ(reference.size(), got.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].worker, got[i].worker);
+      EXPECT_EQ(reference[i].wire_size, got[i].wire_size);
+      EXPECT_EQ(reference[i].task_count, got[i].task_count);
+      ASSERT_EQ(reference[i].commands.size(), got[i].commands.size());
+      for (std::size_t c = 0; c < reference[i].commands.size(); ++c) {
+        EXPECT_TRUE(reference[i].commands[c] == got[i].commands[c])
+            << "shards=" << shards << " batch " << i << " command " << c;
+      }
+    }
+  }
+}
+
+// -----------------------------------------------------------------------------------------
 // Controller-level invariance: shard count must not change simulation results
 // -----------------------------------------------------------------------------------------
 
