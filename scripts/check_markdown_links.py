@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation (CI `docs` job).
+
+Walks every tracked *.md file and validates intra-repo references:
+  * relative links must point at files (or directories) that exist;
+  * #anchors into markdown files must match a heading's GitHub-style slug;
+  * http(s)/mailto links are skipped (this checker is offline by design).
+
+Exit code is nonzero iff any dangling reference is found, with one line per failure so CI
+logs name the file, the link, and why it failed.
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories that never contain documentation sources.
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", ".github"}
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces to hyphens."""
+    text = unicodedata.normalize("NFKD", heading)
+    # Inline code/links inside headings contribute their text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "")
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path, slug_cache, errors):
+    rel = os.path.relpath(path, REPO_ROOT)
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            targets = INLINE_LINK.findall(line) + IMAGE_LINK.findall(line)
+            for target in targets:
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, anchor = target.partition("#")
+                if base:
+                    resolved = os.path.normpath(os.path.join(os.path.dirname(path), base))
+                    if not os.path.exists(resolved):
+                        errors.append(f"{rel}:{lineno}: dangling link '{target}' "
+                                      f"(no such file: {os.path.relpath(resolved, REPO_ROOT)})")
+                        continue
+                else:
+                    resolved = path  # pure '#anchor' refers to the current file
+                if anchor and resolved.endswith(".md"):
+                    if resolved not in slug_cache:
+                        slug_cache[resolved] = heading_slugs(resolved)
+                    if anchor.lower() not in slug_cache[resolved]:
+                        errors.append(f"{rel}:{lineno}: dangling anchor '#{anchor}' "
+                                      f"in '{target}' (no matching heading)")
+
+
+def main():
+    errors = []
+    slug_cache = {}
+    checked = 0
+    for path in markdown_files():
+        check_file(path, slug_cache, errors)
+        checked += 1
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"FAIL: {len(errors)} dangling reference(s) across {checked} markdown files",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {checked} markdown files, no dangling intra-repo references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

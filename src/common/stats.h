@@ -84,6 +84,20 @@ struct ShardCounters {
   void Clear() { *this = ShardCounters{}; }
 };
 
+// Worker-side materialization accounting (DESIGN.md §9.3): per-worker totals, folded per
+// instantiation group the worker materializes through its executor. `dense_resolves`
+// counts entries whose read/write sets had to be (re)resolved to store-dense indices (the
+// serial intern pre-pass: first touch or post-edit); steady state is zero per group.
+struct MaterializeCounters {
+  std::uint64_t groups = 0;         // instantiation groups materialized
+  std::uint64_t entries = 0;        // template entries turned into runtime commands
+  std::uint64_t dense_resolves = 0;  // entries resolved in the serial intern pre-pass
+  std::uint64_t build_chunks = 0;   // executor jobs across command-build batches
+  std::uint64_t launch_scans = 0;   // group-start eligibility scans run as batches
+
+  void Clear() { *this = MaterializeCounters{}; }
+};
+
 // Accumulates samples and answers summary queries. Percentile queries sort a copy lazily.
 class SampleStats {
  public:

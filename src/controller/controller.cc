@@ -213,6 +213,9 @@ void NimbusController::SubmitStages(const std::vector<StageDescriptor>& stages,
 
 void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>& stages,
                                               PendingBlock* block) {
+  // Central dispatch mutates the version map outside the lookahead-covered window; any
+  // overlapped validation result is stale the moment a stage lands (DESIGN.md §9).
+  InvalidateLookahead();
   for (const StageDescriptor& stage : stages) {
     if (central_batching_) {
       // Engine-driven path: cached stage plan + per-worker command batches (DESIGN.md §8).
@@ -575,9 +578,44 @@ bool NimbusController::HasTemplate(const std::string& name) const {
   return templates_.FindByName(name).valid();
 }
 
+const core::WorkerTemplateSet* NimbusController::ResolveLookaheadTarget(
+    const std::string& next_name, const core::WorkerTemplateSet* current) {
+  if (!lookahead_enabled_ || next_name.empty() || mode_ != ControlMode::kTemplates ||
+      force_full_validation_) {
+    // force_full_validation pins the serial sweep (the ablation bench's contract), so an
+    // overlapped sweep could never be consumed — don't schedule one.
+    return nullptr;
+  }
+  const TemplateId tid = templates_.FindByName(next_name);
+  if (!tid.valid()) {
+    return nullptr;
+  }
+  const core::ControllerTemplate* tmpl = templates_.Find(tid);
+  if (tmpl == nullptr || !tmpl->finished()) {
+    return nullptr;
+  }
+  core::WorkerTemplateSet* candidate = templates_.FindProjection(tid, assignment_);
+  if (candidate == nullptr) {
+    return nullptr;  // not yet projected: its next run is a bring-up stage (central)
+  }
+  SetState& state = StateFor(candidate->id());
+  if (!state.installed_on_workers) {
+    return nullptr;  // worker halves not installed: ditto
+  }
+  if (state.pending_edits.tasks_touched > 0) {
+    return nullptr;  // edits force a fresh validation at the consuming instantiation
+  }
+  // A self-follow of a self-validating set auto-validates for free (§4.2): overlapping
+  // its sweep would only add the scheduling charge.
+  if (candidate == current && candidate->self_validating()) {
+    return nullptr;
+  }
+  return candidate;
+}
+
 void NimbusController::InstantiateTemplate(
     const std::string& name, std::vector<std::pair<std::int32_t, ParameterBlob>> params,
-    BlockDone done) {
+    BlockDone done, const std::string& next_name) {
   const TemplateId tid = templates_.FindByName(name);
   NIMBUS_CHECK(tid.valid()) << "unknown template '" << name << "'";
   core::ControllerTemplate* tmpl = templates_.Find(tid);
@@ -628,13 +666,16 @@ void NimbusController::InstantiateTemplate(
     return;
   }
 
-  // Stage 3: the fast path (paper Fig 9, iteration 13+).
-  InstantiateSet(set, &state, std::move(params), block);
+  // Stage 3: the fast path (paper Fig 9, iteration 13+). The driver's lookahead hint
+  // resolves to the set whose sweep will ride this block's assembly batch (or null).
+  InstantiateSet(set, &state, std::move(params), block,
+                 ResolveLookaheadTarget(next_name, set));
 }
 
 void NimbusController::RunSetCentrallyWithPatches(
     const core::WorkerTemplateSet& set,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
+  InvalidateLookahead();  // bring-up iterations mutate the map outside the covered window
   const std::vector<core::PatchDirective> needed = pipeline_.Validate(set, versions_);
   if (!needed.empty()) {
     core::Patch patch;
@@ -657,7 +698,8 @@ void NimbusController::RunSetCentrallyWithPatches(
 
 void NimbusController::InstantiateSet(
     core::WorkerTemplateSet* set, SetState* state,
-    std::vector<std::pair<std::int32_t, ParameterBlob>> params, PendingBlock* block) {
+    std::vector<std::pair<std::int32_t, ParameterBlob>> params, PendingBlock* block,
+    const core::WorkerTemplateSet* next_set) {
   const std::size_t n_tasks = set->entry_meta().size();
 
   // Controller-template instantiation cost (Table 2 row 1).
@@ -681,15 +723,36 @@ void NimbusController::InstantiateSet(
   const bool auto_validates = !force_full_validation_ && !has_edits && follows_self &&
                               mode_ != ControlMode::kCentralOnly;
   if (!auto_validates) {
-    if (has_edits && follows_self) {
+    // Overlapped-result consumption (DESIGN.md §9.2): this set's sweep already ran on a
+    // spare engine lane during the previous block's message assembly. Reuse is legal iff
+    // the stamps prove nothing it read has moved since — same set, same map id space,
+    // same edit generation, no intervening version-map mutation (every such site calls
+    // InvalidateLookahead) — which makes the cached directives bit-identical to what the
+    // serial sweep below would produce. force_full_validation keeps the serial sweep so
+    // the ablation bench measures what it claims to.
+    const bool lookahead_hit =
+        lookahead_enabled_ && lookahead_.valid && !has_edits && !force_full_validation_ &&
+        lookahead_.set_id_value == set->id().value() &&
+        lookahead_.map_uid == versions_.uid() &&
+        lookahead_.map_churn_epoch == versions_.churn_epoch() &&
+        lookahead_.set_generation == set->generation();
+    std::vector<core::PatchDirective> required;
+    if (lookahead_hit) {
+      ++lookahead_hits_;
+      required = std::move(lookahead_.required);
+      control_thread_.Charge(costs_->lookahead_consume_per_task *
+                             static_cast<sim::Duration>(n_tasks));
+    } else if (has_edits && follows_self) {
       // Edits name exactly the preconditions they touched, so only those entries need
       // re-checking (paper §4.3: edit cost scales with the size of the change).
       control_thread_.Charge(costs_->validate_per_entry *
                              static_cast<sim::Duration>(edits.tasks_touched));
+      required = pipeline_.Validate(*set, versions_);
     } else {
       control_thread_.Charge((costs_->instantiate_worker_template_validate_per_task -
                               costs_->instantiate_worker_template_auto_per_task) *
                              static_cast<sim::Duration>(n_tasks));
+      required = pipeline_.Validate(*set, versions_);
     }
     bool cache_hit = false;
     const std::uint64_t cache_key =
@@ -697,8 +760,8 @@ void NimbusController::InstantiateSet(
                              : prev_executed_;
     // The engine runs the sharded precondition sweep; the template manager only resolves
     // the result against the patch cache.
-    patch = templates_.ResolvePatchFrom(*set, cache_key, versions_,
-                                        pipeline_.Validate(*set, versions_), &cache_hit);
+    patch = templates_.ResolvePatchFrom(*set, cache_key, versions_, std::move(required),
+                                        &cache_hit);
     if (!patch.empty()) {
       control_thread_.Charge((cache_hit ? costs_->patch_directive_cost
                                         : costs_->patch_compute_per_entry)
@@ -706,16 +769,41 @@ void NimbusController::InstantiateSet(
       DispatchPatch(patch, block);
     }
   }
+  // Consumed, stale, or skipped by auto-validation: one overlapped result per block.
+  InvalidateLookahead();
 
   EnsureObjectsExist(*set);
 
+  // Version-map effects land before assembly — mirroring InstantiationPipeline::Run — so
+  // the overlapped sweep of `next_set` below reads exactly the state its consuming
+  // instantiation would. Assembly and dispatch never read the version map, so the move is
+  // unobservable on the serial path (the bit-equality tests pin it).
+  pipeline_.ApplyEffects(*set, patch, &versions_);
+
   // One instantiation message per worker (steady state: n+1 messages total, §2.2). The
   // engine's assembly stage routes params and edit ops to the worker owning each entry
-  // (smaller wire than broadcasting the full parameter list to every worker).
+  // (smaller wire than broadcasting the full parameter list to every worker). When a
+  // lookahead target is known, its precondition sweep rides the same executor batch
+  // (DESIGN.md §9.2) and the merged result is stamped for the next instantiation.
   const std::uint64_t seq = NewGroupSeq();
   const TaskId task_base = task_ids_.NextRange(n_tasks);
-  std::vector<runtime::WorkerMessage> assembled =
-      pipeline_.AssembleMessages(*set, params, has_edits ? &edits : nullptr);
+  std::vector<core::PatchDirective> next_required;
+  std::vector<runtime::WorkerMessage> assembled = pipeline_.AssembleMessages(
+      *set, params, has_edits ? &edits : nullptr, next_set,
+      next_set != nullptr ? &versions_ : nullptr,
+      next_set != nullptr ? &next_required : nullptr);
+  if (next_set != nullptr) {
+    // Serial charge is job setup only; the sweep itself overlapped with assembly.
+    control_thread_.Charge(costs_->lookahead_schedule_per_task *
+                           static_cast<sim::Duration>(next_set->entry_meta().size()));
+    lookahead_.valid = true;
+    lookahead_.set_id_value = next_set->id().value();
+    lookahead_.map_uid = versions_.uid();
+    lookahead_.map_churn_epoch = versions_.churn_epoch();
+    lookahead_.set_generation = next_set->generation();
+    lookahead_.required = std::move(next_required);
+    ++lookaheads_scheduled_;
+  }
   int participating = 0;
   for (runtime::WorkerMessage& wm : assembled) {
     Worker* worker = FindWorker(wm.worker);
@@ -753,7 +841,6 @@ void NimbusController::InstantiateSet(
     cb({});
   }
 
-  pipeline_.ApplyEffects(*set, patch, &versions_);
   prev_executed_ = set->id().value();
 }
 
@@ -978,6 +1065,7 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
     return;
   }
   recovering_ = true;
+  InvalidateLookahead();  // DropWorker below rewrites residency the cached sweep read
   if (WorkerRecord* record = RecordFor(worker_id)) {
     record->failed = true;
     // Evict the liveness entry: a dead worker must not look live to heartbeat accounting.
@@ -1008,6 +1096,7 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
 
 void NimbusController::RunRecovery() {
   NIMBUS_CHECK(checkpoint_.valid) << "worker failed with no valid checkpoint";
+  InvalidateLookahead();  // Restore() resets the map to the checkpoint state
 
   // Revert the version map to the snapshot, with every object now resident only on its
   // reload target (instances on live workers are stale relative to the restored graph).

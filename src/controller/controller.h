@@ -105,9 +105,25 @@ class NimbusController {
   // shows: first call projects the controller half (while dispatching centrally), second
   // call installs worker halves (while dispatching centrally), later calls run the fast
   // template path with validation/patching/edits.
+  //
+  // `next_name` is the driver's lookahead hint (DESIGN.md §9): the block it will
+  // instantiate after this one. When that block's worker-template set is already past
+  // bring-up, its precondition sweep rides this block's message-assembly batch on a spare
+  // engine lane, and the next InstantiateTemplate consumes the overlapped result instead
+  // of sweeping serially. Purely advisory: a wrong (or stale) hint falls back to the
+  // serial sweep via the stamp check, never changing results.
   void InstantiateTemplate(const std::string& name,
                            std::vector<std::pair<std::int32_t, ParameterBlob>> params,
-                           BlockDone done);
+                           BlockDone done, const std::string& next_name = std::string());
+
+  // --- Controller-loop lookahead (DESIGN.md §9) ---
+  // Master switch for the overlap above; on by default. Results are bit-identical either
+  // way (the equality tests pin it) — only cost accounting changes.
+  void set_lookahead_enabled(bool v) { lookahead_enabled_ = v; }
+  bool lookahead_enabled() const { return lookahead_enabled_; }
+  // Overlapped sweeps scheduled into assembly batches / consumed at the next instantiation.
+  std::uint64_t lookaheads_scheduled() const { return lookaheads_scheduled_; }
+  std::uint64_t lookahead_hits() const { return lookahead_hits_; }
 
   // ---- Scheduling changes ----
   // Plans migration of `count` randomly-chosen tasks of `name`'s current worker-template
@@ -251,10 +267,22 @@ class NimbusController {
       const core::WorkerTemplateSet& set,
       const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block);
 
-  // Template fast path.
+  // Template fast path. `next_set` (may be null) is the lookahead target whose
+  // precondition sweep rides this instantiation's assembly batch (DESIGN.md §9).
   void InstantiateSet(core::WorkerTemplateSet* set, SetState* state,
                       std::vector<std::pair<std::int32_t, ParameterBlob>> params,
-                      PendingBlock* block);
+                      PendingBlock* block, const core::WorkerTemplateSet* next_set);
+
+  // Resolves the driver's lookahead hint to a worker-template set that will take the
+  // fast path on its next instantiation (projected, installed, and not a self-follow the
+  // auto-validation of §4.2 already makes free). Null when the hint cannot pay off.
+  const core::WorkerTemplateSet* ResolveLookaheadTarget(const std::string& next_name,
+                                                        const core::WorkerTemplateSet* current);
+
+  // Every controller-side version-map mutation outside the lookahead-covered window runs
+  // through a site that calls this: an overlapped validation result is only reusable if
+  // the map state it swept is exactly the state the consuming instantiation would sweep.
+  void InvalidateLookahead() { lookahead_.valid = false; }
 
   std::uint64_t NewGroupSeq() { return next_group_seq_++; }
   PendingBlock* NewPendingBlock(BlockDone done);
@@ -295,6 +323,27 @@ class NimbusController {
   // templates_.worker_template_ids()).
   DenseMap<SetState> set_states_;
   std::uint64_t prev_executed_ = core::PatchCache::kEntryFromOutside;
+
+  // One in-flight overlapped validation result (DESIGN.md §9): block N+1's required
+  // directives, swept while block N's messages assembled. Valid only while the stamps
+  // match the consuming instantiation (same set, same map id space, same set generation)
+  // AND no version-map mutation invalidated it in between — the directives are then
+  // bit-identical to what the serial sweep would produce.
+  struct LookaheadState {
+    bool valid = false;
+    std::uint64_t set_id_value = 0;
+    std::uint64_t map_uid = 0;
+    // Residency-churn stamp (like PatchCache entries, §6.7): makes the check
+    // self-sufficient against future DropInstance/DestroyObject callers even if they
+    // forget InvalidateLookahead().
+    std::uint64_t map_churn_epoch = 0;
+    std::uint64_t set_generation = 0;
+    std::vector<core::PatchDirective> required;
+  };
+  LookaheadState lookahead_;
+  bool lookahead_enabled_ = true;
+  std::uint64_t lookaheads_scheduled_ = 0;
+  std::uint64_t lookahead_hits_ = 0;
 
   CheckpointState checkpoint_;
   std::function<void(std::uint64_t)> recovery_handler_;

@@ -54,6 +54,11 @@ class Cluster {
   // Injects a hard worker failure at the current virtual time (fault-recovery tests).
   void FailWorker(WorkerId id);
 
+  // Points every worker's materialization at `executor` (DESIGN.md §9.3); nullptr
+  // restores the built-in InlineExecutor. The cluster borrows the executor — the caller
+  // keeps it alive for the cluster's lifetime (declare it before the cluster).
+  void SetWorkerExecutor(runtime::Executor* executor);
+
  private:
   ClusterOptions options_;
   sim::Simulation simulation_;

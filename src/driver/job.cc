@@ -139,15 +139,33 @@ Job::RunResult Job::RunBlock(const std::string& name, SparseParams params) {
   }
 
   // Steady state: a single instantiation message (paper §2.2: n+1 messages per block).
+  // The lookahead hint rides the request (a few bytes naming the next block) so the
+  // controller can pre-validate it while this block's messages assemble (DESIGN.md §9).
   std::int64_t bytes = 64;
   for (const auto& [slot, blob] : params) {
     bytes += 8 + static_cast<std::int64_t>(blob.size());
   }
+  const std::string next = next_block_hint_;
+  bytes += static_cast<std::int64_t>(next.size());
   return ExecuteAndWait(
-      [&controller, &name, params = std::move(params)](BlockDone done) mutable {
-        controller.InstantiateTemplate(name, std::move(params), std::move(done));
+      [&controller, &name, &next, params = std::move(params)](BlockDone done) mutable {
+        controller.InstantiateTemplate(name, std::move(params), std::move(done), next);
       },
       bytes);
+}
+
+Job::RunResult Job::RunBlockSequence(
+    const std::vector<std::pair<std::string, SparseParams>>& seq) {
+  RunResult result;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    HintNextBlock(i + 1 < seq.size() ? seq[i + 1].first : std::string());
+    result = RunBlock(seq[i].first, seq[i].second);
+    if (result.recovered) {
+      break;  // the driver reruns from the checkpoint marker; the hint is stale anyway
+    }
+  }
+  HintNextBlock(std::string());
+  return result;
 }
 
 void Job::Checkpoint(std::uint64_t marker) {

@@ -64,6 +64,25 @@ class Job {
   // Runs a recorded block according to the control-plane mode (see file comment).
   RunResult RunBlock(const std::string& name, SparseParams params = {});
 
+  // ---- Controller-loop lookahead (DESIGN.md §9) ----
+  // Announces the block this driver will run after the current one, so the controller can
+  // overlap the next block's template validation with the current block's message
+  // assembly. Sticky until changed; an empty name clears it. Advisory with respect to
+  // correctness: a wrong hint never changes results (the controller's stamp check falls
+  // back to the serial sweep), so `while (cond) { HintNextBlock("iter"); RunBlock("iter"); }`
+  // is always safe even when the loop exits — but each wrong hint does pay the small
+  // scheduling charge and a wasted overlapped sweep, so don't hint blocks you will
+  // rarely run next.
+  void HintNextBlock(const std::string& name) { next_block_hint_ = name; }
+  // The currently announced next block ("" when none) — the controller-facing lookahead.
+  const std::string& PeekNextBlock() const { return next_block_hint_; }
+
+  // Runs a sequence of recorded blocks back to back, hinting each block's successor so
+  // the controller sees every (current, next) pair. Returns the last block's result;
+  // stops early (returning the recovery result) if a worker failure interrupts the
+  // sequence. Restores an empty hint afterwards.
+  RunResult RunBlockSequence(const std::vector<std::pair<std::string, SparseParams>>& seq);
+
   // Writes a checkpoint tagged with `marker` (typically the iteration index).
   void Checkpoint(std::uint64_t marker);
 
@@ -101,6 +120,7 @@ class Job {
 
   Cluster* cluster_;
   std::map<std::string, BlockDef> blocks_;
+  std::string next_block_hint_;  // lookahead announcement; "" = none
   bool templates_enabled_ = true;
   std::uint64_t auto_checkpoint_every_ = 0;
   std::uint64_t blocks_completed_ = 0;

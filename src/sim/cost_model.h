@@ -45,6 +45,21 @@ struct CostModel {
   Duration nimbus_central_batched_per_task = Micros(45);
   Duration nimbus_central_batch_per_worker = Micros(30);
 
+  // ---- Pipelined controller loop (DESIGN.md §9) ----
+  // Scheduling block N+1's precondition sweep into block N's message-assembly batch: the
+  // serial charge is only job setup and routing; the sweep itself rides a spare engine
+  // lane while assembly runs.
+  Duration lookahead_schedule_per_task = Micros(0.3);
+  // Consuming an overlapped validation at the next instantiation: stamp check plus the
+  // handoff of the merged failure list. Replaces the serial full-sweep surcharge
+  // (instantiate_worker_template_validate_per_task - instantiate_worker_template_auto_per_task).
+  Duration lookahead_consume_per_task = Micros(0.5);
+  // Worker-side parallel materialization (DESIGN.md §9.3): with a parallel executor the
+  // per-entry materialization charge divides by min(executor lanes, worker_cores) scaled
+  // by this efficiency (chunked command builds do not parallelize perfectly). An inline
+  // executor models one lane, so the default charge is unchanged.
+  double worker_materialize_efficiency = 0.85;
+
   // ---- Template installation costs (paper Table 1) ----
   Duration install_controller_template_per_task = Micros(25);
   Duration install_worker_template_controller_per_task = Micros(15);

@@ -32,9 +32,11 @@
 
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
+#include "src/common/stats.h"
 #include "src/core/worker_template.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_store.h"
+#include "src/runtime/executor.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
@@ -135,11 +137,25 @@ class Worker {
   // Copy payloads buffered ahead of their receive command (in groups or pre-group).
   std::size_t buffered_copy_count() const;
 
-  // Test hook: record every command accepted by OnCommands, in arrival order. The log is
-  // the worker's observed explicit-command stream — the controller-level equality tests
-  // compare it between per-task and batched central dispatch (DESIGN.md §8).
+  // Test hook: record every command this worker runs, in arrival order — explicit
+  // commands as OnCommands accepts them, materialized instantiation groups as one
+  // index-ordered burst. The log is the worker's observed command stream — the equality
+  // tests compare it between per-task and batched central dispatch (DESIGN.md §8) and
+  // between serial and lookahead/parallel-materialization runs (§9).
   void EnableCommandLog() { command_log_enabled_ = true; }
   const std::vector<Command>& command_log() const { return command_log_; }
+
+  // ---- Parallel materialization (DESIGN.md §9.3) ----
+  // Swaps the executor that materializes instantiation groups (per-entry command builds
+  // and group-start eligibility scans run as chunked executor jobs). The worker does not
+  // own it; nullptr restores the built-in InlineExecutor — the default, which runs every
+  // batch sequentially in index order and is bit-identical to the pre-executor code path
+  // (the simulator and all existing tests stay on it).
+  void set_executor(runtime::Executor* executor) {
+    executor_ = executor != nullptr ? executor : &inline_executor_;
+  }
+  runtime::Executor* executor() { return executor_; }
+  const MaterializeCounters& materialize_counters() const { return materialize_counters_; }
 
   void StartHeartbeats(sim::Duration period);
 
@@ -210,6 +226,10 @@ class Worker {
     std::unique_ptr<Payload> payload;
   };
 
+  // Executor jobs for one batch over `n` independent slots: the executor's lane count,
+  // clamped so every job has work (1 for the InlineExecutor == the serial code path).
+  std::size_t ChunkCount(std::size_t n) const;
+
   Group& GetOrCreateGroup(std::uint64_t seq, bool barrier);
   Group* FindGroup(std::uint64_t seq);
   CopySlot& EnsureCopySlot(Group& group, std::int32_t copy_index);
@@ -241,6 +261,15 @@ class Worker {
   ObjectStore store_;
   sim::CorePool cores_;
   sim::Processor control_thread_;  // processes control messages serially
+
+  // Materialization executor (DESIGN.md §9.3). Batches write disjoint per-entry slots, so
+  // output is executor-invariant; the inline default preserves the serial path exactly.
+  runtime::InlineExecutor inline_executor_;
+  runtime::Executor* executor_ = &inline_executor_;
+  MaterializeCounters materialize_counters_;
+  // Scratch ready-bitmap for StartGroup's eligibility scan, reused across group starts so
+  // the serial (inline) path pays no per-group allocation.
+  std::vector<std::uint8_t> ready_scratch_;
 
   // Cached worker templates (the worker half), in a flat array by dense template id.
   // Workers cache several (paper §2.3); the sparse id is resolved once per message.
