@@ -13,6 +13,10 @@
 //                       cached stage plans + one command batch per worker. The gap between
 //                       the two separates "no templates" from "no batching" in Fig 1/8's
 //                       headline result; the CI-gated claim is batched ≥ 1.5x per-task.
+//  * central-serialized — batched dispatch shipping pre-encoded wire buffers from the
+//                       serialized-template cache (DESIGN.md §10): memcpy + header patch
+//                       + in-place parameter patch per worker instead of per-command
+//                       struct building. The CI-gated claim is serialized ≥ 1.3x batched.
 //
 // With --json PATH the measured series are written as a JSON document
 // (bench/run_benchmarks.sh commits it as BENCH_fig8.json).
@@ -46,10 +50,12 @@ double NimbusThroughput(int workers) {
 }
 
 // Nimbus w/o templates: every iteration re-submits every task. `batched` switches the
-// central path from per-task dispatch to the engine-driven batched dispatcher.
-double CentralThroughput(int workers, bool batched) {
+// central path from per-task dispatch to the engine-driven batched dispatcher;
+// `serialized` additionally ships each batch as a pre-encoded wire buffer (DESIGN.md §10).
+double CentralThroughput(int workers, bool batched, bool serialized = false) {
   LrHarness h = MakeLrHarness(workers, ControlMode::kCentralOnly);
   h.cluster->controller().set_central_batching(batched);
+  h.cluster->controller().set_serialized_batching(serialized);
   h.app->Setup();
   h.app->RunInnerIteration();  // warm: stage plans compile, stores materialize
   const sim::TimePoint start = h.cluster->simulation().now();
@@ -74,13 +80,15 @@ int Run(const char* json_path) {
   std::printf("Figure 8: task throughput vs cluster size (LR, 100GB)\n");
   std::printf("Paper: Spark saturates at ~6,000 tasks/s; Nimbus reaches ~128,000 tasks/s at "
               "100 workers\n\n");
-  std::printf("%8s %16s %14s %18s %16s\n", "workers", "spark_tasks_s", "central_tasks_s",
-              "central_batched_s", "nimbus_tasks_s");
-  std::vector<double> worker_counts, spark_s, central_s, batched_s, nimbus_s;
+  std::printf("%8s %16s %14s %18s %20s %16s\n", "workers", "spark_tasks_s",
+              "central_tasks_s", "central_batched_s", "central_serialized_s",
+              "nimbus_tasks_s");
+  std::vector<double> worker_counts, spark_s, central_s, batched_s, serialized_s, nimbus_s;
   double spark_max = 0.0;
   double nimbus_max = 0.0;
   double central_max = 0.0;
   double batched_max = 0.0;
+  double serialized_max = 0.0;
   for (int workers = 10; workers <= 100; workers += 10) {
     baselines::SparkOptConfig config;
     config.workers = workers;
@@ -90,23 +98,29 @@ int Run(const char* json_path) {
     const double spark = runner.Run(5).tasks_per_second;
     const double central = CentralThroughput(workers, /*batched=*/false);
     const double batched = CentralThroughput(workers, /*batched=*/true);
+    const double serialized =
+        CentralThroughput(workers, /*batched=*/true, /*serialized=*/true);
     const double nimbus = NimbusThroughput(workers);
     spark_max = std::max(spark_max, spark);
     central_max = std::max(central_max, central);
     batched_max = std::max(batched_max, batched);
+    serialized_max = std::max(serialized_max, serialized);
     nimbus_max = std::max(nimbus_max, nimbus);
     worker_counts.push_back(workers);
     spark_s.push_back(spark);
     central_s.push_back(central);
     batched_s.push_back(batched);
+    serialized_s.push_back(serialized);
     nimbus_s.push_back(nimbus);
-    std::printf("%8d %16.0f %14.0f %18.0f %16.0f\n", workers, spark, central, batched,
-                nimbus);
+    std::printf("%8d %16.0f %14.0f %18.0f %20.0f %16.0f\n", workers, spark, central,
+                batched, serialized, nimbus);
   }
 
   const double batched_speedup = central_max > 0.0 ? batched_max / central_max : 0.0;
+  const double serialized_speedup = batched_max > 0.0 ? serialized_max / batched_max : 0.0;
   const bool paper_shape = spark_max < 12000 && nimbus_max > 100000;
   const bool batched_ok = batched_speedup >= 1.5;
+  const bool serialized_ok = serialized_speedup >= 1.3;
   std::printf("\nShape check: Spark saturated near 1/166us = ~6000 tasks/s (max %.0f), "
               "Nimbus grew past 100k tasks/s (max %.0f): %s\n",
               spark_max, nimbus_max, paper_shape ? "REPRODUCED" : "NOT reproduced");
@@ -114,6 +128,10 @@ int Run(const char* json_path) {
               "%s\n",
               batched_max, central_max, batched_speedup,
               batched_ok ? "REPRODUCED" : "NOT reproduced");
+  std::printf("Serialized central dispatch: %.0f tasks/s vs %.0f struct-batched (%.2fx, "
+              "need >=1.3x): %s\n",
+              serialized_max, batched_max, serialized_speedup,
+              serialized_ok ? "REPRODUCED" : "NOT reproduced");
 
   if (json_path != nullptr) {
     std::FILE* f = std::fopen(json_path, "w");
@@ -126,14 +144,18 @@ int Run(const char* json_path) {
     WriteSeries(f, "spark_tasks_per_s", spark_s, true);
     WriteSeries(f, "central_tasks_per_s", central_s, true);
     WriteSeries(f, "central_batched_tasks_per_s", batched_s, true);
+    WriteSeries(f, "central_serialized_tasks_per_s", serialized_s, true);
     WriteSeries(f, "nimbus_tasks_per_s", nimbus_s, true);
     std::fprintf(f, "  \"central_batched_speedup_max\": %.3f,\n", batched_speedup);
     std::fprintf(f, "  \"central_batched_speedup_ok\": %s,\n", batched_ok ? "true" : "false");
+    std::fprintf(f, "  \"central_serialized_speedup_max\": %.3f,\n", serialized_speedup);
+    std::fprintf(f, "  \"central_serialized_speedup_ok\": %s,\n",
+                 serialized_ok ? "true" : "false");
     std::fprintf(f, "  \"paper_shape_reproduced\": %s\n}\n", paper_shape ? "true" : "false");
     std::fclose(f);
     std::printf("Series written to %s\n", json_path);
   }
-  return (paper_shape && batched_ok) ? 0 : 1;
+  return (paper_shape && batched_ok && serialized_ok) ? 0 : 1;
 }
 
 }  // namespace

@@ -24,7 +24,9 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
-CANARY_BENCH="BM_InstantiateWorkerTemplateFullValidation"
+# Two gated canaries: the full-validation sweep (the hot instantiation path) and the
+# steady-state serialized-batch assembly (the pre-encoded dispatch path, DESIGN.md §10).
+CANARY_BENCHES="BM_InstantiateWorkerTemplateFullValidation BM_SerializedBatchAssembly"
 TOLERANCE="${BENCH_CHECK_TOLERANCE:-0.15}"
 
 # A failing bench must name itself: with `set -e` alone the script dies silently mid-loop
@@ -42,31 +44,36 @@ run_bench_json() {
 
 check_canary() {
   local fresh="$1" committed="$ROOT/BENCH_table2.json"
-  python3 - "$committed" "$fresh" "$CANARY_BENCH" "$TOLERANCE" <<'PY'
+  python3 - "$committed" "$fresh" "$TOLERANCE" $CANARY_BENCHES <<'PY'
 import json, sys
 
-committed_path, fresh_path, canary, tolerance = sys.argv[1:5]
+committed_path, fresh_path, tolerance = sys.argv[1:4]
+canaries = sys.argv[4:]
 tolerance = float(tolerance)
 
-def canary_value(path):
+def canary_value(path, canary):
     with open(path) as f:
         doc = json.load(f)
     for bench in doc["benchmarks"]:
-        if bench["name"] == canary and "per_task_us" in bench:
+        # MinTime-pinned benchmarks report as "<name>/min_time:2.000".
+        if bench["name"].split("/")[0] == canary and "per_task_us" in bench:
             return float(bench["per_task_us"])
     sys.exit(f"{path}: canary benchmark '{canary}' with per_task_us not found")
 
-committed = canary_value(committed_path)
-fresh = canary_value(fresh_path)
-ratio = fresh / committed
-drift = ratio - 1.0
-print(f"Table 2 canary ({canary}): committed {committed:.3e}, fresh {fresh:.3e}, "
-      f"drift {drift:+.1%} (tolerance ±{tolerance:.0%})")
-if abs(drift) > tolerance:
-    kind = "REGRESSION" if drift > 0 else "STALE BASELINE (regenerate BENCH JSONs)"
-    print(f"FAIL: canary drift beyond tolerance — {kind}", file=sys.stderr)
+failed = False
+for canary in canaries:
+    committed = canary_value(committed_path, canary)
+    fresh = canary_value(fresh_path, canary)
+    drift = fresh / committed - 1.0
+    print(f"Table 2 canary ({canary}): committed {committed:.3e}, fresh {fresh:.3e}, "
+          f"drift {drift:+.1%} (tolerance ±{tolerance:.0%})")
+    if abs(drift) > tolerance:
+        kind = "REGRESSION" if drift > 0 else "STALE BASELINE (regenerate BENCH JSONs)"
+        print(f"FAIL: {canary} drift beyond tolerance — {kind}", file=sys.stderr)
+        failed = True
+if failed:
     sys.exit(1)
-print("OK: canary within tolerance")
+print("OK: all canaries within tolerance")
 PY
 }
 

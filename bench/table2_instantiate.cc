@@ -147,6 +147,67 @@ void BM_EngineFullValidationInline(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineFullValidationInline)->Unit(benchmark::kMillisecond);
 
+// Command-ID bases for every non-empty half, as the controller allocates them per
+// instantiation (contiguous ranges, one per participating worker).
+std::vector<CommandId> HalfBases(const core::WorkerTemplateSet& set, std::uint64_t first) {
+  std::vector<CommandId> bases(set.halves().size(), CommandId::Invalid());
+  std::uint64_t next = first;
+  for (std::size_t h = 0; h < set.halves().size(); ++h) {
+    if (!set.halves()[h].entries.empty()) {
+      bases[h] = CommandId(next);
+      next += set.halves()[h].entries.size();
+    }
+  }
+  return bases;
+}
+
+// Struct-batched assembly: per worker, build the half's Command vector from the template
+// entries (the central-batched dispatch path, DESIGN.md §8). The baseline the serialized
+// cache must beat.
+void BM_StructBatchAssembly(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  runtime::InlineExecutor executor;
+  runtime::InstantiationPipeline pipeline(&executor, 1);
+  const std::vector<CommandId> bases = HalfBases(set, 1000);
+  for (auto _ : state) {
+    auto batches = pipeline.AssembleCommandBatches(set, {}, 1, TaskId(0), bases);
+    benchmark::DoNotOptimize(batches);
+  }
+  ReportPerTaskTime(state, 8000.0);
+}
+BENCHMARK(BM_StructBatchAssembly)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// Serialized-batch assembly, steady state: the cached per-worker wire buffers are reused,
+// so each instantiation is memcpy + three header patches per worker (DESIGN.md §10). The
+// first iteration's cold encode is amortized away by the warm-up call. Gated in
+// bench/run_benchmarks.sh at +-15% alongside the full-validation canary.
+void BM_SerializedBatchAssembly(benchmark::State& state) {
+  auto block = BuildMicroBlock(kPartitions, kWorkers);
+  const core::ControllerTemplate* tmpl = block->manager.Find(block->template_id);
+  core::WorkerTemplateSet set =
+      core::ProjectBlock(*tmpl, block->assignment, WorkerTemplateId(0), ConstantBytes(80));
+  runtime::InlineExecutor executor;
+  runtime::InstantiationPipeline pipeline(&executor, 1);
+  const std::vector<CommandId> bases = HalfBases(set, 1000);
+  pipeline.AssembleSerializedBatches(set, {}, 1, TaskId(0), bases);  // warm: cold encode
+  for (auto _ : state) {
+    auto batches = pipeline.AssembleSerializedBatches(set, {}, 1, TaskId(0), bases);
+    benchmark::DoNotOptimize(batches);
+  }
+  const SerializedBatchCounters& sbc = pipeline.serialized_counters();
+  state.counters["half_encodes"] = static_cast<double>(sbc.half_encodes);
+  state.counters["half_reuses"] = static_cast<double>(sbc.half_reuses);
+  state.counters["reuse_rate"] = sbc.ReuseRate();
+  state.counters["bytes_shipped"] = static_cast<double>(sbc.bytes_shipped);
+  ReportPerTaskTime(state, 8000.0);
+}
+// Allocation-heavy and fast per iteration (one ~750KB buffer set per call): the longer
+// window keeps the CI-gated sample out of allocator noise.
+BENCHMARK(BM_SerializedBatchAssembly)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
 }  // namespace
 }  // namespace nimbus::bench
 

@@ -92,18 +92,31 @@ class BlobReader {
   }
 
   std::string ReadString() {
+    // Bounds before allocation: a malformed length prefix must fail the CHECK, not ask the
+    // allocator for up to 4 GB first.
     const std::uint32_t n = ReadU32();
-    NIMBUS_CHECK_LE(pos_ + n, blob_.size());
+    NIMBUS_CHECK_LE(n, remaining());
     std::string s(reinterpret_cast<const char*>(blob_.data() + pos_), n);
     pos_ += n;
     return s;
   }
 
   std::vector<double> ReadDoubleVector() {
+    // Bounds before allocation (see ReadString).
     const std::uint32_t n = ReadU32();
+    NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * sizeof(double), remaining());
     std::vector<double> v(n);
     ExtractRaw(v.data(), n * sizeof(double));
     return v;
+  }
+
+  // Reads `n` raw bytes into a fresh blob (bounds-checked before allocation).
+  ParameterBlob ReadBlob(std::size_t n) {
+    NIMBUS_CHECK_LE(n, remaining());
+    ParameterBlob b(blob_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    blob_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
   }
 
   bool AtEnd() const { return pos_ == blob_.size(); }

@@ -4,6 +4,7 @@
 #define NIMBUS_SRC_COMMON_STATS_H_
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -82,6 +83,72 @@ struct ShardCounters {
     }
   }
   void Clear() { *this = ShardCounters{}; }
+};
+
+// Serialized-batch cache accounting (DESIGN.md §10): the pre-encoded per-worker command
+// buffers the batched central path ships instead of struct vectors. `half_encodes` counts
+// cold per-half template encodes (and invalidation re-encodes); steady state is all
+// `half_reuses` — memcpy + slot patch. `params_patched` are same-size in-place parameter
+// overwrites; `splices` are batches rebuilt by segment copy because an override changed a
+// parameter's length.
+struct SerializedBatchCounters {
+  std::uint64_t half_encodes = 0;    // cold per-worker-half template encodes
+  std::uint64_t half_reuses = 0;     // cached template bytes reused (memcpy + patch)
+  std::uint64_t batches = 0;         // serialized batches shipped
+  std::uint64_t commands = 0;        // commands inside those batches
+  std::uint64_t params_patched = 0;  // parameter slots overwritten in place
+  std::uint64_t splices = 0;         // size-changing rebuilds (segment copy)
+  std::uint64_t bytes_encoded = 0;   // template bytes produced by cold encodes
+  std::uint64_t bytes_shipped = 0;   // encoded bytes actually handed to the network
+
+  double ReuseRate() const {
+    const std::uint64_t total = half_encodes + half_reuses;
+    return total == 0 ? 0.0 : static_cast<double>(half_reuses) / static_cast<double>(total);
+  }
+  void Clear() { *this = SerializedBatchCounters{}; }
+};
+
+// What a network message carries, for per-kind wire accounting (the bench JSONs report
+// control-plane vs data bytes separately).
+enum class MessageKind : std::uint8_t {
+  kControl = 0,      // heartbeats, completions, installs, instantiations, halts, recovery
+  kCommand,          // explicit command messages (per-task dispatch, struct batches, patches)
+  kSerializedBatch,  // pre-encoded command batches (wire codec, DESIGN.md §10)
+  kData,             // object payloads exchanged directly between workers
+};
+inline constexpr std::size_t kMessageKindCount = 4;
+
+// Per-message-kind traffic counters kept by sim::Network.
+struct NetworkCounters {
+  std::array<std::uint64_t, kMessageKindCount> messages{};
+  std::array<std::int64_t, kMessageKindCount> bytes{};
+
+  void Record(MessageKind kind, std::int64_t payload_bytes) {
+    const auto k = static_cast<std::size_t>(kind);
+    ++messages[k];
+    bytes[k] += payload_bytes;
+  }
+  std::uint64_t messages_for(MessageKind kind) const {
+    return messages[static_cast<std::size_t>(kind)];
+  }
+  std::int64_t bytes_for(MessageKind kind) const {
+    return bytes[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t m : messages) {
+      n += m;
+    }
+    return n;
+  }
+  std::int64_t total_bytes() const {
+    std::int64_t n = 0;
+    for (std::int64_t b : bytes) {
+      n += b;
+    }
+    return n;
+  }
+  void Clear() { *this = NetworkCounters{}; }
 };
 
 // Worker-side materialization accounting (DESIGN.md §9.3): per-worker totals, folded per

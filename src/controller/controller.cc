@@ -399,6 +399,45 @@ void NimbusController::DispatchCentralBlock(
     }
   }
 
+  if (serialized_batching_) {
+    // Serialized path (DESIGN.md §10): ship each worker's pre-encoded wire buffer. Cold
+    // batches (template just encoded) pay the encode; steady-state batches pay only the
+    // memcpy-scale patch costs — the gap Fig 8's central-serialized series measures.
+    std::vector<runtime::SerializedBatch> batches =
+        pipeline_.AssembleSerializedBatches(set, params, seq, task_base, bases);
+    int participating = 0;
+    for (runtime::SerializedBatch& batch : batches) {
+      Worker* worker = FindWorker(batch.worker);
+      NIMBUS_CHECK(worker != nullptr) << "dispatch to unknown worker " << batch.worker;
+      ++participating;
+      tasks_dispatched_ += batch.task_count;
+      const std::size_t total = batch.command_count;
+      const auto n = static_cast<sim::Duration>(total);
+      const sim::Duration cost =
+          batch.reused
+              ? costs_->serialized_batch_per_worker + costs_->serialized_batch_per_task * n +
+                    costs_->serialized_patch_per_slot *
+                        static_cast<sim::Duration>(batch.params_patched)
+              : costs_->nimbus_central_batch_per_worker +
+                    costs_->serialized_batch_encode_per_task * n;
+      const std::int64_t wire = batch.wire_size;  // actual encoded bytes
+      control_thread_.Submit(
+          cost, [this, worker, bytes = std::move(batch.bytes), seq, total, wire]() mutable {
+            network_->Send(sim::kControllerAddress, worker->address(), wire,
+                           [worker, bytes = std::move(bytes), seq, total]() mutable {
+                             worker->OnSerializedCommands(seq, std::move(bytes), total,
+                                                          /*finalize=*/true,
+                                                          /*barrier=*/true);
+                           },
+                           MessageKind::kSerializedBatch);
+          });
+    }
+    if (participating > 0) {
+      RegisterGroup(seq, block, participating);
+    }
+    return;
+  }
+
   std::vector<runtime::CommandBatch> batches =
       pipeline_.AssembleCommandBatches(set, params, seq, task_base, bases);
 
@@ -421,7 +460,8 @@ void NimbusController::DispatchCentralBlock(
                          [worker, cmds = std::move(cmds), seq, total]() mutable {
                            worker->OnCommands(seq, std::move(cmds), total,
                                               /*finalize=*/true, /*barrier=*/true);
-                         });
+                         },
+                         MessageKind::kCommand);
         });
   }
   if (participating > 0) {
@@ -482,7 +522,8 @@ void NimbusController::DispatchSetCentrally(
                          one.push_back(std::move(cmd));
                          worker->OnCommands(seq, std::move(one), total, final,
                                             /*barrier=*/true);
-                       });
+                       },
+                       MessageKind::kCommand);
       });
     }
   }
@@ -553,7 +594,8 @@ void NimbusController::DispatchPatch(const core::Patch& patch, PendingBlock* blo
                          [worker, cmds = std::move(cmds), seq, total]() mutable {
                            worker->OnCommands(seq, std::move(cmds), total,
                                               /*finalize=*/true, /*barrier=*/true);
-                         });
+                         },
+                         MessageKind::kCommand);
         });
   }
 
@@ -1000,7 +1042,8 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
     network_->Send(sim::kControllerAddress, w->address(), 64,
                    [w, cmds = std::move(cmds), seq, total]() mutable {
                      w->OnCommands(seq, std::move(cmds), total, true, /*barrier=*/true);
-                   });
+                   },
+                   MessageKind::kCommand);
   }
   if (participating > 0) {
     RegisterGroup(seq, block, participating);

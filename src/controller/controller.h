@@ -78,6 +78,19 @@ class NimbusController {
   void set_central_batching(bool v) { central_batching_ = v; }
   bool central_batching() const { return central_batching_; }
 
+  // On top of central batching, ship each worker's batch as one pre-encoded wire buffer
+  // from the engine's serialized-template cache (memcpy + header patch + in-place
+  // parameter patch, DESIGN.md §10) instead of a struct vector. Workers decode the bytes
+  // back into the identical command stream, so output matches the other dispatch modes
+  // bit-for-bit; only cost accounting and wire bytes change. Implies central batching.
+  void set_serialized_batching(bool v) {
+    serialized_batching_ = v;
+    if (v) {
+      central_batching_ = true;
+    }
+  }
+  bool serialized_batching() const { return serialized_batching_; }
+
   // ---- Cluster membership (resource manager interface, Fig 2) ----
   void AttachWorker(Worker* worker);
   // Gracefully revokes workers: they stop receiving tasks but can still source data copies.
@@ -359,6 +372,7 @@ class NimbusController {
   bool force_full_validation_ = false;
   bool disable_patch_cache_ = false;
   bool central_batching_ = false;
+  bool serialized_batching_ = false;
 
   IdAllocator<TaskId> task_ids_;
   IdAllocator<CommandId> command_ids_;

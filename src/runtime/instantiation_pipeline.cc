@@ -19,8 +19,10 @@ void InstantiationPipeline::Configure(Executor* executor, std::uint32_t shard_co
   executor_ = executor;
   shard_count_ = shard_count;
   plans_ = DenseMap<ShardPlan>{};
+  serialized_plans_ = DenseMap<SerializedPlan>{};
   shard_counters_.Clear();
   shard_counters_.EnsureShards(shard_count_);
+  serialized_counters_.Clear();
 }
 
 // -----------------------------------------------------------------------------------------
@@ -496,6 +498,105 @@ std::vector<CommandBatch> InstantiationPipeline::AssembleCommandBatches(
     }
     shard_counters_.commands_assembled += b.commands.size();
     ++shard_counters_.command_batches;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// -----------------------------------------------------------------------------------------
+// Serialized batches: cached wire encodings patched per instantiation (DESIGN.md §10)
+// -----------------------------------------------------------------------------------------
+
+std::vector<SerializedBatch> InstantiationPipeline::AssembleSerializedBatches(
+    const core::WorkerTemplateSet& set, const ParamList& params, std::uint64_t group_seq,
+    TaskId task_base, const std::vector<CommandId>& half_bases) {
+  const auto& halves = set.halves();
+  NIMBUS_CHECK_EQ(half_bases.size(), halves.size());
+
+  ParamList sorted_params = params;
+  std::stable_sort(sorted_params.begin(), sorted_params.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Resolve the cached plan serially (DenseMap growth is not job-safe); jobs then touch
+  // disjoint half slots only. The stamp is the set's edit generation alone: unlike shard
+  // plans, the encoded bytes read nothing from the version map, so neither the map uid nor
+  // the churn epoch can make them stale. Ad-hoc sets (invalid id) get a throwaway local
+  // plan — every call is a cold encode.
+  SerializedPlan local_plan;
+  SerializedPlan* plan = &local_plan;
+  bool rebuild = true;
+  if (set.id().valid()) {
+    const auto index = static_cast<DenseIndex>(set.id().value());
+    serialized_plans_.EnsureSize(index + 1);
+    plan = &serialized_plans_[index];
+    rebuild = !plan->built || plan->set_generation != set.generation();
+  }
+  if (rebuild) {
+    plan->halves.assign(halves.size(), HalfTemplate{});
+    plan->set_generation = set.generation();
+    plan->built = true;
+  }
+
+  std::vector<SerializedBatch> batches(halves.size());
+  // Same chunking as the struct path: shard_count contiguous chunks of halves.
+  const std::size_t chunks = shard_count_;
+  executor_->Run(chunks, [&](std::size_t job) {
+    const std::size_t begin = job * halves.size() / chunks;
+    const std::size_t end = (job + 1) * halves.size() / chunks;
+    static const ParamList kNoParams;
+    for (std::size_t h = begin; h < end; ++h) {
+      SerializedBatch& batch = batches[h];
+      batch.worker = halves[h].worker;
+      batch.half_index = static_cast<std::uint32_t>(h);
+      if (halves[h].entries.empty()) {
+        continue;  // compacted out below, like the struct path
+      }
+      NIMBUS_CHECK(half_bases[h].valid());
+      HalfTemplate& tmpl = plan->halves[h];
+      if (rebuild) {
+        // Cold path: build the half's commands against zero bases (cached parameters
+        // baked in, no overrides) and encode them once. The bytes are
+        // instantiation-invariant from here on.
+        CommandBatch cold;
+        cold.worker = halves[h].worker;
+        BuildHalfCommands(halves[h], kNoParams, /*group_seq=*/0, TaskId(0), CommandId(0),
+                          &cold);
+        tmpl.bytes = wire::EncodeBatch(/*group_seq=*/0, CommandId(0), TaskId(0),
+                                       cold.commands, &tmpl.slots);
+        tmpl.task_count = cold.task_count;
+        tmpl.command_count = static_cast<std::uint32_t>(cold.commands.size());
+      }
+      wire::PatchStats stats;
+      batch.bytes = wire::ApplyParamOverrides(tmpl.bytes, tmpl.slots, sorted_params, &stats);
+      wire::PatchHeader(&batch.bytes, group_seq, half_bases[h], task_base);
+      batch.task_count = tmpl.task_count;
+      batch.command_count = tmpl.command_count;
+      batch.wire_size = static_cast<std::int64_t>(batch.bytes.size());
+      batch.reused = !rebuild;
+      batch.params_patched = stats.params_patched;
+      batch.spliced = stats.spliced;
+    }
+  });
+  shard_counters_.assemble_jobs += chunks;
+
+  // Compact out empty halves and fold the counters serially (jobs never touch them).
+  std::vector<SerializedBatch> out;
+  out.reserve(batches.size());
+  for (SerializedBatch& b : batches) {
+    if (halves[b.half_index].entries.empty()) {
+      continue;
+    }
+    if (b.reused) {
+      ++serialized_counters_.half_reuses;
+    } else {
+      ++serialized_counters_.half_encodes;
+      serialized_counters_.bytes_encoded += plan->halves[b.half_index].bytes.size();
+    }
+    ++serialized_counters_.batches;
+    serialized_counters_.commands += b.command_count;
+    serialized_counters_.params_patched += b.params_patched;
+    serialized_counters_.splices += b.spliced ? 1 : 0;
+    serialized_counters_.bytes_shipped += b.bytes.size();
     out.push_back(std::move(b));
   }
   return out;

@@ -38,6 +38,7 @@
 #include "src/data/version_map.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/sharded_version_map.h"
+#include "src/task/wire.h"
 
 namespace nimbus::runtime {
 
@@ -67,6 +68,22 @@ struct CommandBatch {
   std::vector<Command> commands;     // in the half's entry order
   std::uint64_t task_count = 0;      // kTask commands in `commands`
   std::int64_t wire_size = 0;        // sum of per-command wire sizes (one message)
+};
+
+// One worker's share of a batched central dispatch as a ready-to-ship wire buffer
+// (DESIGN.md §10): the pre-encoded template bytes memcpy'd, header-patched, and
+// parameter-patched for this instantiation. Decoding `bytes` yields exactly the command
+// stream a CommandBatch of the same half would carry.
+struct SerializedBatch {
+  WorkerId worker;
+  std::uint32_t half_index = 0;       // index into set.halves()
+  ParameterBlob bytes;                // ready to ship; wire_size == bytes.size()
+  std::uint64_t task_count = 0;       // kTask commands in the batch
+  std::uint32_t command_count = 0;
+  std::int64_t wire_size = 0;
+  bool reused = false;                // template bytes came from the cache
+  std::uint64_t params_patched = 0;   // in-place parameter overwrites for this batch
+  bool spliced = false;               // a size-changing override forced a rebuild
 };
 
 // Everything one engine-driven instantiation produced. `required` is what validation found
@@ -134,6 +151,17 @@ class InstantiationPipeline {
                                                    std::uint64_t group_seq, TaskId task_base,
                                                    const std::vector<CommandId>& half_bases);
 
+  // Serialized twin of AssembleCommandBatches (DESIGN.md §10): per worker half, the
+  // pre-encoded wire buffer of the half's command list, produced from a cached template
+  // encoding by buffer copy + three header patches + in-place parameter overwrites — zero
+  // per-task allocation in steady state. The cache is keyed like shard plans (by set id)
+  // and stamped by the set's edit generation alone: the encoded bytes never read the
+  // version map, so map uid / churn epoch cannot invalidate them. Decoded output is
+  // bit-identical to the struct batches of the same arguments.
+  std::vector<SerializedBatch> AssembleSerializedBatches(
+      const core::WorkerTemplateSet& set, const ParamList& params, std::uint64_t group_seq,
+      TaskId task_base, const std::vector<CommandId>& half_bases);
+
   // One full engine-driven instantiation: validate -> resolve patch -> apply ->
   // [assemble || validate next]. The bench and the equivalence tests drive this; the
   // controller calls the stages directly because cost accounting and network dispatch
@@ -144,9 +172,11 @@ class InstantiationPipeline {
                            const core::WorkerTemplateSet* next_set = nullptr);
 
   const ShardCounters& shard_counters() const { return shard_counters_; }
+  const SerializedBatchCounters& serialized_counters() const { return serialized_counters_; }
   void ClearCounters() {
     shard_counters_.Clear();
     shard_counters_.EnsureShards(shard_count_);  // jobs index per-shard slots unguarded
+    serialized_counters_.Clear();
   }
 
  private:
@@ -173,6 +203,25 @@ class InstantiationPipeline {
     // so the O(deltas) create-missing sweep is skipped in steady state.
     bool all_objects_exist = false;
     std::uint64_t exist_checked_epoch = 0;
+  };
+
+  // One worker half's cached wire encoding: the batch bytes encoded against zero bases
+  // with the template's cached parameters baked in, plus the parameter slot table. Per
+  // instantiation the bytes are copied, the three header slots patched, and overridden
+  // parameters overwritten in place (wire.h).
+  struct HalfTemplate {
+    ParameterBlob bytes;
+    std::vector<wire::ParamSlot> slots;
+    std::uint64_t task_count = 0;
+    std::uint32_t command_count = 0;
+  };
+
+  // Cached serialized encodings of one set's halves. Stamped by set generation only — see
+  // AssembleSerializedBatches. Rebuilds are plan-wide: an edit regenerates every half.
+  struct SerializedPlan {
+    std::uint64_t set_generation = ~std::uint64_t{0};
+    bool built = false;
+    std::vector<HalfTemplate> halves;
   };
 
   // A validation failure tagged with its index in the compiled precondition array, so
@@ -222,7 +271,9 @@ class InstantiationPipeline {
   Executor* executor_;
   std::uint32_t shard_count_;
   DenseMap<ShardPlan> plans_;  // by worker-template-set id value (contiguous from 0)
+  DenseMap<SerializedPlan> serialized_plans_;  // same keying as plans_
   ShardCounters shard_counters_;
+  SerializedBatchCounters serialized_counters_;
 };
 
 }  // namespace nimbus::runtime

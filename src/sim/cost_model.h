@@ -45,6 +45,18 @@ struct CostModel {
   Duration nimbus_central_batched_per_task = Micros(45);
   Duration nimbus_central_batch_per_worker = Micros(30);
 
+  // ---- Pre-serialized command batches (DESIGN.md §10) ----
+  // With a cached serialized batch the controller's steady-state dispatch is memcpy plus
+  // three header patches plus in-place parameter overwrites: per-task cost falls to the
+  // buffer copy amortized per command. The cold path pays one wire encode per worker half
+  // (amortized away by reuse); the worker pays a decode per command instead of struct
+  // ingestion.
+  Duration serialized_batch_encode_per_task = Micros(6);
+  Duration serialized_batch_per_task = Micros(2);
+  Duration serialized_batch_per_worker = Micros(12);
+  Duration serialized_patch_per_slot = Micros(0.5);
+  Duration serialized_decode_per_task = Micros(3);
+
   // ---- Pipelined controller loop (DESIGN.md §9) ----
   // Scheduling block N+1's precondition sweep into block N's message-assembly batch: the
   // serial charge is only job setup and routing; the sweep itself rides a spare engine

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/stats.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/simulation.h"
 #include "src/sim/virtual_time.h"
@@ -38,24 +39,22 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // Sends `payload_bytes` from `src` to `dst`; `deliver` runs at the destination when the
-  // message arrives. Occupies the sender NIC for the serialization time.
+  // message arrives. Occupies the sender NIC for the serialization time. `kind` buckets the
+  // message into the per-kind traffic counters (control vs command vs data bytes).
   void Send(NodeAddress src, NodeAddress dst, std::int64_t payload_bytes,
-            Simulation::Callback deliver) {
+            Simulation::Callback deliver, MessageKind kind = MessageKind::kControl) {
     NIMBUS_CHECK_GE(payload_bytes, 0);
     Processor& tx = TxPath(src);
-    ++messages_sent_;
-    bytes_sent_ += payload_bytes;
+    counters_.Record(kind, payload_bytes);
     const TimePoint tx_done = tx.Submit(costs_->SerializationTime(payload_bytes), nullptr);
     simulation_->ScheduleAt(tx_done + costs_->network_latency, std::move(deliver));
   }
 
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return counters_.total_messages(); }
+  std::int64_t bytes_sent() const { return counters_.total_bytes(); }
+  const NetworkCounters& counters() const { return counters_; }
 
-  void ResetCounters() {
-    messages_sent_ = 0;
-    bytes_sent_ = 0;
-  }
+  void ResetCounters() { counters_.Clear(); }
 
  private:
   Processor& TxPath(NodeAddress node) {
@@ -69,8 +68,7 @@ class Network {
   Simulation* simulation_;
   const CostModel* costs_;
   std::unordered_map<NodeAddress, std::unique_ptr<Processor>> tx_paths_;
-  std::uint64_t messages_sent_ = 0;
-  std::int64_t bytes_sent_ = 0;
+  NetworkCounters counters_;
 };
 
 }  // namespace nimbus::sim

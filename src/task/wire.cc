@@ -1,0 +1,257 @@
+#include "src/task/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace nimbus::wire {
+namespace {
+
+// Ids travel as u32 deltas off a header base: this is what makes the encoded bytes
+// instantiation-invariant (patch the base, not every record).
+std::uint32_t DeltaOf(std::uint64_t value, std::uint64_t base, const char* what) {
+  NIMBUS_CHECK_GE(value, base) << what << " below its header base";
+  const std::uint64_t delta = value - base;
+  NIMBUS_CHECK_LT(delta, std::uint64_t{1} << 32) << what << " delta exceeds 32 bits";
+  return static_cast<std::uint32_t>(delta);
+}
+
+void WriteIdSet(BlobWriter* w, const std::vector<LogicalObjectId>& ids) {
+  w->WriteU32(static_cast<std::uint32_t>(ids.size()));
+  for (LogicalObjectId id : ids) {
+    w->WriteU64(id.value());
+  }
+}
+
+std::vector<LogicalObjectId> ReadIdSet(BlobReader* r) {
+  const std::uint32_t n = r->ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 8, r->remaining());
+  std::vector<LogicalObjectId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ids.emplace_back(r->ReadU64());
+  }
+  return ids;
+}
+
+// The encoder's type contract: fields foreign to a command's type must be default, or the
+// decode side could not reproduce them (they are not on the wire).
+void CheckForeignFieldsDefault(const Command& cmd) {
+  switch (cmd.type) {
+    case CommandType::kTask:
+      NIMBUS_CHECK(!cmd.copy_id.valid() && !cmd.peer.valid() && !cmd.copy_object.valid());
+      NIMBUS_CHECK(cmd.copy_version == 0 && cmd.copy_bytes == 0);
+      NIMBUS_CHECK(!cmd.data_object.valid());
+      break;
+    case CommandType::kCopySend:
+    case CommandType::kCopyReceive:
+      NIMBUS_CHECK(!cmd.task_id.valid() && !cmd.function.valid());
+      NIMBUS_CHECK(cmd.duration == 0 && !cmd.returns_scalar);
+      NIMBUS_CHECK(!cmd.data_object.valid());
+      break;
+    default:
+      NIMBUS_CHECK(!cmd.task_id.valid() && !cmd.function.valid());
+      NIMBUS_CHECK(cmd.duration == 0 && !cmd.returns_scalar);
+      NIMBUS_CHECK(!cmd.copy_id.valid() && !cmd.peer.valid() && !cmd.copy_object.valid());
+      break;
+  }
+}
+
+}  // namespace
+
+ParameterBlob EncodeBatch(std::uint64_t group_seq, CommandId command_base, TaskId task_base,
+                          const std::vector<Command>& commands,
+                          std::vector<ParamSlot>* slots) {
+  NIMBUS_CHECK(command_base.valid());
+  BlobWriter w;
+  std::uint64_t task_count = 0;
+  for (const Command& cmd : commands) {
+    if (cmd.type == CommandType::kTask) {
+      ++task_count;
+    }
+  }
+  w.WriteU32(kBatchMagic);
+  w.WriteU32(static_cast<std::uint32_t>(commands.size()));
+  w.WriteU64(group_seq);
+  w.WriteU64(command_base.value());
+  w.WriteU64(task_base.value());
+  w.WriteU64(task_count);
+  NIMBUS_CHECK_EQ(w.size(), kHeaderSize);
+
+  for (const Command& cmd : commands) {
+    CheckForeignFieldsDefault(cmd);
+    w.WriteU8(static_cast<std::uint8_t>(cmd.type));
+    w.WriteU8(cmd.returns_scalar ? 1 : 0);
+    w.WriteU32(DeltaOf(cmd.id.value(), command_base.value(), "command id"));
+    w.WriteU32(static_cast<std::uint32_t>(cmd.before.size()));
+    for (CommandId b : cmd.before) {
+      w.WriteU32(DeltaOf(b.value(), command_base.value(), "before edge"));
+    }
+    WriteIdSet(&w, cmd.read_set);
+    WriteIdSet(&w, cmd.write_set);
+    if (cmd.type == CommandType::kTask && slots != nullptr) {
+      NIMBUS_CHECK(task_base.valid());
+      slots->push_back(ParamSlot{
+          static_cast<std::int32_t>(DeltaOf(cmd.task_id.value(), task_base.value(), "task id")),
+          static_cast<std::uint32_t>(w.size()),
+          static_cast<std::uint32_t>(cmd.params.size())});
+    }
+    w.WriteU32(static_cast<std::uint32_t>(cmd.params.size()));
+    for (std::uint8_t byte : cmd.params) {
+      w.WriteU8(byte);
+    }
+    switch (cmd.type) {
+      case CommandType::kTask:
+        w.WriteU64(cmd.function.value());
+        w.WriteU32(DeltaOf(cmd.task_id.value(), task_base.value(), "task id"));
+        w.WriteI64(cmd.duration);
+        break;
+      case CommandType::kCopySend:
+      case CommandType::kCopyReceive:
+        NIMBUS_CHECK_EQ(CopyGroupSeq(cmd.copy_id), group_seq)
+            << "copy id does not embed the batch group sequence";
+        w.WriteU32(static_cast<std::uint32_t>(CopyLocalIndex(cmd.copy_id)));
+        w.WriteU64(cmd.peer.value());
+        w.WriteU64(cmd.copy_object.value());
+        w.WriteU64(cmd.copy_version);
+        w.WriteI64(cmd.copy_bytes);
+        break;
+      default:
+        w.WriteU64(cmd.data_object.value());
+        w.WriteU64(cmd.copy_version);
+        w.WriteI64(cmd.copy_bytes);
+        break;
+    }
+  }
+  return w.Take();
+}
+
+DecodedBatch DecodeBatch(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  DecodedBatch out;
+  const std::uint32_t magic = r.ReadU32();
+  NIMBUS_CHECK_EQ(magic, kBatchMagic) << "not a wire-format command batch";
+  out.header.command_count = r.ReadU32();
+  out.header.group_seq = r.ReadU64();
+  out.header.command_id_base = r.ReadU64();
+  out.header.task_id_base = r.ReadU64();
+  out.header.task_count = r.ReadU64();
+
+  out.commands.reserve(out.header.command_count);
+  std::uint64_t tasks_seen = 0;
+  for (std::uint32_t i = 0; i < out.header.command_count; ++i) {
+    Command cmd;
+    const std::uint8_t type_byte = r.ReadU8();
+    NIMBUS_CHECK_LE(type_byte, static_cast<std::uint8_t>(CommandType::kFileSave))
+        << "unknown command type byte";
+    cmd.type = static_cast<CommandType>(type_byte);
+    const std::uint8_t flags = r.ReadU8();
+    NIMBUS_CHECK_LE(flags, 1) << "unknown flag bits";
+    cmd.id = CommandId(out.header.command_id_base + r.ReadU32());
+    const std::uint32_t n_before = r.ReadU32();
+    NIMBUS_CHECK_LE(static_cast<std::size_t>(n_before) * 4, r.remaining());
+    cmd.before.reserve(n_before);
+    for (std::uint32_t b = 0; b < n_before; ++b) {
+      cmd.before.emplace_back(out.header.command_id_base + r.ReadU32());
+    }
+    cmd.read_set = ReadIdSet(&r);
+    cmd.write_set = ReadIdSet(&r);
+    const std::uint32_t param_len = r.ReadU32();
+    cmd.params = r.ReadBlob(param_len);
+    switch (cmd.type) {
+      case CommandType::kTask:
+        cmd.returns_scalar = flags != 0;
+        cmd.function = FunctionId(r.ReadU64());
+        cmd.task_id = TaskId(out.header.task_id_base + r.ReadU32());
+        cmd.duration = r.ReadI64();
+        ++tasks_seen;
+        break;
+      case CommandType::kCopySend:
+      case CommandType::kCopyReceive:
+        cmd.copy_id = MakeCopyId(out.header.group_seq,
+                                 static_cast<std::int32_t>(r.ReadU32()));
+        cmd.peer = WorkerId(r.ReadU64());
+        cmd.copy_object = LogicalObjectId(r.ReadU64());
+        cmd.copy_version = r.ReadU64();
+        cmd.copy_bytes = r.ReadI64();
+        break;
+      default:
+        cmd.data_object = LogicalObjectId(r.ReadU64());
+        cmd.copy_version = r.ReadU64();
+        cmd.copy_bytes = r.ReadI64();
+        break;
+    }
+    out.commands.push_back(std::move(cmd));
+  }
+  NIMBUS_CHECK_EQ(tasks_seen, out.header.task_count) << "task count mismatch";
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the last command record";
+  return out;
+}
+
+void PatchHeader(ParameterBlob* bytes, std::uint64_t group_seq, CommandId command_base,
+                 TaskId task_base) {
+  NIMBUS_CHECK_GE(bytes->size(), kHeaderSize);
+  const std::uint64_t base = command_base.value();
+  const std::uint64_t tbase = task_base.value();
+  std::memcpy(bytes->data() + kGroupSeqOffset, &group_seq, sizeof(group_seq));
+  std::memcpy(bytes->data() + kCommandBaseOffset, &base, sizeof(base));
+  std::memcpy(bytes->data() + kTaskBaseOffset, &tbase, sizeof(tbase));
+}
+
+ParameterBlob ApplyParamOverrides(
+    const ParameterBlob& tmpl, const std::vector<ParamSlot>& slots,
+    const std::vector<std::pair<std::int32_t, ParameterBlob>>& overrides, PatchStats* stats) {
+  // Match this batch's slots against the instantiation's override list (sorted by global
+  // entry; entries with no slot here belong to other workers' batches).
+  std::vector<std::pair<const ParamSlot*, const ParameterBlob*>> matched;
+  bool sizes_match = true;
+  for (const ParamSlot& slot : slots) {
+    const auto it = std::lower_bound(
+        overrides.begin(), overrides.end(), slot.global_entry,
+        [](const std::pair<std::int32_t, ParameterBlob>& o, std::int32_t entry) {
+          return o.first < entry;
+        });
+    if (it == overrides.end() || it->first != slot.global_entry) {
+      continue;
+    }
+    matched.emplace_back(&slot, &it->second);
+    sizes_match = sizes_match && it->second.size() == slot.cached_len;
+  }
+  if (matched.empty()) {
+    return tmpl;  // pure memcpy replay of the template bytes
+  }
+  if (sizes_match) {
+    ParameterBlob out = tmpl;
+    for (const auto& [slot, blob] : matched) {
+      std::memcpy(out.data() + slot->len_offset + 4, blob->data(), blob->size());
+      ++stats->params_patched;
+    }
+    return out;
+  }
+  // A parameter changed length: rebuild by copying the unchanged segments between slots.
+  // Slots ascend by offset (encode order), so one forward sweep suffices.
+  stats->spliced = true;
+  std::int64_t delta = 0;
+  for (const auto& [slot, blob] : matched) {
+    delta += static_cast<std::int64_t>(blob->size()) -
+             static_cast<std::int64_t>(slot->cached_len);
+  }
+  ParameterBlob out;
+  out.reserve(static_cast<std::size_t>(static_cast<std::int64_t>(tmpl.size()) + delta));
+  std::size_t prev = 0;
+  for (const auto& [slot, blob] : matched) {
+    out.insert(out.end(), tmpl.begin() + static_cast<std::ptrdiff_t>(prev),
+               tmpl.begin() + slot->len_offset);
+    const auto len = static_cast<std::uint32_t>(blob->size());
+    const auto* len_bytes = reinterpret_cast<const std::uint8_t*>(&len);
+    out.insert(out.end(), len_bytes, len_bytes + sizeof(len));
+    out.insert(out.end(), blob->begin(), blob->end());
+    prev = slot->len_offset + 4 + slot->cached_len;
+    ++stats->params_patched;
+  }
+  out.insert(out.end(), tmpl.begin() + static_cast<std::ptrdiff_t>(prev), tmpl.end());
+  return out;
+}
+
+}  // namespace nimbus::wire

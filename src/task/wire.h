@@ -1,0 +1,119 @@
+// Binary wire codec for command batches (DESIGN.md §10).
+//
+// The batched central path and the template machinery ship per-worker *groups* of commands
+// whose structure is immutable between edits — only a handful of fields change per
+// instantiation (the command-id base, the group sequence, the task-id base, and overridden
+// parameter blobs). This codec exploits that: a batch encodes as a fixed-offset header
+// carrying exactly those varying bases plus per-command records that store ids *relative*
+// to the header. The encoded bytes of a cached template are therefore
+// instantiation-invariant, so dispatch is memcpy + three header patches (+ in-place
+// parameter overwrites), and the decoder reconstitutes absolute ids from the patched
+// header.
+//
+// Format (all fields little-endian via BlobWriter's raw appends; version byte in the magic):
+//
+//   header (40 bytes, fixed offsets):
+//     u32 magic "NBW1"   u32 command_count   u64 group_seq   u64 command_id_base
+//     u64 task_id_base   u64 task_count
+//   per-command record:
+//     u8 type   u8 flags(bit0: returns_scalar)
+//     u32 id_delta                      (id = command_id_base + delta)
+//     u32 n + u32[] before_deltas       (before = command_id_base + delta)
+//     u32 n + u64[] read_set            u32 n + u64[] write_set
+//     u32 len + u8[] params             <- the patchable parameter slot
+//     type-specific tail:
+//       kTask:                 u64 function   u32 task_delta   i64 duration
+//       kCopySend/kCopyReceive: u32 copy_index   u64 peer   u64 copy_object
+//                               u64 copy_version   i64 copy_bytes
+//       kData*/kFile*:          u64 data_object   u64 copy_version   i64 copy_bytes
+//
+// Round-trip contract: DecodeBatch(EncodeBatch(...)) reproduces the input commands
+// field-for-field (Command::operator== compares every field), under the encoder's
+// preconditions — each id/before/task id lies in [base, base + 2^32) of its header base,
+// copy ids embed the header's group sequence, and fields foreign to a command's type hold
+// their defaults (CHECKed at encode; core::CommandFromEntry satisfies all of this by
+// construction). The decoder validates magic, type bytes, and every length prefix against
+// the remaining buffer before allocating.
+
+#ifndef NIMBUS_SRC_TASK_WIRE_H_
+#define NIMBUS_SRC_TASK_WIRE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serialize.h"
+#include "src/common/stats.h"
+#include "src/task/command.h"
+
+namespace nimbus::wire {
+
+// "NBW1": Nimbus Batch Wire format, version 1. Bump the trailing digit on layout changes.
+inline constexpr std::uint32_t kBatchMagic = 0x3157424E;
+
+// Fixed header offsets — the instantiation-varying slots PatchHeader overwrites in place.
+inline constexpr std::size_t kCommandCountOffset = 4;
+inline constexpr std::size_t kGroupSeqOffset = 8;
+inline constexpr std::size_t kCommandBaseOffset = 16;
+inline constexpr std::size_t kTaskBaseOffset = 24;
+inline constexpr std::size_t kHeaderSize = 40;
+
+struct BatchHeader {
+  std::uint32_t command_count = 0;
+  std::uint64_t group_seq = 0;
+  std::uint64_t command_id_base = 0;
+  std::uint64_t task_id_base = 0;
+  std::uint64_t task_count = 0;
+};
+
+// Byte offset of one task command's parameter field inside an encoded batch, keyed by the
+// task's global entry (== task-id delta). `len_offset` addresses the u32 length prefix;
+// the blob bytes follow it. Emitted in encode order, so offsets ascend.
+struct ParamSlot {
+  std::int32_t global_entry = -1;
+  std::uint32_t len_offset = 0;
+  std::uint32_t cached_len = 0;
+};
+
+// In-place/splice accounting for one ApplyParamOverrides call.
+struct PatchStats {
+  std::uint64_t params_patched = 0;  // same-size in-place overwrites
+  bool spliced = false;              // a size change forced a segment-copy rebuild
+};
+
+// Encodes `commands` as one batch. Preconditions (CHECKed): every command id and before
+// id is in [command_base, command_base + 2^32); task ids of kTask commands are in
+// [task_base, task_base + 2^32); copy ids embed `group_seq`; fields foreign to a
+// command's type are default. `slots` (optional out) receives one ParamSlot per kTask
+// command, in encode order.
+ParameterBlob EncodeBatch(std::uint64_t group_seq, CommandId command_base, TaskId task_base,
+                          const std::vector<Command>& commands,
+                          std::vector<ParamSlot>* slots = nullptr);
+
+struct DecodedBatch {
+  BatchHeader header;
+  std::vector<Command> commands;
+};
+
+// Decodes one batch, reconstituting absolute ids from the header bases. CHECK-fails on a
+// bad magic, an unknown type byte, a length prefix past the buffer, or trailing bytes.
+DecodedBatch DecodeBatch(const ParameterBlob& bytes);
+
+// Overwrites the three instantiation-varying header slots of an encoded batch in place.
+void PatchHeader(ParameterBlob* bytes, std::uint64_t group_seq, CommandId command_base,
+                 TaskId task_base);
+
+// Produces the shipped buffer for one instantiation from a cached template encoding:
+// `overrides` is the (global entry, blob) list sorted ascending by entry (entries with no
+// slot in this batch are skipped — they belong to other workers). Same-size overrides are
+// patched into a plain copy of the template; a size change falls back to one
+// segment-copy rebuild. The returned buffer still carries the template's header — callers
+// follow up with PatchHeader.
+ParameterBlob ApplyParamOverrides(
+    const ParameterBlob& tmpl, const std::vector<ParamSlot>& slots,
+    const std::vector<std::pair<std::int32_t, ParameterBlob>>& overrides, PatchStats* stats);
+
+}  // namespace nimbus::wire
+
+#endif  // NIMBUS_SRC_TASK_WIRE_H_

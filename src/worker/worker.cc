@@ -108,7 +108,28 @@ void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
   const sim::Duration charge =
       costs_->worker_receive_task * static_cast<sim::Duration>(commands.size());
   control_thread_.Charge(charge);
+  IngestCommands(group_seq, std::move(commands), expected_total, finalize, barrier);
+}
 
+void Worker::OnSerializedCommands(std::uint64_t group_seq, ParameterBlob bytes,
+                                  std::size_t expected_total, bool finalize, bool barrier) {
+  if (failed_) {
+    return;
+  }
+  if (group_seq <= stale_seq_floor_) {
+    return;
+  }
+  wire::DecodedBatch batch = wire::DecodeBatch(bytes);
+  NIMBUS_CHECK_EQ(batch.header.group_seq, group_seq)
+      << "serialized batch addressed to a different group";
+  const sim::Duration charge = costs_->serialized_decode_per_task *
+                               static_cast<sim::Duration>(batch.commands.size());
+  control_thread_.Charge(charge);
+  IngestCommands(group_seq, std::move(batch.commands), expected_total, finalize, barrier);
+}
+
+void Worker::IngestCommands(std::uint64_t group_seq, std::vector<Command> commands,
+                            std::size_t expected_total, bool finalize, bool barrier) {
   if (command_log_enabled_) {
     command_log_.insert(command_log_.end(), commands.begin(), commands.end());
   }
@@ -605,7 +626,8 @@ void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
         address(), peer->address(), rc.cmd.copy_bytes,
         [peer, copy, object, version, p = std::shared_ptr<Payload>(std::move(payload))]() mutable {
           peer->OnDataMessage(copy, object, version, p->Clone());
-        });
+        },
+        MessageKind::kData);
   }
   CompleteCommand(group.seq, index);
 }

@@ -41,6 +41,7 @@
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
 #include "src/task/command.h"
+#include "src/task/wire.h"
 #include "src/worker/function_registry.h"
 
 namespace nimbus {
@@ -105,6 +106,12 @@ class Worker {
   // streaming). `barrier` groups wait for all earlier groups.
   void OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
                   std::size_t expected_total, bool finalize, bool barrier);
+
+  // Receives a wire-encoded command batch (src/task/wire.h) forming group `group_seq`.
+  // Decodes it and feeds the same ingestion path as OnCommands, so the observed command
+  // stream (and the command log) is identical to a struct-batched send of the same group.
+  void OnSerializedCommands(std::uint64_t group_seq, ParameterBlob bytes,
+                            std::size_t expected_total, bool finalize, bool barrier);
 
   // Installs (caches) a worker template. Charged per entry.
   void OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id);
@@ -230,6 +237,9 @@ class Worker {
   // clamped so every job has work (1 for the InlineExecutor == the serial code path).
   std::size_t ChunkCount(std::size_t n) const;
 
+  // Shared tail of OnCommands/OnSerializedCommands: log, group the commands, maybe start.
+  void IngestCommands(std::uint64_t group_seq, std::vector<Command> commands,
+                      std::size_t expected_total, bool finalize, bool barrier);
   Group& GetOrCreateGroup(std::uint64_t seq, bool barrier);
   Group* FindGroup(std::uint64_t seq);
   CopySlot& EnsureCopySlot(Group& group, std::int32_t copy_index);

@@ -1,0 +1,283 @@
+// Wire codec for command batches (src/task/wire.h, DESIGN.md §10).
+//
+// The codec's contract is exact round-tripping: decode(encode(commands)) reproduces every
+// field of every command, and re-encoding the decoded stream reproduces the bytes. The
+// serialized-batch cache additionally relies on the bytes being instantiation-invariant
+// (header patches + in-place parameter patches produce the same buffer a fresh encode
+// would), which the patching tests pin here at the byte level.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/task/command.h"
+#include "src/task/wire.h"
+
+namespace nimbus {
+namespace {
+
+constexpr std::uint64_t kSeq = 77;
+constexpr std::uint64_t kCmdBase = 1'000'000;
+constexpr std::uint64_t kTaskBase = 500'000;
+
+ParameterBlob RandomBlob(std::mt19937_64& rng, std::size_t size) {
+  ParameterBlob blob(size);
+  for (auto& b : blob) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  return blob;
+}
+
+// Random commands satisfying the encoder's preconditions: ids relative to the bases, copy
+// ids embedding kSeq, type-foreign fields default. Cycles through every CommandType and
+// mixes empty, small, and large parameter blobs.
+std::vector<Command> RandomCommands(std::mt19937_64& rng, std::size_t n) {
+  std::vector<Command> cmds;
+  std::int32_t copy_index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Command c;
+    c.id = CommandId(kCmdBase + i);
+    c.type = static_cast<CommandType>(rng() % 7);
+    const std::size_t n_before = i == 0 ? 0 : rng() % 4;
+    for (std::size_t b = 0; b < n_before; ++b) {
+      c.before.emplace_back(kCmdBase + rng() % i);
+    }
+    const std::size_t n_reads = rng() % 5;
+    for (std::size_t r = 0; r < n_reads; ++r) {
+      c.read_set.emplace_back(rng() % 10'000);
+    }
+    const std::size_t n_writes = rng() % 3;
+    for (std::size_t w = 0; w < n_writes; ++w) {
+      c.write_set.emplace_back(rng() % 10'000);
+    }
+    switch (rng() % 3) {
+      case 0:
+        break;  // empty params
+      case 1:
+        c.params = RandomBlob(rng, 1 + rng() % 32);
+        break;
+      default:
+        c.params = RandomBlob(rng, 1'000 + rng() % 4'000);
+        break;
+    }
+    switch (c.type) {
+      case CommandType::kTask:
+        c.task_id = TaskId(kTaskBase + i);
+        c.function = FunctionId(rng() % 50);
+        c.duration = static_cast<sim::Duration>(rng() % 1'000'000);
+        c.returns_scalar = rng() % 2 == 0;
+        break;
+      case CommandType::kCopySend:
+      case CommandType::kCopyReceive:
+        c.copy_id = MakeCopyId(kSeq, copy_index++);
+        c.peer = WorkerId(rng() % 100);
+        c.copy_object = LogicalObjectId(rng() % 10'000);
+        c.copy_version = rng() % 1'000;
+        c.copy_bytes = static_cast<std::int64_t>(rng() % 1'000'000);
+        break;
+      default:
+        c.data_object = LogicalObjectId(rng() % 10'000);
+        c.copy_version = rng() % 1'000;
+        c.copy_bytes = static_cast<std::int64_t>(rng() % 1'000'000);
+        break;
+    }
+    cmds.push_back(std::move(c));
+  }
+  return cmds;
+}
+
+TEST(WireCodecTest, RandomizedRoundTripIsExactAndReencodesByteIdentical) {
+  std::mt19937_64 rng(20260807);
+  for (int round = 0; round < 25; ++round) {
+    const std::vector<Command> cmds = RandomCommands(rng, 1 + rng() % 60);
+    std::uint64_t expected_tasks = 0;
+    for (const Command& c : cmds) {
+      expected_tasks += c.type == CommandType::kTask ? 1 : 0;
+    }
+
+    const ParameterBlob bytes =
+        wire::EncodeBatch(kSeq, CommandId(kCmdBase), TaskId(kTaskBase), cmds);
+    const wire::DecodedBatch decoded = wire::DecodeBatch(bytes);
+    EXPECT_EQ(decoded.header.group_seq, kSeq);
+    EXPECT_EQ(decoded.header.command_id_base, kCmdBase);
+    EXPECT_EQ(decoded.header.task_id_base, kTaskBase);
+    EXPECT_EQ(decoded.header.command_count, cmds.size());
+    EXPECT_EQ(decoded.header.task_count, expected_tasks);
+    ASSERT_EQ(decoded.commands.size(), cmds.size()) << "round " << round;
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      EXPECT_TRUE(decoded.commands[i] == cmds[i]) << "round " << round << " command " << i;
+    }
+
+    // Re-encoding the decoded stream must reproduce the bytes exactly.
+    const ParameterBlob reencoded =
+        wire::EncodeBatch(kSeq, CommandId(kCmdBase), TaskId(kTaskBase), decoded.commands);
+    EXPECT_EQ(bytes, reencoded) << "round " << round;
+  }
+}
+
+TEST(WireCodecTest, EmptyBatchRoundTrips) {
+  const ParameterBlob bytes =
+      wire::EncodeBatch(kSeq, CommandId(kCmdBase), TaskId(kTaskBase), {});
+  EXPECT_EQ(bytes.size(), wire::kHeaderSize);
+  const wire::DecodedBatch decoded = wire::DecodeBatch(bytes);
+  EXPECT_EQ(decoded.header.command_count, 0u);
+  EXPECT_TRUE(decoded.commands.empty());
+}
+
+TEST(WireCodecTest, PatchHeaderRebasesEveryDecodedId) {
+  // Encode against zero bases — the template form the serialized-batch cache stores.
+  std::vector<Command> cmds(3);
+  cmds[0].id = CommandId(0);
+  cmds[0].type = CommandType::kDataCreate;
+  cmds[0].data_object = LogicalObjectId(42);
+  cmds[1].id = CommandId(1);
+  cmds[1].type = CommandType::kTask;
+  cmds[1].task_id = TaskId(5);
+  cmds[1].function = FunctionId(9);
+  cmds[1].before = {CommandId(0)};
+  cmds[2].id = CommandId(2);
+  cmds[2].type = CommandType::kCopySend;
+  cmds[2].copy_id = MakeCopyId(0, 0);
+  cmds[2].peer = WorkerId(3);
+  cmds[2].copy_object = LogicalObjectId(42);
+  cmds[2].copy_bytes = 80;
+
+  ParameterBlob bytes = wire::EncodeBatch(0, CommandId(0), TaskId(0), cmds);
+  wire::PatchHeader(&bytes, /*group_seq=*/9'001, CommandId(7'000), TaskId(3'000));
+
+  const wire::DecodedBatch decoded = wire::DecodeBatch(bytes);
+  ASSERT_EQ(decoded.commands.size(), 3u);
+  EXPECT_EQ(decoded.commands[0].id, CommandId(7'000));
+  EXPECT_EQ(decoded.commands[1].id, CommandId(7'001));
+  EXPECT_EQ(decoded.commands[1].task_id, TaskId(3'005));
+  EXPECT_EQ(decoded.commands[1].before, std::vector<CommandId>{CommandId(7'000)});
+  EXPECT_EQ(decoded.commands[2].copy_id, MakeCopyId(9'001, 0));
+  // Object ids and payload fields are absolute: unchanged by the rebase.
+  EXPECT_EQ(decoded.commands[0].data_object, LogicalObjectId(42));
+  EXPECT_EQ(decoded.commands[2].copy_bytes, 80);
+}
+
+// A template with two parameterized tasks for the patching tests. Task global entries are
+// the task-id deltas: 0 and 2 here.
+std::vector<Command> PatchFixture() {
+  std::vector<Command> cmds(3);
+  cmds[0].id = CommandId(0);
+  cmds[0].type = CommandType::kTask;
+  cmds[0].task_id = TaskId(0);
+  cmds[0].function = FunctionId(1);
+  cmds[0].params = ParameterBlob{10, 11, 12, 13};
+  cmds[1].id = CommandId(1);
+  cmds[1].type = CommandType::kDataCreate;
+  cmds[1].data_object = LogicalObjectId(5);
+  cmds[2].id = CommandId(2);
+  cmds[2].type = CommandType::kTask;
+  cmds[2].task_id = TaskId(2);
+  cmds[2].function = FunctionId(2);
+  cmds[2].params = ParameterBlob{20, 21};
+  return cmds;
+}
+
+TEST(WireCodecTest, SameSizeOverridesPatchInPlace) {
+  const std::vector<Command> cmds = PatchFixture();
+  std::vector<wire::ParamSlot> slots;
+  const ParameterBlob tmpl = wire::EncodeBatch(0, CommandId(0), TaskId(0), cmds, &slots);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].global_entry, 0);
+  EXPECT_EQ(slots[1].global_entry, 2);
+
+  const std::vector<std::pair<std::int32_t, ParameterBlob>> overrides = {
+      {0, ParameterBlob{90, 91, 92, 93}},  // same size as the cached 4 bytes
+      {1, ParameterBlob{1, 2, 3}},         // foreign entry: no slot here, skipped
+  };
+  wire::PatchStats stats;
+  const ParameterBlob patched = wire::ApplyParamOverrides(tmpl, slots, overrides, &stats);
+  EXPECT_EQ(stats.params_patched, 1u);
+  EXPECT_FALSE(stats.spliced);
+  EXPECT_EQ(patched.size(), tmpl.size());
+
+  const wire::DecodedBatch decoded = wire::DecodeBatch(patched);
+  EXPECT_EQ(decoded.commands[0].params, (ParameterBlob{90, 91, 92, 93}));
+  EXPECT_EQ(decoded.commands[2].params, (ParameterBlob{20, 21}));  // untouched
+
+  // The patched buffer must be byte-identical to a fresh encode with the override baked in.
+  std::vector<Command> baked = cmds;
+  baked[0].params = ParameterBlob{90, 91, 92, 93};
+  EXPECT_EQ(patched, wire::EncodeBatch(0, CommandId(0), TaskId(0), baked));
+}
+
+TEST(WireCodecTest, SizeChangingOverridesSpliceCorrectly) {
+  const std::vector<Command> cmds = PatchFixture();
+  std::vector<wire::ParamSlot> slots;
+  const ParameterBlob tmpl = wire::EncodeBatch(0, CommandId(0), TaskId(0), cmds, &slots);
+
+  const std::vector<std::pair<std::int32_t, ParameterBlob>> overrides = {
+      {0, ParameterBlob{1}},                       // shrinks 4 -> 1
+      {2, ParameterBlob{50, 51, 52, 53, 54, 55}},  // grows 2 -> 6
+  };
+  wire::PatchStats stats;
+  const ParameterBlob patched = wire::ApplyParamOverrides(tmpl, slots, overrides, &stats);
+  EXPECT_EQ(stats.params_patched, 2u);
+  EXPECT_TRUE(stats.spliced);
+
+  std::vector<Command> baked = cmds;
+  baked[0].params = ParameterBlob{1};
+  baked[2].params = ParameterBlob{50, 51, 52, 53, 54, 55};
+  EXPECT_EQ(patched, wire::EncodeBatch(0, CommandId(0), TaskId(0), baked));
+}
+
+TEST(WireCodecTest, NoMatchingOverridesReturnsTemplateUnchanged) {
+  const std::vector<Command> cmds = PatchFixture();
+  std::vector<wire::ParamSlot> slots;
+  const ParameterBlob tmpl = wire::EncodeBatch(0, CommandId(0), TaskId(0), cmds, &slots);
+  wire::PatchStats stats;
+  EXPECT_EQ(wire::ApplyParamOverrides(tmpl, slots, {}, &stats), tmpl);
+  EXPECT_EQ(wire::ApplyParamOverrides(tmpl, slots, {{7, ParameterBlob{1}}}, &stats), tmpl);
+  EXPECT_EQ(stats.params_patched, 0u);
+}
+
+TEST(WireCodecDeathTest, MalformedBuffersFailTheDecodeChecks) {
+  std::mt19937_64 rng(7);
+  const std::vector<Command> cmds = RandomCommands(rng, 8);
+  ParameterBlob bytes = wire::EncodeBatch(kSeq, CommandId(kCmdBase), TaskId(kTaskBase), cmds);
+
+  ParameterBlob bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_DEATH(wire::DecodeBatch(bad_magic), "not a wire-format command batch");
+
+  ParameterBlob truncated(bytes.begin(), bytes.end() - 5);
+  EXPECT_DEATH(wire::DecodeBatch(truncated), "Check failed");
+
+  ParameterBlob bad_type = bytes;
+  bad_type[wire::kHeaderSize] = 200;  // first record's type byte
+  EXPECT_DEATH(wire::DecodeBatch(bad_type), "unknown command type");
+
+  ParameterBlob trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_DEATH(wire::DecodeBatch(trailing), "Check failed");
+}
+
+TEST(WireCodecDeathTest, EncoderRejectsOutOfContractCommands) {
+  // A command id below the header base cannot be expressed as a u32 delta.
+  Command c;
+  c.id = CommandId(10);
+  c.type = CommandType::kDataCreate;
+  c.data_object = LogicalObjectId(1);
+  EXPECT_DEATH(wire::EncodeBatch(0, CommandId(100), TaskId(0), {c}),
+               "below its header base");
+
+  // A copy id minted for a different group sequence would decode to the wrong group.
+  Command copy;
+  copy.id = CommandId(0);
+  copy.type = CommandType::kCopyReceive;
+  copy.copy_id = MakeCopyId(5, 0);
+  copy.peer = WorkerId(1);
+  copy.copy_object = LogicalObjectId(1);
+  EXPECT_DEATH(wire::EncodeBatch(6, CommandId(0), TaskId(0), {copy}),
+               "group sequence");
+}
+
+}  // namespace
+}  // namespace nimbus
