@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Formatting gate (DESIGN.md §11.5).
+
+Two layers:
+
+  built-in   Deterministic mechanical checks that need no external binary: column
+             limit (read from .clang-format), no tabs, no trailing whitespace, no
+             CRLF line endings, newline at EOF. These run everywhere, including
+             containers without LLVM tooling, so the CI format job has no
+             version-skew failure mode.
+  clang-format  Full style enforcement via `clang-format --dry-run -Werror`,
+             attempted only when a clang-format binary is available (pass
+             --require-clang-format to fail instead of degrade when it is not).
+
+Usage: check_format.py [--fix] [--builtin-only] [--require-clang-format]
+  --fix  rewrites trailing whitespace / CRLF / missing final newline in place
+         (column-limit violations still need a human or clang-format).
+
+Exit status 0 = clean, 1 = violations, 2 = tooling missing under --require-clang-format.
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CLANG_FORMAT_CANDIDATES = ["clang-format"] + [f"clang-format-{v}" for v in range(20, 13, -1)]
+
+
+def tracked_cpp_files():
+    out = subprocess.run(["git", "ls-files", "*.cc", "*.h"], cwd=REPO, check=True,
+                         capture_output=True, text=True).stdout
+    return [REPO / line for line in out.splitlines() if line]
+
+
+def column_limit() -> int:
+    config = (REPO / ".clang-format").read_text(encoding="utf-8")
+    m = re.search(r"^ColumnLimit:\s*(\d+)", config, re.MULTILINE)
+    return int(m.group(1)) if m else 95
+
+
+def builtin_checks(paths, fix: bool):
+    errors = []
+    limit = column_limit()
+    for path in paths:
+        rel = path.relative_to(REPO).as_posix()
+        data = path.read_bytes()
+        text = data.decode("utf-8")
+        changed = False
+        if b"\r" in data:
+            errors.append(f"{rel}: CRLF line endings")
+            if fix:
+                text = text.replace("\r\n", "\n").replace("\r", "\n")
+                changed = True
+        lines = text.split("\n")
+        for i, line in enumerate(lines, start=1):
+            if "\t" in line:
+                errors.append(f"{rel}:{i}: tab character")
+            if line != line.rstrip():
+                errors.append(f"{rel}:{i}: trailing whitespace")
+            if len(line) > limit:
+                errors.append(f"{rel}:{i}: line is {len(line)} columns (limit {limit})")
+        if text and not text.endswith("\n"):
+            errors.append(f"{rel}: missing newline at end of file")
+            if fix:
+                text += "\n"
+                changed = True
+        if fix:
+            stripped = "\n".join(line.rstrip() for line in lines)
+            if stripped != "\n".join(lines):
+                text = stripped
+                changed = True
+        if fix and changed:
+            path.write_text(text, encoding="utf-8")
+    return errors
+
+
+def find_clang_format():
+    for name in CLANG_FORMAT_CANDIDATES:
+        binary = shutil.which(name)
+        if binary:
+            return binary
+    return None
+
+
+def run_clang_format(binary, paths, fix: bool):
+    mode = ["-i"] if fix else ["--dry-run", "-Werror"]
+    result = subprocess.run([binary, "--style=file"] + mode + [str(p) for p in paths],
+                           cwd=REPO, capture_output=True, text=True)
+    return result.returncode, result.stderr
+
+
+def main() -> int:
+    argv = set(sys.argv[1:])
+    unknown = argv - {"--fix", "--builtin-only", "--require-clang-format"}
+    if unknown:
+        print(__doc__)
+        return 2
+    fix = "--fix" in argv
+
+    paths = tracked_cpp_files()
+    errors = builtin_checks(paths, fix)
+    for e in errors:
+        print(e)
+
+    clang_format_note = "skipped (builtin-only)"
+    if "--builtin-only" not in argv:
+        binary = find_clang_format()
+        if binary is None:
+            if "--require-clang-format" in argv:
+                print("check_format: clang-format not found and --require-clang-format set")
+                return 2
+            clang_format_note = "skipped (no clang-format binary)"
+        else:
+            code, stderr = run_clang_format(binary, paths, fix)
+            clang_format_note = "clean" if code == 0 else "violations"
+            if code != 0:
+                print(stderr.strip())
+                errors.append("clang-format violations")
+
+    status = "clean" if not errors else f"{len(errors)} violation(s)"
+    print(f"check_format: {len(paths)} files, builtin {status}, clang-format "
+          f"{clang_format_note}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,8 +51,21 @@ class BlobWriter {
 
  private:
   void AppendRaw(const void* data, std::size_t n) {
+    if (n == 0) {
+      return;  // empty ranges may carry a null source pointer (e.g. string_view{}.data())
+    }
     const auto* bytes = static_cast<const std::uint8_t*>(data);
+    // Single-copy append: this is the serialized-dispatch hot path (DESIGN.md §10), and
+    // resize-then-memcpy would zero-fill before overwriting. GCC 12's -Wstringop-overflow
+    // misfires on the inlined range-insert copy; the range really is n bytes.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
     blob_.insert(blob_.end(), bytes, bytes + n);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   }
 
   ParameterBlob blob_;

@@ -196,6 +196,8 @@ void NimbusController::ErasePendingBlock(PendingBlock* block) {
 void NimbusController::EnsureObjectsExist(const core::WorkerTemplateSet& set) {
   // One sweep over the compiled write deltas: existence probes and creation are flat array
   // operations in the version map's dense id space (serial — creation is map-global).
+  // lint:allow(map-invalidate) -- thin wrapper; every caller invalidates (or holds a
+  // just-invalidated lookahead) before dispatching the block this sweep belongs to
   pipeline_.EnsureObjectsExist(set, &versions_);
 }
 
@@ -331,6 +333,8 @@ core::ControllerTemplate NimbusController::CompileStageTemplate(const StageDescr
 
 void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
                                            PendingBlock* block) {
+  // lint:allow(map-invalidate) -- only reached from ExecuteStagesCentrally, which
+  // invalidates the lookahead before any stage mutates the map
   // Capture feeds the template being recorded exactly like the per-task path does,
   // independent of the plan cache (capture is a one-off; the plan may already be warm).
   if (templates_.capturing()) {
@@ -658,6 +662,9 @@ const core::WorkerTemplateSet* NimbusController::ResolveLookaheadTarget(
 void NimbusController::InstantiateTemplate(
     const std::string& name, std::vector<std::pair<std::int32_t, ParameterBlob>> params,
     BlockDone done, const std::string& next_name) {
+  // lint:allow(map-invalidate) -- the bring-up stages delegate to
+  // RunSetCentrallyWithPatches (which invalidates first); the steady-state stage delegates
+  // to InstantiateSet (which consumes-or-invalidates the lookahead before mutating)
   const TemplateId tid = templates_.FindByName(name);
   NIMBUS_CHECK(tid.valid()) << "unknown template '" << name << "'";
   core::ControllerTemplate* tmpl = templates_.Find(tid);
@@ -698,7 +705,8 @@ void NimbusController::InstantiateTemplate(
         network_->Send(sim::kControllerAddress, worker->address(), wire,
                        [worker, copy = std::move(copy), wtid]() mutable {
                          worker->OnInstallTemplate(std::move(copy), wtid);
-                       });
+                       },
+                       MessageKind::kControl);
       });
     }
     state.installed_on_workers = true;
@@ -742,6 +750,7 @@ void NimbusController::InstantiateSet(
     core::WorkerTemplateSet* set, SetState* state,
     std::vector<std::pair<std::int32_t, ParameterBlob>> params, PendingBlock* block,
     const core::WorkerTemplateSet* next_set) {
+  control_plane_.Assert();  // lookahead cache access below requires the serial role
   const std::size_t n_tasks = set->entry_meta().size();
 
   // Controller-template instantiation cost (Table 2 row 1).
@@ -780,6 +789,10 @@ void NimbusController::InstantiateSet(
         lookahead_.set_generation == set->generation();
     std::vector<core::PatchDirective> required;
     if (lookahead_hit) {
+      // Audit builds re-prove the reuse dynamically: the result must be consumed at the
+      // generation it was filled at, so a version-map mutation site that forgot
+      // InvalidateLookahead aborts here instead of silently reusing a stale sweep.
+      runtime::audit::CheckStamp("controller lookahead", lookahead_.audit_stamp);
       ++lookahead_hits_;
       required = std::move(lookahead_.required);
       control_thread_.Charge(costs_->lookahead_consume_per_task *
@@ -843,6 +856,9 @@ void NimbusController::InstantiateSet(
     lookahead_.map_uid = versions_.uid();
     lookahead_.map_churn_epoch = versions_.churn_epoch();
     lookahead_.set_generation = next_set->generation();
+    // Fill stamp: this block's ApplyEffects already bumped, so the captured value is the
+    // generation the overlapped sweep actually read.
+    lookahead_.audit_stamp = runtime::audit::CurrentStamp();
     lookahead_.required = std::move(next_required);
     ++lookaheads_scheduled_;
   }
@@ -869,7 +885,8 @@ void NimbusController::InstantiateSet(
       network_->Send(sim::kControllerAddress, worker->address(), wire,
                      [worker, msg = std::move(msg)]() mutable {
                        worker->OnInstantiate(std::move(msg));
-                     });
+                     },
+                     MessageKind::kControl);
     });
   }
   tasks_via_templates_ += n_tasks;
@@ -1129,7 +1146,8 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
     if (record == nullptr || record->failed) {
       continue;
     }
-    network_->Send(sim::kControllerAddress, w->address(), 16, [w]() { w->OnHalt(); });
+    network_->Send(sim::kControllerAddress, w->address(), 16, [w]() { w->OnHalt(); },
+                   MessageKind::kControl);
   }
   Rebalance();
 
@@ -1176,7 +1194,8 @@ void NimbusController::RunRecovery() {
     network_->Send(sim::kControllerAddress, w->address(), 64,
                    [w, seq, objects = std::move(objects)]() mutable {
                      w->OnLoadObjects(seq, std::move(objects));
-                   });
+                   },
+                   MessageKind::kControl);
   }
   NIMBUS_CHECK_GT(participating, 0);
   RegisterGroup(seq, block, participating);

@@ -26,12 +26,14 @@
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/template_manager.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
 #include "src/data/version_map.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/instantiation_pipeline.h"
+#include "src/runtime/shard_audit.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
@@ -295,7 +297,14 @@ class NimbusController {
   // Every controller-side version-map mutation outside the lookahead-covered window runs
   // through a site that calls this: an overlapped validation result is only reusable if
   // the map state it swept is exactly the state the consuming instantiation would sweep.
-  void InvalidateLookahead() { lookahead_.valid = false; }
+  // Bumps the audit generation stamp, so in audit builds a mutation site that forgets to
+  // call this is caught the moment the stale lookahead result is consumed (DESIGN.md §11);
+  // scripts/lint_invariants.py rule map-invalidate enforces the pairing statically.
+  void InvalidateLookahead() {
+    control_plane_.Assert();
+    lookahead_.valid = false;
+    runtime::audit::BumpStamp();
+  }
 
   std::uint64_t NewGroupSeq() { return next_group_seq_++; }
   PendingBlock* NewPendingBlock(BlockDone done);
@@ -351,9 +360,16 @@ class NimbusController {
     // forget InvalidateLookahead().
     std::uint64_t map_churn_epoch = 0;
     std::uint64_t set_generation = 0;
+    // Audit-build generation stamp (DESIGN.md §11): captured when the overlapped result
+    // is filled, checked on consumption. Compiles to 0==0 in release builds.
+    std::uint64_t audit_stamp = 0;
     std::vector<core::PatchDirective> required;
   };
-  LookaheadState lookahead_;
+  // The control plane is a role capability (DESIGN.md §11): the overlapped-validation
+  // cache may only be read or filled from serial control-plane code that asserted the
+  // role, which the clang leg machine-checks via GUARDED_BY below.
+  RoleCapability control_plane_;
+  LookaheadState lookahead_ NIMBUS_GUARDED_BY(control_plane_);
   bool lookahead_enabled_ = true;
   std::uint64_t lookaheads_scheduled_ = 0;
   std::uint64_t lookahead_hits_ = 0;

@@ -173,6 +173,8 @@ class PatchCache {
     ++counters_.evictions;
   }
 
+  // lint:allow(hot-map) -- bounded LRU probed once per block, not per task; the list
+  // iterators stored in entries need the stable addressing a node-based map provides
   std::unordered_map<Key, Entry, KeyHash> cache_;
   std::list<Key> lru_;  // recency order; entries hold their own position
   std::size_t capacity_ = kDefaultCapacity;

@@ -116,8 +116,12 @@ WorkerTemplateSet* TemplateManager::GetOrBuildStagePlan(
     std::uint64_t signature, const Assignment& assignment,
     const std::function<ControllerTemplate()>& build, const ObjectBytesFn& object_bytes,
     std::size_t expected_tasks, bool* newly_built) {
-  auto it = stage_plans_.find(signature);
-  if (it != stage_plans_.end()) {
+  auto it = std::lower_bound(
+      stage_plans_.begin(), stage_plans_.end(), signature,
+      [](const std::pair<std::uint64_t, DenseIndex>& e, std::uint64_t s) {
+        return e.first < s;
+      });
+  if (it != stage_plans_.end() && it->first == signature) {
     WorkerTemplateSet* found = projections_[it->second].get();
     // The signature is a content hash; a collision would dispatch the wrong plan, so the
     // cheap structural invariant is checked on every hit.
@@ -141,7 +145,12 @@ WorkerTemplateSet* TemplateManager::GetOrBuildStagePlan(
   // indexes both uniformly.
   NIMBUS_CHECK_EQ(wtid.value(), projections_.size());
   projections_.push_back(std::move(set));
-  stage_plans_.emplace(signature, static_cast<DenseIndex>(wtid.value()));
+  stage_plans_.insert(
+      std::lower_bound(stage_plans_.begin(), stage_plans_.end(), signature,
+                       [](const std::pair<std::uint64_t, DenseIndex>& e, std::uint64_t s) {
+                         return e.first < s;
+                       }),
+      {signature, static_cast<DenseIndex>(wtid.value())});
   if (newly_built != nullptr) {
     *newly_built = true;
   }

@@ -168,11 +168,12 @@ class TemplateManager {
   IdAllocator<WorkerTemplateId> worker_template_ids_;
   std::vector<TemplateSlot> templates_;  // by TemplateId value
   std::vector<std::unique_ptr<WorkerTemplateSet>> projections_;  // by WorkerTemplateId value
+  // lint:allow(hot-map) -- string intern boundary, touched once per driver-side name lookup
   std::unordered_map<std::string, TemplateId> by_name_;  // cold, driver-facing
-  // Stage plans by content signature. Entries persist for the job's lifetime: a driver
-  // submits a handful of distinct stage shapes, and a superseded schedule's plans simply
-  // stop being hit (the signature covers the assignment).
-  std::unordered_map<std::uint64_t, DenseIndex> stage_plans_;
+  // Stage plans by content signature, sorted for binary search. Entries persist for the
+  // job's lifetime: a driver submits a handful of distinct stage shapes, and a superseded
+  // schedule's plans simply stop being hit (the signature covers the assignment).
+  std::vector<std::pair<std::uint64_t, DenseIndex>> stage_plans_;
   CacheCounters stage_plan_counters_;
   ControllerTemplate* capturing_ = nullptr;
   PatchCache patch_cache_;

@@ -337,6 +337,8 @@ class WorkerTemplateSet {
     auto it = object_index_.find(object);
     return it == object_index_.end() ? nullptr : &it->second;
   }
+  // lint:allow(hot-map) -- edit-time accessor; steady-state instantiation reads the
+  // compiled plan, never this index
   std::unordered_map<LogicalObjectId, ObjectIndex>& mutable_object_index() {
     return object_index_;
   }
@@ -410,7 +412,10 @@ class WorkerTemplateSet {
   PreconditionSet preconditions_;
   std::vector<WriteDelta> write_deltas_;
   std::vector<EntryMeta> entry_meta_;
+  // lint:allow(hot-map) -- consulted only when applying add/remove edits
   std::unordered_map<LogicalObjectId, ObjectIndex> object_index_;
+  // lint:allow(hot-map) -- probed at projection and edit time; the compiled plan caches
+  // the per-entry byte counts the steady-state path reads
   std::unordered_map<LogicalObjectId, std::int64_t> object_bytes_;
   std::int32_t copy_count_ = 0;
   bool self_validating_ = false;

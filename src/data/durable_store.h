@@ -40,6 +40,8 @@ class DurableStore {
   void Clear() { entries_.clear(); }
 
  private:
+  // lint:allow(hot-map) -- durable-store writes happen only on explicit checkpoint and
+  // recovery reload, never in the steady-state iteration loop
   std::unordered_map<LogicalObjectId, Entry> entries_;
 };
 

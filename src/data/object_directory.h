@@ -114,6 +114,7 @@ class ObjectDirectory {
   IdAllocator<LogicalObjectId> object_ids_;
   std::vector<VariableInfo> variables_;       // indexed by VariableId value
   std::vector<LogicalObjectInfo> objects_;    // indexed by LogicalObjectId value
+  // lint:allow(hot-map) -- string intern boundary for driver-facing name registration
   std::unordered_map<std::string, VariableId> name_to_variable_;  // cold, driver-facing
 };
 

@@ -129,8 +129,9 @@ class ObjectStore {
   std::size_t size() const { return resident_; }
 
   // Deep-copies every resident instance (checkpoint persistence).
+  // lint:allow(hot-map) -- checkpoint-only snapshot, off the steady-state path
   std::unordered_map<LogicalObjectId, Instance> SnapshotAll() const {
-    std::unordered_map<LogicalObjectId, Instance> out;
+    std::unordered_map<LogicalObjectId, Instance> out;  // lint:allow(hot-map) -- see above
     out.reserve(resident_);
     for (DenseIndex i = 0; i < instances_.size(); ++i) {
       const Instance& inst = instances_[i];

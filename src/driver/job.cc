@@ -38,17 +38,20 @@ Job::RunResult Job::ExecuteAndWait(const std::function<void(BlockDone)>& submit,
 
   // Driver -> controller request (one latency hop), then wait for the controller's
   // completion notification (another hop, folded into the callback).
-  net.Send(sim::kDriverAddress, sim::kControllerAddress, request_bytes,
-           [&submit, &done, &result, &net, &sim]() {
-             submit([&done, &result, &net](std::vector<ScalarResult> scalars) {
-               net.Send(sim::kControllerAddress, sim::kDriverAddress,
-                        64 + static_cast<std::int64_t>(scalars.size()) * 16,
-                        [&done, &result, scalars = std::move(scalars)]() mutable {
-                          result.scalars = std::move(scalars);
-                          done = true;
-                        });
-             });
-           });
+  net.Send(
+      sim::kDriverAddress, sim::kControllerAddress, request_bytes,
+      [&submit, &done, &result, &net, &sim]() {
+        submit([&done, &result, &net](std::vector<ScalarResult> scalars) {
+          net.Send(sim::kControllerAddress, sim::kDriverAddress,
+                   64 + static_cast<std::int64_t>(scalars.size()) * 16,
+                   [&done, &result, scalars = std::move(scalars)]() mutable {
+                     result.scalars = std::move(scalars);
+                     done = true;
+                   },
+                   MessageKind::kControl);
+        });
+      },
+      MessageKind::kControl);
 
   const bool ok =
       sim.RunUntilCondition([&]() { return done || recovery_pending_; });
@@ -174,11 +177,15 @@ void Job::Checkpoint(std::uint64_t marker) {
   NimbusController& controller = cluster_->controller();
 
   bool done = false;
-  net.Send(sim::kDriverAddress, sim::kControllerAddress, 32, [&]() {
-    controller.TriggerCheckpoint(marker, [&done, &net]() {
-      net.Send(sim::kControllerAddress, sim::kDriverAddress, 16, [&done]() { done = true; });
-    });
-  });
+  net.Send(
+      sim::kDriverAddress, sim::kControllerAddress, 32,
+      [&]() {
+        controller.TriggerCheckpoint(marker, [&done, &net]() {
+          net.Send(sim::kControllerAddress, sim::kDriverAddress, 16,
+                   [&done]() { done = true; }, MessageKind::kControl);
+        });
+      },
+      MessageKind::kControl);
   const bool ok = sim.RunUntilCondition([&]() { return done; });
   NIMBUS_CHECK(ok) << "checkpoint did not complete";
 }

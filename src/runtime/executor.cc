@@ -74,7 +74,7 @@ ThreadPoolExecutor::ThreadPoolExecutor(std::size_t threads) {
 
 ThreadPoolExecutor::~ThreadPoolExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -99,7 +99,7 @@ void ThreadPoolExecutor::Drain(Batch* batch, std::size_t thread_index) {
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->count) {
       // Lock before notifying: without it the submitter can check the predicate, miss this
       // notification, and sleep forever (classic lost wakeup).
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       batch_done_.notify_all();
     }
   }
@@ -110,8 +110,13 @@ void ThreadPoolExecutor::WorkerLoop(std::size_t thread_index) {
   for (;;) {
     Batch* batch = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&]() { return stopping_ || batch_epoch_ != seen_epoch; });
+      MutexLock lock(&mu_);
+      // Hand-rolled predicate loop (not the wait-with-predicate overload): the predicate
+      // reads GUARDED_BY(mu_) state, and the analysis can only see the capability held
+      // here, in this function's scope — a lambda would be analyzed lock-free.
+      while (!stopping_ && batch_epoch_ == seen_epoch) {
+        work_ready_.wait(mu_);
+      }
       if (stopping_) {
         return;
       }
@@ -125,7 +130,7 @@ void ThreadPoolExecutor::WorkerLoop(std::size_t thread_index) {
     }
     if (batch != nullptr) {
       Drain(batch, thread_index);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --batch->drainers;
       batch_done_.notify_all();
     }
@@ -152,7 +157,7 @@ void ThreadPoolExecutor::Run(std::size_t count, const JobFn& fn) {
   batch.count = count;
   batch.job_busy_ns.assign(count, 0);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     current_ = &batch;
     ++batch_epoch_;
   }
@@ -161,11 +166,11 @@ void ThreadPoolExecutor::Run(std::size_t count, const JobFn& fn) {
   // progress while pool threads wait for timeslices.
   Drain(&batch, threads_.size());
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    batch_done_.wait(lock, [&]() {
-      return batch.done.load(std::memory_order_acquire) == batch.count &&
-             batch.drainers == 0;
-    });
+    MutexLock lock(&mu_);
+    while (batch.done.load(std::memory_order_acquire) != batch.count ||
+           batch.drainers != 0) {
+      batch_done_.wait(mu_);
+    }
     // Un-publish before the batch leaves scope: late-waking workers must find nullptr.
     current_ = nullptr;
   }

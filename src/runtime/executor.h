@@ -29,11 +29,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 
 namespace nimbus::runtime {
 
@@ -103,7 +103,9 @@ class ThreadPoolExecutor : public Executor {
     std::atomic<std::size_t> done{0};
     std::atomic<std::uint64_t> steals{0};
     std::vector<std::uint64_t> job_busy_ns;
-    int drainers = 0;  // pool threads currently inside Drain; guarded by mu_
+    // Pool threads currently inside Drain. Guarded by the owning executor's mu_ (a nested
+    // struct cannot name it in a GUARDED_BY, so this one is prose-guarded).
+    int drainers = 0;
   };
 
   // Claims and runs jobs from `batch` until the claim index is exhausted.
@@ -112,12 +114,15 @@ class ThreadPoolExecutor : public Executor {
   void WorkerLoop(std::size_t thread_index);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  Batch* current_ = nullptr;     // guarded by mu_ for publication; drained lock-free
-  std::uint64_t batch_epoch_ = 0;  // guarded by mu_; wakes workers exactly once per batch
-  bool stopping_ = false;          // guarded by mu_
+  // The queue mutex is a capability (DESIGN.md §11): publication state below is
+  // GUARDED_BY(mu_), so the clang leg rejects any new path that touches it unlocked.
+  // condition_variable_any waits on the annotated Mutex directly.
+  Mutex mu_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any batch_done_;
+  Batch* current_ NIMBUS_GUARDED_BY(mu_) = nullptr;  // published locked; drained lock-free
+  std::uint64_t batch_epoch_ NIMBUS_GUARDED_BY(mu_) = 0;  // wakes workers once per batch
+  bool stopping_ NIMBUS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nimbus::runtime

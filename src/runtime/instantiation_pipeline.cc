@@ -3,17 +3,20 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/runtime/shard_audit.h"
 
 namespace nimbus::runtime {
 
 InstantiationPipeline::InstantiationPipeline(Executor* executor, std::uint32_t shard_count)
     : executor_(executor), shard_count_(shard_count) {
+  serial_phase_.Assert();
   NIMBUS_CHECK(IsPowerOfTwo(shard_count))
       << "shard count must be a power of two, got " << shard_count;
   shard_counters_.EnsureShards(shard_count_);
 }
 
 void InstantiationPipeline::Configure(Executor* executor, std::uint32_t shard_count) {
+  serial_phase_.Assert();
   NIMBUS_CHECK(IsPowerOfTwo(shard_count))
       << "shard count must be a power of two, got " << shard_count;
   executor_ = executor;
@@ -93,9 +96,12 @@ void InstantiationPipeline::ValidateJob(const ShardPlan& plan, const VersionMap&
   const std::size_t begin = sub * planned_pres.size() / subs;
   const std::size_t end = (sub + 1) * planned_pres.size() / subs;
   // The shard view is how this sweep promises to stay inside its dense-index range; the
-  // underlying probes are the same flat-array accesses the flat sweep does.
+  // underlying probes are the same flat-array accesses the flat sweep does. The read
+  // window is the ownership transfer the clang analysis and the shard auditor check:
+  // validation jobs may read their shard, never write it.
   ShardedVersionMap sharded(const_cast<VersionMap*>(&versions), shard_count_);
   ShardedVersionMap::Shard shard = sharded.shard(s);
+  ShardReadScope window(&shard, audit::JobKind::kValidate, job);
   for (std::size_t i = begin; i < end; ++i) {
     const auto& pre = planned_pres[i].pre;
     ++*checked;
@@ -197,6 +203,7 @@ struct CompiledRangeView {
 
 std::vector<core::PatchDirective> InstantiationPipeline::Validate(
     const core::WorkerTemplateSet& set, const VersionMap& versions) {
+  serial_phase_.Assert();
   // Compiling (and plan building) intern through hash maps: strictly before the batch.
   const core::CompiledInstantiation& compiled = set.CompiledFor(versions);
   if (!set.id().valid()) {
@@ -227,9 +234,11 @@ std::vector<core::PatchDirective> InstantiationPipeline::Validate(
   }
   std::vector<std::vector<TaggedFailure>> failures(jobs);
   std::vector<std::uint64_t> checked(jobs, 0);
+  audit::BeginBatch();
   executor_->Run(jobs, [&](std::size_t job) {
     ValidateJob(plan, versions, job, &failures[job], &checked[job]);
   });
+  audit::EndBatch();
   FoldValidateCounters(failures, checked);
   return MergeFailures(std::move(failures));
 }
@@ -254,6 +263,11 @@ void InstantiationPipeline::EnsureObjectsExistPlanned(
 
 void InstantiationPipeline::ApplyEffects(const core::WorkerTemplateSet& set,
                                          const core::Patch& patch, VersionMap* versions) {
+  serial_phase_.Assert();
+  // Every apply mutates the version map outside any prior block's ownership window: any
+  // stamped cache filled before this call (the controller's lookahead rides its own
+  // invalidation sites; this bump backstops them) is stale from here on.
+  audit::BumpStamp();
   const core::CompiledInstantiation& compiled = set.CompiledFor(*versions);
   if (!set.id().valid()) {
     // Ad-hoc sets: flat application (TemplateManager::ApplyInstantiationEffects' logic),
@@ -290,28 +304,43 @@ void InstantiationPipeline::ApplyEffects(const core::WorkerTemplateSet& set,
   }
   EnsureObjectsExistPlanned(&plan, compiled, versions);
 
+  // Job lambdas receive the plan through captured locals: the plan caches themselves are
+  // serial-phase state the jobs must not (and, on the clang leg, cannot) touch.
+  const auto& delta_by_shard = plan.delta_by_shard;
   ShardedVersionMap sharded(versions, shard_count_);
+  audit::BeginBatch();
   executor_->Run(shard_count_, [&](std::size_t job) {
     const auto s = static_cast<std::uint32_t>(job);
     ShardedVersionMap::Shard shard = sharded.shard(s);
+    // The single-writer ownership transfer: this job is the only writer of shard s for
+    // the duration of the batch. Checked by clang (REQUIRES on the accessors), by the
+    // shard auditor (write window), and by the per-access ownership CHECKs.
+    ShardWriteScope window(&shard, audit::JobKind::kApply, job);
     // Patch copies land before the block's own writes, as in the flat path; per object
     // both live in the same shard, so the relative order is preserved.
     for (const DenseCopy& c : copies_by_shard[s]) {
       shard.RecordCopyToLatestDense(c.object, c.dst);
     }
-    for (const auto& delta : plan.delta_by_shard[s]) {
+    for (const auto& delta : delta_by_shard[s]) {
       shard.AdvanceVersionsDense(delta.object, delta.primary_holder, delta.write_count);
       for (DenseIndex holder : delta.extra_holders) {
         shard.RecordCopyToLatestDense(delta.object, holder);
       }
     }
-    shard_counters_.deltas_applied[s] += plan.delta_by_shard[s].size();
   });
+  audit::EndBatch();
+  // Per-shard delta counts are knowable without running the jobs: fold them serially so
+  // the batch writes nothing but version-map state.
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shard_counters_.deltas_applied[s] += delta_by_shard[s].size();
+  }
   ++shard_counters_.apply_batches;
 }
 
 void InstantiationPipeline::EnsureObjectsExist(const core::WorkerTemplateSet& set,
                                                VersionMap* versions) {
+  serial_phase_.Assert();
+  audit::BumpStamp();  // object creation is an out-of-window mutation
   const core::CompiledInstantiation& compiled = set.CompiledFor(*versions);
   if (!set.id().valid()) {
     for (const auto& delta : compiled.write_deltas) {
@@ -371,6 +400,7 @@ std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
     const core::WorkerTemplateSet& set, const ParamList& params, const core::EditPlan* edits,
     const core::WorkerTemplateSet* next_set, const VersionMap* versions,
     std::vector<core::PatchDirective>* next_required) {
+  serial_phase_.Assert();
   const auto& halves = set.halves();
   std::vector<WorkerMessage> messages(halves.size());
 
@@ -389,6 +419,7 @@ std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
   // implicitly parallel).
   const std::size_t chunks = shard_count_;
   const std::size_t total_jobs = chunks + next_jobs;
+  audit::BeginBatch();
   executor_->Run(total_jobs, [&](std::size_t job) {
     if (job >= chunks) {
       // Block N+1's validation riding the same batch: it only reads the version map, which
@@ -401,6 +432,7 @@ std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
     const std::size_t end = (job + 1) * halves.size() / chunks;
     AssembleChunk(set, params, edits, begin, end, &messages);
   });
+  audit::EndBatch();
 
   shard_counters_.assemble_jobs += chunks;
   if (next_set != nullptr) {
@@ -459,6 +491,7 @@ void BuildHalfCommands(const core::WorkerHalf& half, const ParamList& sorted_par
 std::vector<CommandBatch> InstantiationPipeline::AssembleCommandBatches(
     const core::WorkerTemplateSet& set, const ParamList& params, std::uint64_t group_seq,
     TaskId task_base, const std::vector<CommandId>& half_bases) {
+  serial_phase_.Assert();
   const auto& halves = set.halves();
   NIMBUS_CHECK_EQ(half_bases.size(), halves.size());
 
@@ -510,6 +543,7 @@ std::vector<CommandBatch> InstantiationPipeline::AssembleCommandBatches(
 std::vector<SerializedBatch> InstantiationPipeline::AssembleSerializedBatches(
     const core::WorkerTemplateSet& set, const ParamList& params, std::uint64_t group_seq,
     TaskId task_base, const std::vector<CommandId>& half_bases) {
+  serial_phase_.Assert();
   const auto& halves = set.halves();
   NIMBUS_CHECK_EQ(half_bases.size(), halves.size());
 

@@ -32,6 +32,7 @@
 #include "src/common/ids.h"
 #include "src/common/serialize.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/patch.h"
 #include "src/core/template_manager.h"
 #include "src/core/worker_template.h"
@@ -171,11 +172,18 @@ class InstantiationPipeline {
                            const ResolvePatchFn& resolve_patch,
                            const core::WorkerTemplateSet* next_set = nullptr);
 
-  const ShardCounters& shard_counters() const { return shard_counters_; }
-  const SerializedBatchCounters& serialized_counters() const { return serialized_counters_; }
+  const ShardCounters& shard_counters() const {
+    serial_phase_.Assert();
+    return shard_counters_;
+  }
+  const SerializedBatchCounters& serialized_counters() const {
+    serial_phase_.Assert();
+    return serialized_counters_;
+  }
   void ClearCounters() {
+    serial_phase_.Assert();
     shard_counters_.Clear();
-    shard_counters_.EnsureShards(shard_count_);  // jobs index per-shard slots unguarded
+    shard_counters_.EnsureShards(shard_count_);
     serialized_counters_.Clear();
   }
 
@@ -232,7 +240,8 @@ class InstantiationPipeline {
   };
 
   ShardPlan& PlanFor(const core::WorkerTemplateSet& set,
-                     const core::CompiledInstantiation& compiled);
+                     const core::CompiledInstantiation& compiled)
+      NIMBUS_REQUIRES(serial_phase_);
   static void BuildPlan(const core::CompiledInstantiation& compiled,
                         std::uint32_t shard_count, ShardPlan* plan);
 
@@ -257,7 +266,8 @@ class InstantiationPipeline {
 
   // Serially folds per-job probe/failure counts into the per-shard counters after a batch.
   void FoldValidateCounters(const std::vector<std::vector<TaggedFailure>>& failures,
-                            const std::vector<std::uint64_t>& checked);
+                            const std::vector<std::uint64_t>& checked)
+      NIMBUS_REQUIRES(serial_phase_);
 
   // Assembles messages for halves [begin, end) into their slots of `messages`. Called from
   // executor jobs; chunks write disjoint slots.
@@ -270,10 +280,19 @@ class InstantiationPipeline {
 
   Executor* executor_;
   std::uint32_t shard_count_;
-  DenseMap<ShardPlan> plans_;  // by worker-template-set id value (contiguous from 0)
-  DenseMap<SerializedPlan> serialized_plans_;  // same keying as plans_
-  ShardCounters shard_counters_;
-  SerializedBatchCounters serialized_counters_;
+
+  // The serial between-batch phase (DESIGN.md §11). Plan caches and counters may only be
+  // touched between executor batches: the public stage methods assert the role at entry
+  // (they run on the single control thread by construction), and executor-job lambdas —
+  // analyzed without it — cannot reach any of the guarded state below without a compile
+  // error on the clang leg. Jobs receive plan state through captured locals instead.
+  RoleCapability serial_phase_;
+  // Cached per-set shard plans, by worker-template-set id value (contiguous from 0).
+  DenseMap<ShardPlan> plans_ NIMBUS_GUARDED_BY(serial_phase_);
+  // Cached per-set serialized encodings; same keying as plans_.
+  DenseMap<SerializedPlan> serialized_plans_ NIMBUS_GUARDED_BY(serial_phase_);
+  ShardCounters shard_counters_ NIMBUS_GUARDED_BY(serial_phase_);
+  SerializedBatchCounters serialized_counters_ NIMBUS_GUARDED_BY(serial_phase_);
 };
 
 }  // namespace nimbus::runtime

@@ -1,0 +1,259 @@
+#include "src/runtime/shard_audit.h"
+
+#if NIMBUS_SHARD_AUDIT
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace nimbus::runtime::audit {
+namespace {
+
+const char* ModeName(Mode mode) { return mode == Mode::kWrite ? "write" : "read"; }
+
+const char* KindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kSerial:
+      return "serial";
+    case JobKind::kValidate:
+      return "validate";
+    case JobKind::kApply:
+      return "apply";
+    case JobKind::kAssemble:
+      return "assemble";
+  }
+  return "?";
+}
+
+// An ownership window open on the calling thread. Windows nest (a job may hold its write
+// window while a helper opens a read window on the same shard), so a per-thread stack.
+struct Window {
+  std::uint32_t shard;
+  JobKind kind;
+  Mode mode;
+  std::size_t job;
+};
+
+// The auditor runs under the ThreadPoolExecutor too, so per-thread state is thread_local
+// and cross-job state is mutex-protected. Perf is irrelevant: audit builds only.
+thread_local std::vector<Window> t_windows;
+
+struct ShardBatchState {
+  bool has_writer = false;
+  std::size_t writer_job = 0;
+  std::vector<std::size_t> reader_jobs;  // distinct jobs holding read windows this batch
+};
+
+constexpr std::size_t kRecordRing = 4096;
+
+struct Auditor {
+  std::mutex mu;
+  bool in_batch = false;
+  std::size_t open_windows = 0;                // across all threads
+  std::vector<ShardBatchState> batch_shards;   // indexed by shard
+  std::vector<AccessRecord> ring;              // bounded record ring
+  std::size_t ring_next = 0;
+  bool ring_wrapped = false;
+  AuditCounters counters;
+  std::atomic<std::uint64_t> stamp{1};
+};
+
+Auditor& G() {
+  static Auditor* auditor = new Auditor();  // leaked: alive for exit-time death messages
+  return *auditor;
+}
+
+// Locked helpers ------------------------------------------------------------------------
+
+ShardBatchState& BatchShardLocked(Auditor& a, std::uint32_t shard) {
+  if (a.batch_shards.size() <= shard) {
+    a.batch_shards.resize(shard + 1);
+  }
+  return a.batch_shards[shard];
+}
+
+void ResetBatchLocked(Auditor& a) { a.batch_shards.clear(); }
+
+void RecordLocked(Auditor& a, const AccessRecord& record) {
+  if (a.ring.size() < kRecordRing) {
+    a.ring.push_back(record);
+    return;
+  }
+  a.ring[a.ring_next] = record;
+  a.ring_next = (a.ring_next + 1) % kRecordRing;
+  a.ring_wrapped = true;
+}
+
+}  // namespace
+
+void BeginBatch() {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  NIMBUS_CHECK(!a.in_batch) << "shard audit: BeginBatch while a batch is already open";
+  NIMBUS_CHECK_EQ(a.open_windows, 0u)
+      << "shard audit: BeginBatch with ownership windows still open";
+  a.in_batch = true;
+  ResetBatchLocked(a);
+  ++a.counters.batches;
+}
+
+void EndBatch() {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  NIMBUS_CHECK(a.in_batch) << "shard audit: EndBatch without BeginBatch";
+  NIMBUS_CHECK_EQ(a.open_windows, 0u)
+      << "shard audit: EndBatch with ownership windows still open (window leak)";
+  a.in_batch = false;
+  ResetBatchLocked(a);
+}
+
+void OpenWindow(std::uint32_t shard, JobKind kind, Mode mode, std::size_t job) {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  if (!a.in_batch && a.open_windows == 0) {
+    // Ad-hoc serial windows (tests, diagnostics) form an implicit batch that lasts until
+    // every window closes, so the conflict rules below still apply to them.
+    ResetBatchLocked(a);
+  }
+  ShardBatchState& state = BatchShardLocked(a, shard);
+  if (mode == Mode::kWrite) {
+    NIMBUS_CHECK(!state.has_writer || state.writer_job == job)
+        << "shard audit: second writer for shard " << shard << " in one batch ("
+        << KindName(kind) << " job " << job << " vs job " << state.writer_job
+        << "): single-writer invariant violated";
+    for (std::size_t reader : state.reader_jobs) {
+      NIMBUS_CHECK(reader == job)
+          << "shard audit: read/write overlap on shard " << shard << " in one batch ("
+          << KindName(kind) << " write job " << job << " vs read job " << reader << ")";
+    }
+    state.has_writer = true;
+    state.writer_job = job;
+  } else {
+    NIMBUS_CHECK(!state.has_writer || state.writer_job == job)
+        << "shard audit: read/write overlap on shard " << shard << " in one batch ("
+        << KindName(kind) << " read job " << job << " vs write job " << state.writer_job
+        << ")";
+    bool seen = false;
+    for (std::size_t reader : state.reader_jobs) {
+      seen = seen || reader == job;
+    }
+    if (!seen) {
+      state.reader_jobs.push_back(job);
+    }
+  }
+  ++a.open_windows;
+  ++a.counters.windows_opened;
+  t_windows.push_back(Window{shard, kind, mode, job});
+}
+
+void CloseWindow(std::uint32_t shard, Mode mode) {
+  NIMBUS_CHECK(!t_windows.empty())
+      << "shard audit: closing a window on a thread with none open";
+  const Window& top = t_windows.back();
+  NIMBUS_CHECK(top.shard == shard && top.mode == mode)
+      << "shard audit: window close out of order (closing " << ModeName(mode) << " shard "
+      << shard << ", top is " << ModeName(top.mode) << " shard " << top.shard << ")";
+  t_windows.pop_back();
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  NIMBUS_CHECK_GT(a.open_windows, 0u);
+  --a.open_windows;
+}
+
+void OnAccess(std::uint32_t shard, DenseIndex object, Mode mode) {
+  // The calling thread must hold a window for this shard, and a write needs a write
+  // window. A foreign-shard access by a job that owns some *other* shard lands here too:
+  // its windows name the wrong shard.
+  const Window* covering = nullptr;
+  for (auto it = t_windows.rbegin(); it != t_windows.rend(); ++it) {
+    if (it->shard == shard && (mode == Mode::kRead || it->mode == Mode::kWrite)) {
+      covering = &*it;
+      break;
+    }
+  }
+  if (covering == nullptr) {
+    internal::LogMessage fatal(LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true);
+    fatal.stream() << "shard audit: " << ModeName(mode) << " of shard " << shard
+                   << " (dense index " << object << ") outside an ownership window;"
+                   << " windows open on this thread:";
+    if (t_windows.empty()) {
+      fatal.stream() << " none";
+    }
+    for (const Window& w : t_windows) {
+      fatal.stream() << " [" << ModeName(w.mode) << " shard " << w.shard << " "
+                     << KindName(w.kind) << " job " << w.job << "]";
+    }
+    return;  // unreachable: the fatal message aborts in its destructor
+  }
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  if (mode == Mode::kWrite) {
+    ++a.counters.writes;
+  } else {
+    ++a.counters.reads;
+  }
+  RecordLocked(a, AccessRecord{shard, covering->kind, mode,
+                               a.stamp.load(std::memory_order_relaxed)});
+}
+
+std::uint64_t CurrentStamp() { return G().stamp.load(std::memory_order_relaxed); }
+
+void BumpStamp() {
+  Auditor& a = G();
+  a.stamp.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(a.mu);
+  ++a.counters.stamp_bumps;
+}
+
+void CheckStamp(const char* what, std::uint64_t stamp) {
+  Auditor& a = G();
+  const std::uint64_t now = a.stamp.load(std::memory_order_relaxed);
+  NIMBUS_CHECK_EQ(stamp, now)
+      << "shard audit: stale-stamp consumption of " << what
+      << " (filled at generation " << stamp << ", map is at generation " << now
+      << "): an out-of-window mutation invalidated this cache";
+  std::lock_guard<std::mutex> lock(a.mu);
+  ++a.counters.stamp_checks;
+}
+
+AuditCounters Counters() {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  return a.counters;
+}
+
+std::size_t RecentAccesses(AccessRecord* out, std::size_t max) {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  std::size_t n = 0;
+  if (a.ring_wrapped) {
+    for (std::size_t i = 0; i < a.ring.size() && n < max; ++i) {
+      out[n++] = a.ring[(a.ring_next + i) % a.ring.size()];
+    }
+  } else {
+    for (std::size_t i = 0; i < a.ring.size() && n < max; ++i) {
+      out[n++] = a.ring[i];
+    }
+  }
+  return n;
+}
+
+void ResetForTest() {
+  Auditor& a = G();
+  std::lock_guard<std::mutex> lock(a.mu);
+  a.in_batch = false;
+  a.open_windows = 0;
+  a.batch_shards.clear();
+  a.ring.clear();
+  a.ring_next = 0;
+  a.ring_wrapped = false;
+  a.counters = AuditCounters{};
+  a.stamp.store(1, std::memory_order_relaxed);
+  t_windows.clear();
+}
+
+}  // namespace nimbus::runtime::audit
+
+#endif  // NIMBUS_SHARD_AUDIT

@@ -1,0 +1,119 @@
+// Deterministic shard-access auditing (DESIGN.md §11).
+//
+// TSan can only catch contract violations that actually race, and the simulator runs every
+// executor batch on the InlineExecutor — serially — so a cross-shard write or a stale cache
+// read is invisible to it: the schedule hides the race. The ShardAccessAuditor closes that
+// gap by checking the *logical* contract on the serial schedule:
+//
+//  * every sharded access (a `ShardedVersionMap::Shard` / `ShardedObjectDirectory::Shard`
+//    accessor call) must happen inside an ownership window opened on the calling thread
+//    (`ShardWriteScope`/`ShardReadScope`), and a write needs a write window — a job that
+//    reaches across shards dies immediately, whatever thread schedule ran it;
+//  * within one executor batch (`BeginBatch`/`EndBatch`, called by the pipeline), a shard
+//    may have at most one writing job, and no other job may read a shard some job writes —
+//    the single-writer invariant, checked even when the InlineExecutor serializes the jobs;
+//  * stamped caches (the controller's lookahead) must be consumed at the stamp they were
+//    filled at: every out-of-window version-map mutation bumps a global generation stamp,
+//    and `CheckStamp` dies on consumption of a stale stamp.
+//
+// Every access is recorded as (shard, job kind, read/write, generation stamp); a bounded
+// ring of recent records is kept for post-mortems and tests. The auditor is compiled in
+// only when NIMBUS_SHARD_AUDIT is defined non-zero (the `-DNIMBUS_SHARD_AUDIT=ON` CMake
+// option, and Debug builds); otherwise every hook below is an empty inline function and
+// release binaries carry zero overhead — the CI perf canaries hold this.
+
+#ifndef NIMBUS_SRC_RUNTIME_SHARD_AUDIT_H_
+#define NIMBUS_SRC_RUNTIME_SHARD_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/dense_id.h"
+
+#ifndef NIMBUS_SHARD_AUDIT
+#define NIMBUS_SHARD_AUDIT 0
+#endif
+
+namespace nimbus::runtime::audit {
+
+enum class Mode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+// What opened the window — for the access records and violation messages.
+enum class JobKind : std::uint8_t {
+  kSerial = 0,    // ad-hoc serial code (tests, diagnostics)
+  kValidate = 1,  // precondition sweep job
+  kApply = 2,     // delta-application job
+  kAssemble = 3,  // message/batch assembly job
+};
+
+// One recorded sharded access.
+struct AccessRecord {
+  std::uint32_t shard = 0;
+  JobKind kind = JobKind::kSerial;
+  Mode mode = Mode::kRead;
+  std::uint64_t stamp = 0;  // generation stamp at access time
+};
+
+// Monotonically-increasing counters, for the audit-clean regression tests.
+struct AuditCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t windows_opened = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t stamp_bumps = 0;
+  std::uint64_t stamp_checks = 0;
+};
+
+#if NIMBUS_SHARD_AUDIT
+
+// Whether auditing is compiled into this binary.
+constexpr bool kEnabled = true;
+
+// Batch lifecycle. The pipeline brackets every executor batch whose jobs open shard
+// windows; the single-writer and overlap rules are scoped to one batch. Not reentrant.
+void BeginBatch();
+void EndBatch();
+
+// Window lifecycle, called by the ownership scopes. `job` is the executor job index (used
+// to tell two jobs apart; serial code passes 0).
+void OpenWindow(std::uint32_t shard, JobKind kind, Mode mode, std::size_t job);
+void CloseWindow(std::uint32_t shard, Mode mode);
+
+// Checks and records one sharded access on the calling thread. Dies unless the thread has
+// an open window for `shard` of sufficient mode (a write window also covers reads).
+void OnAccess(std::uint32_t shard, DenseIndex object, Mode mode);
+
+// Generation-stamp protocol for stamped caches. Mutation sites outside ownership windows
+// (InvalidateLookahead, serial apply paths) bump; cache fills capture CurrentStamp();
+// consumption calls CheckStamp and dies if the stamp moved in between.
+std::uint64_t CurrentStamp();
+void BumpStamp();
+void CheckStamp(const char* what, std::uint64_t stamp);
+
+AuditCounters Counters();
+// Copies out the bounded ring of most-recent access records (oldest first).
+std::size_t RecentAccesses(AccessRecord* out, std::size_t max);
+// Clears all auditor state (tests only; the auditor is process-global).
+void ResetForTest();
+
+#else  // !NIMBUS_SHARD_AUDIT — every hook compiles to nothing
+
+constexpr bool kEnabled = false;
+
+inline void BeginBatch() {}
+inline void EndBatch() {}
+inline void OpenWindow(std::uint32_t, JobKind, Mode, std::size_t) {}
+inline void CloseWindow(std::uint32_t, Mode) {}
+inline void OnAccess(std::uint32_t, DenseIndex, Mode) {}
+inline std::uint64_t CurrentStamp() { return 0; }
+inline void BumpStamp() {}
+inline void CheckStamp(const char*, std::uint64_t) {}
+inline AuditCounters Counters() { return AuditCounters{}; }
+inline std::size_t RecentAccesses(AccessRecord*, std::size_t) { return 0; }
+inline void ResetForTest() {}
+
+#endif  // NIMBUS_SHARD_AUDIT
+
+}  // namespace nimbus::runtime::audit
+
+#endif  // NIMBUS_SRC_RUNTIME_SHARD_AUDIT_H_

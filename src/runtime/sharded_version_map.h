@@ -1,4 +1,4 @@
-// Sharded views over the control plane's flat per-object state (DESIGN.md §7).
+// Sharded views over the control plane's flat per-object state (DESIGN.md §7, §11).
 //
 // The dense-id migration (DESIGN.md §6) left VersionMap and ObjectDirectory as contiguous
 // arrays indexed by dense object id. That makes per-object state trivially partitionable:
@@ -21,18 +21,29 @@
 //    (live-object count, churn epoch) and are deliberately NOT on the Shard view: the
 //    pipeline performs them on the flat map between batches.
 //
+// The invariants are machine-checked three ways (DESIGN.md §11): each Shard is a clang
+// thread-safety *capability* — writers need `NIMBUS_REQUIRES(shard)`, readers
+// `NIMBUS_REQUIRES_SHARED(shard)`, and the only way to satisfy either is to open an
+// ownership window with `ShardWriteScope`/`ShardReadScope`, so a job that drops its
+// transfer fails the `-Werror=thread-safety` clang build. The same scopes drive the
+// runtime ShardAccessAuditor in audit builds (shard_audit.h), and every accessor keeps its
+// NIMBUS_CHECK ownership check in all builds.
+//
 // Shard counts must be powers of two so ownership is a multiply-and-shift, not a division.
 
 #ifndef NIMBUS_SRC_RUNTIME_SHARDED_VERSION_MAP_H_
 #define NIMBUS_SRC_RUNTIME_SHARDED_VERSION_MAP_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/logging.h"
+#include "src/common/thread_annotations.h"
 #include "src/data/object_directory.h"
 #include "src/data/version_map.h"
+#include "src/runtime/shard_audit.h"
 
 namespace nimbus::runtime {
 
@@ -54,36 +65,59 @@ inline std::uint32_t ShardOfIndex(DenseIndex index, std::uint32_t shard_count) {
 class ShardedVersionMap {
  public:
   // One shard's read/write view: per-object state only, restricted to the dense indices the
-  // shard owns. Copyable by value into executor jobs.
-  class Shard {
+  // shard owns. Copyable by value into executor jobs. The view doubles as a thread-safety
+  // capability: accessors require an ownership window (ShardWriteScope/ShardReadScope).
+  class NIMBUS_CAPABILITY("shard") Shard {
    public:
     Shard(VersionMap* map, std::uint32_t shard, std::uint32_t shard_count)
         : map_(map), shard_(shard), shard_count_(shard_count) {}
 
     std::uint32_t shard() const { return shard_; }
 
-    bool ExistsDense(DenseIndex object) const {
+    // Ownership-window transfer points. The scopes below are the intended way to call
+    // these; they notify the shard-access auditor in audit builds and are free otherwise.
+    void AcquireWrite(audit::JobKind kind, std::size_t job) NIMBUS_ACQUIRE() {
+      audit::OpenWindow(shard_, kind, audit::Mode::kWrite, job);
+    }
+    void ReleaseWrite() NIMBUS_RELEASE() {
+      audit::CloseWindow(shard_, audit::Mode::kWrite);
+    }
+    void AcquireRead(audit::JobKind kind, std::size_t job) const NIMBUS_ACQUIRE_SHARED() {
+      audit::OpenWindow(shard_, kind, audit::Mode::kRead, job);
+    }
+    void ReleaseRead() const NIMBUS_RELEASE_SHARED() {
+      audit::CloseWindow(shard_, audit::Mode::kRead);
+    }
+
+    bool ExistsDense(DenseIndex object) const NIMBUS_REQUIRES_SHARED(this) {
       CheckOwned(object);
+      audit::OnAccess(shard_, object, audit::Mode::kRead);
       return map_->ExistsDense(object);
     }
 
-    bool WorkerHasLatestDense(DenseIndex object, DenseIndex worker) const {
+    bool WorkerHasLatestDense(DenseIndex object, DenseIndex worker) const
+        NIMBUS_REQUIRES_SHARED(this) {
       CheckOwned(object);
+      audit::OnAccess(shard_, object, audit::Mode::kRead);
       return map_->WorkerHasLatestDense(object, worker);
     }
 
-    WorkerId AnyLatestHolderDense(DenseIndex object) const {
+    WorkerId AnyLatestHolderDense(DenseIndex object) const NIMBUS_REQUIRES_SHARED(this) {
       CheckOwned(object);
+      audit::OnAccess(shard_, object, audit::Mode::kRead);
       return map_->AnyLatestHolderDense(object);
     }
 
-    Version AdvanceVersionsDense(DenseIndex object, DenseIndex writer, std::uint32_t count) {
+    Version AdvanceVersionsDense(DenseIndex object, DenseIndex writer, std::uint32_t count)
+        NIMBUS_REQUIRES(this) {
       CheckOwned(object);
+      audit::OnAccess(shard_, object, audit::Mode::kWrite);
       return map_->AdvanceVersionsDense(object, writer, count);
     }
 
-    void RecordCopyToLatestDense(DenseIndex object, DenseIndex dst) {
+    void RecordCopyToLatestDense(DenseIndex object, DenseIndex dst) NIMBUS_REQUIRES(this) {
       CheckOwned(object);
+      audit::OnAccess(shard_, object, audit::Mode::kWrite);
       map_->RecordCopyToLatestDense(object, dst);
     }
 
@@ -124,6 +158,45 @@ class ShardedVersionMap {
   std::uint32_t shard_count_;
 };
 
+// RAII single-writer ownership window over one shard view. An executor job opens exactly
+// one for the shard it was handed; the clang analysis then accepts the job's writes, and
+// the shard-access auditor sees the window in audit builds. Removing the scope (or writing
+// through a view with no window) is a compile error on clang and a deterministic abort in
+// audit builds.
+class NIMBUS_SCOPED_CAPABILITY ShardWriteScope {
+ public:
+  ShardWriteScope(ShardedVersionMap::Shard* shard, audit::JobKind kind, std::size_t job)
+      NIMBUS_ACQUIRE(shard)
+      : shard_(shard) {
+    shard_->AcquireWrite(kind, job);
+  }
+  ~ShardWriteScope() NIMBUS_RELEASE() { shard_->ReleaseWrite(); }
+
+  ShardWriteScope(const ShardWriteScope&) = delete;
+  ShardWriteScope& operator=(const ShardWriteScope&) = delete;
+
+ private:
+  ShardedVersionMap::Shard* shard_;
+};
+
+// RAII read-only ownership window: many jobs may read one shard in a batch, but none may
+// while some other job writes it (the auditor enforces the overlap rule per batch).
+class NIMBUS_SCOPED_CAPABILITY ShardReadScope {
+ public:
+  ShardReadScope(const ShardedVersionMap::Shard* shard, audit::JobKind kind,
+                 std::size_t job) NIMBUS_ACQUIRE_SHARED(shard)
+      : shard_(shard) {
+    shard_->AcquireRead(kind, job);
+  }
+  ~ShardReadScope() NIMBUS_RELEASE() { shard_->ReleaseRead(); }
+
+  ShardReadScope(const ShardReadScope&) = delete;
+  ShardReadScope& operator=(const ShardReadScope&) = delete;
+
+ private:
+  const ShardedVersionMap::Shard* shard_;
+};
+
 // The same hash partitioning over the object directory's flat arrays. The directory is
 // read-only on the instantiation hot path (object metadata never changes after
 // DefineVariable), so per-shard views are read views; they exist so a future
@@ -131,19 +204,29 @@ class ShardedVersionMap {
 // same ownership discipline as the version map.
 class ShardedObjectDirectory {
  public:
-  class Shard {
+  class NIMBUS_CAPABILITY("shard") Shard {
    public:
     Shard(const ObjectDirectory* directory, std::uint32_t shard, std::uint32_t shard_count)
         : directory_(directory), shard_(shard), shard_count_(shard_count) {}
 
     std::uint32_t shard() const { return shard_; }
 
-    const LogicalObjectInfo& ObjectAt(DenseIndex index) const {
+    void AcquireRead(audit::JobKind kind, std::size_t job) const NIMBUS_ACQUIRE_SHARED() {
+      audit::OpenWindow(shard_, kind, audit::Mode::kRead, job);
+    }
+    void ReleaseRead() const NIMBUS_RELEASE_SHARED() {
+      audit::CloseWindow(shard_, audit::Mode::kRead);
+    }
+
+    const LogicalObjectInfo& ObjectAt(DenseIndex index) const NIMBUS_REQUIRES_SHARED(this) {
       NIMBUS_CHECK_EQ(ShardOfIndex(index, shard_count_), shard_)
           << "shard " << shard_ << " touched foreign object index " << index;
+      audit::OnAccess(shard_, index, audit::Mode::kRead);
       return directory_->ObjectAt(index);
     }
 
+    // Counts this shard's share of the partition. Scans every index on purpose (it asks
+    // the ownership function, not the directory contents), so it needs no window.
     std::size_t owned_count() const {
       std::size_t n = 0;
       for (DenseIndex i = 0; i < directory_->object_count(); ++i) {
@@ -179,6 +262,23 @@ class ShardedObjectDirectory {
  private:
   const ObjectDirectory* directory_;
   std::uint32_t shard_count_;
+};
+
+// Read window over a directory shard, mirroring ShardReadScope.
+class NIMBUS_SCOPED_CAPABILITY DirectoryReadScope {
+ public:
+  DirectoryReadScope(const ShardedObjectDirectory::Shard* shard, audit::JobKind kind,
+                     std::size_t job) NIMBUS_ACQUIRE_SHARED(shard)
+      : shard_(shard) {
+    shard_->AcquireRead(kind, job);
+  }
+  ~DirectoryReadScope() NIMBUS_RELEASE() { shard_->ReleaseRead(); }
+
+  DirectoryReadScope(const DirectoryReadScope&) = delete;
+  DirectoryReadScope& operator=(const DirectoryReadScope&) = delete;
+
+ private:
+  const ShardedObjectDirectory::Shard* shard_;
 };
 
 }  // namespace nimbus::runtime

@@ -40,10 +40,14 @@ class Network {
 
   // Sends `payload_bytes` from `src` to `dst`; `deliver` runs at the destination when the
   // message arrives. Occupies the sender NIC for the serialization time. `kind` buckets the
-  // message into the per-kind traffic counters (control vs command vs data bytes).
+  // message into the per-kind traffic counters (control vs command vs data bytes) and is
+  // deliberately not defaulted: every call site must say what kind of traffic it generates
+  // (enforced by scripts/lint_invariants.py rule send-kind).
   void Send(NodeAddress src, NodeAddress dst, std::int64_t payload_bytes,
-            Simulation::Callback deliver, MessageKind kind = MessageKind::kControl) {
+            Simulation::Callback deliver, MessageKind kind) {
     NIMBUS_CHECK_GE(payload_bytes, 0);
+    static_cast<void>(dst);  // contention is modeled at the sender NIC only
+
     Processor& tx = TxPath(src);
     counters_.Record(kind, payload_bytes);
     const TimePoint tx_done = tx.Submit(costs_->SerializationTime(payload_bytes), nullptr);

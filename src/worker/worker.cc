@@ -31,7 +31,7 @@ void Worker::HeartbeatTick(sim::Duration period) {
     return;
   }
   network_->Send(address(), sim::kControllerAddress, 16,
-                 [this]() { env_.on_heartbeat(id_); });
+                 [this]() { env_.on_heartbeat(id_); }, MessageKind::kControl);
   simulation_->ScheduleAfter(period, [this, period]() { HeartbeatTick(period); });
 }
 
@@ -99,6 +99,9 @@ void Worker::ResolveTaskObjects(RuntimeCommand& rc) {
 
 void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
                         std::size_t expected_total, bool finalize, bool barrier) {
+  // Message handlers run serially (simulator delivery): assert the control-phase role so
+  // the group machinery's REQUIRES contract is satisfied from here down (DESIGN.md §11).
+  control_phase_.Assert();
   if (failed_) {
     return;
   }
@@ -113,6 +116,7 @@ void Worker::OnCommands(std::uint64_t group_seq, std::vector<Command> commands,
 
 void Worker::OnSerializedCommands(std::uint64_t group_seq, ParameterBlob bytes,
                                   std::size_t expected_total, bool finalize, bool barrier) {
+  control_phase_.Assert();
   if (failed_) {
     return;
   }
@@ -148,6 +152,7 @@ void Worker::IngestCommands(std::uint64_t group_seq, std::vector<Command> comman
 }
 
 void Worker::OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id) {
+  control_phase_.Assert();
   if (failed_) {
     return;
   }
@@ -163,6 +168,7 @@ void Worker::OnInstallTemplate(core::WorkerHalf half, WorkerTemplateId id) {
 }
 
 std::size_t Worker::cached_template_count() const {
+  control_phase_.Assert();
   std::size_t n = 0;
   for (const CachedTemplate& t : templates_) {
     if (t.installed) {
@@ -173,11 +179,13 @@ std::size_t Worker::cached_template_count() const {
 }
 
 bool Worker::HasTemplate(WorkerTemplateId id) const {
+  control_phase_.Assert();
   const DenseIndex index = template_ids_.Find(id);
   return index != kInvalidDenseIndex && templates_[index].installed;
 }
 
 std::size_t Worker::buffered_copy_count() const {
+  control_phase_.Assert();
   std::size_t n = early_data_.size();
   for (const Group& g : groups_) {
     for (const CopySlot& slot : g.copy_slots) {
@@ -190,6 +198,7 @@ std::size_t Worker::buffered_copy_count() const {
 }
 
 void Worker::OnInstantiate(InstantiateMsg msg) {
+  control_phase_.Assert();
   if (failed_) {
     return;
   }
@@ -230,6 +239,9 @@ void Worker::OnInstantiate(InstantiateMsg msg) {
   // group belongs to the abandoned pre-halt schedule (halt_epoch_ tracks this).
   const std::uint64_t epoch = halt_epoch_;
   control_thread_.Submit(charge, [this, tmpl_index, epoch, msg = std::move(msg)]() {
+    // Deferred back onto the serial control phase by the simulator; the analysis sees
+    // lambda bodies as separate functions, so the role is re-asserted here.
+    control_phase_.Assert();
     if (failed_ || epoch != halt_epoch_) {
       return;
     }
@@ -380,6 +392,7 @@ void Worker::MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMs
 }
 
 void Worker::OnHalt() {
+  control_phase_.Assert();
   for (const Group& g : groups_) {
     stale_seq_floor_ = std::max(stale_seq_floor_, g.seq);
   }
@@ -547,6 +560,7 @@ void Worker::Launch(Group& group, std::int32_t index) {
           rc.cmd.copy_bytes > 0 ? rc.cmd.copy_bytes : store_.Get(rc.cmd.data_object)->ByteSize());
       const std::uint64_t seq = group.seq;
       cores_.Submit(cost, [this, seq, index]() {
+        control_phase_.Assert();  // deferred onto the serial control phase
         Group* g = FindGroup(seq);
         if (g == nullptr) {
           return;
@@ -567,6 +581,7 @@ void Worker::Launch(Group& group, std::int32_t index) {
       const sim::Duration cost = costs_->CheckpointWriteTime(entry.payload->ByteSize());
       const std::uint64_t seq = group.seq;
       cores_.Submit(cost, [this, seq, index]() {
+        control_phase_.Assert();  // deferred onto the serial control phase
         Group* g = FindGroup(seq);
         if (g == nullptr) {
           return;
@@ -586,6 +601,7 @@ void Worker::ExecuteTask(Group& group, std::int32_t index) {
   const sim::Duration total = rc.cmd.duration + costs_->worker_dispatch_per_task;
   const std::uint64_t seq = group.seq;
   cores_.Submit(total, [this, seq, index]() {
+    control_phase_.Assert();  // deferred onto the serial control phase
     Group* g = FindGroup(seq);
     if (g == nullptr || failed_) {
       return;
@@ -649,6 +665,7 @@ void Worker::ExecuteCopyReceive(Group& group, std::int32_t index) {
 
 void Worker::OnDataMessage(CopyId copy, LogicalObjectId object, Version version,
                            std::unique_ptr<Payload> payload) {
+  control_phase_.Assert();
   if (failed_) {
     return;
   }
@@ -731,7 +748,8 @@ void Worker::FinishGroupIfDone(std::uint64_t seq) {
     network_->Send(address(), sim::kControllerAddress, bytes,
                    [this, seq, scalars = std::move(scalars)]() mutable {
                      env_.on_group_complete(id_, seq, std::move(scalars));
-                   });
+                   },
+                   MessageKind::kControl);
   }
 
   // Prune completed groups from the front and unblock any waiting barrier group. Buffered

@@ -33,6 +33,7 @@
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/stats.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/worker_template.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_store.h"
@@ -140,7 +141,10 @@ class Worker {
   std::size_t cached_template_count() const;
   bool HasTemplate(WorkerTemplateId id) const;
   std::uint64_t tasks_executed() const { return tasks_executed_; }
-  bool idle() const { return groups_.empty(); }
+  bool idle() const {
+    control_phase_.Assert();
+    return groups_.empty();
+  }
   // Copy payloads buffered ahead of their receive command (in groups or pre-group).
   std::size_t buffered_copy_count() const;
 
@@ -237,28 +241,37 @@ class Worker {
   // clamped so every job has work (1 for the InlineExecutor == the serial code path).
   std::size_t ChunkCount(std::size_t n) const;
 
+  // The group machinery below REQUIRES the control-phase role (DESIGN.md §11): every
+  // entry — message handler or deferred simulator callback — must assert the role before
+  // reaching it, so the clang leg rejects a new code path that touches group state
+  // without declaring itself part of the serial control phase.
   // Shared tail of OnCommands/OnSerializedCommands: log, group the commands, maybe start.
   void IngestCommands(std::uint64_t group_seq, std::vector<Command> commands,
-                      std::size_t expected_total, bool finalize, bool barrier);
-  Group& GetOrCreateGroup(std::uint64_t seq, bool barrier);
-  Group* FindGroup(std::uint64_t seq);
-  CopySlot& EnsureCopySlot(Group& group, std::int32_t copy_index);
+                      std::size_t expected_total, bool finalize, bool barrier)
+      NIMBUS_REQUIRES(control_phase_);
+  Group& GetOrCreateGroup(std::uint64_t seq, bool barrier) NIMBUS_REQUIRES(control_phase_);
+  Group* FindGroup(std::uint64_t seq) NIMBUS_REQUIRES(control_phase_);
+  CopySlot& EnsureCopySlot(Group& group, std::int32_t copy_index)
+      NIMBUS_REQUIRES(control_phase_);
   // Binds a receive command to its copy slot and claims any early-buffered payload.
-  void BindReceiveSlot(Group& group, std::int32_t index);
-  void AddCommandToGroup(Group& group, Command cmd);
+  void BindReceiveSlot(Group& group, std::int32_t index) NIMBUS_REQUIRES(control_phase_);
+  void AddCommandToGroup(Group& group, Command cmd) NIMBUS_REQUIRES(control_phase_);
   void ResolveTaskObjects(RuntimeCommand& rc);
-  void MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMsg& msg);
-  void MaybeStartGroups();
-  void StartGroup(std::uint64_t seq);
-  void TryLaunch(Group& group, std::int32_t index);
-  void Launch(Group& group, std::int32_t index);
-  void CompleteCommand(std::uint64_t group_seq, std::int32_t index);
-  void FinishGroupIfDone(std::uint64_t seq);
+  void MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMsg& msg)
+      NIMBUS_REQUIRES(control_phase_);
+  void MaybeStartGroups() NIMBUS_REQUIRES(control_phase_);
+  void StartGroup(std::uint64_t seq) NIMBUS_REQUIRES(control_phase_);
+  void TryLaunch(Group& group, std::int32_t index) NIMBUS_REQUIRES(control_phase_);
+  void Launch(Group& group, std::int32_t index) NIMBUS_REQUIRES(control_phase_);
+  void CompleteCommand(std::uint64_t group_seq, std::int32_t index)
+      NIMBUS_REQUIRES(control_phase_);
+  void FinishGroupIfDone(std::uint64_t seq) NIMBUS_REQUIRES(control_phase_);
   void HeartbeatTick(sim::Duration period);
 
-  void ExecuteTask(Group& group, std::int32_t index);
-  void ExecuteCopySend(Group& group, std::int32_t index);
-  void ExecuteCopyReceive(Group& group, std::int32_t index);
+  void ExecuteTask(Group& group, std::int32_t index) NIMBUS_REQUIRES(control_phase_);
+  void ExecuteCopySend(Group& group, std::int32_t index) NIMBUS_REQUIRES(control_phase_);
+  void ExecuteCopyReceive(Group& group, std::int32_t index)
+      NIMBUS_REQUIRES(control_phase_);
 
   WorkerId id_;
   sim::Simulation* simulation_;
@@ -277,21 +290,27 @@ class Worker {
   runtime::InlineExecutor inline_executor_;
   runtime::Executor* executor_ = &inline_executor_;
   MaterializeCounters materialize_counters_;
+  // Materialization state below is GUARDED_BY the control-phase role (DESIGN.md §11):
+  // the simulator delivers every message handler and deferred callback serially, and the
+  // annotations turn that scheduling assumption into a machine-checked contract — only
+  // code that asserted the role (or a REQUIRES helper reached through one) may touch it.
+  RoleCapability control_phase_;
+
   // Scratch ready-bitmap for StartGroup's eligibility scan, reused across group starts so
   // the serial (inline) path pays no per-group allocation.
-  std::vector<std::uint8_t> ready_scratch_;
+  std::vector<std::uint8_t> ready_scratch_ NIMBUS_GUARDED_BY(control_phase_);
 
   // Cached worker templates (the worker half), in a flat array by dense template id.
   // Workers cache several (paper §2.3); the sparse id is resolved once per message.
-  Interner<WorkerTemplateId> template_ids_;
-  DenseMap<CachedTemplate> templates_;
+  Interner<WorkerTemplateId> template_ids_ NIMBUS_GUARDED_BY(control_phase_);
+  DenseMap<CachedTemplate> templates_ NIMBUS_GUARDED_BY(control_phase_);
 
   // Active groups in arrival order. Completed groups are pruned from the front.
-  std::deque<Group> groups_;
+  std::deque<Group> groups_ NIMBUS_GUARDED_BY(control_phase_);
 
   // Data that arrived before its group was created. Claimed when the matching receive
   // command is added; entries for retired groups are dropped (they cannot be claimed).
-  std::vector<EarlyData> early_data_;
+  std::vector<EarlyData> early_data_ NIMBUS_GUARDED_BY(control_phase_);
 
   // Highest group sequence known to be finished or halted. Arrival order matches sequence
   // order, so messages addressed at or below the floor are stale (duplicate or post-halt)

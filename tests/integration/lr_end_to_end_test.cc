@@ -96,7 +96,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModeCase{ControlMode::kTemplates, "templates"},
                       ModeCase{ControlMode::kCentralOnly, "central"},
                       ModeCase{ControlMode::kStaticDataflow, "dataflow"}),
-    [](const ::testing::TestParamInfo<ModeCase>& info) { return info.param.name; });
+    [](const ::testing::TestParamInfo<ModeCase>& param_info) { return param_info.param.name; });
 
 // Sweep cluster geometries with templates: uneven partition/worker ratios, single worker,
 // more groups than workers.
@@ -134,10 +134,10 @@ INSTANTIATE_TEST_SUITE_P(Geometries, LrGeometryTest,
                          ::testing::Values(Geometry{1, 4, 2}, Geometry{2, 8, 4},
                                            Geometry{3, 7, 3}, Geometry{4, 8, 8},
                                            Geometry{5, 20, 5}, Geometry{8, 8, 2}),
-                         [](const ::testing::TestParamInfo<Geometry>& info) {
-                           return "w" + std::to_string(info.param.workers) + "_p" +
-                                  std::to_string(info.param.partitions) + "_g" +
-                                  std::to_string(info.param.groups);
+                         [](const ::testing::TestParamInfo<Geometry>& param_info) {
+                           return "w" + std::to_string(param_info.param.workers) + "_p" +
+                                  std::to_string(param_info.param.partitions) + "_g" +
+                                  std::to_string(param_info.param.groups);
                          });
 
 }  // namespace
