@@ -424,9 +424,12 @@ void WaterSimApp::DefineFunctions() {
       for (int j = 0; j < ny; ++j) {
         for (int i = 0; i < nx; ++i) {
           const int c = Cell(i, j, k, nx, ny);
-          const double left = phi[static_cast<std::size_t>(Cell(Wrap(i - 1, nx), j, k, nx, ny))];
-          const double right = phi[static_cast<std::size_t>(Cell(Wrap(i + 1, nx), j, k, nx, ny))];
-          curv[static_cast<std::size_t>(c)] = left - 2 * phi[static_cast<std::size_t>(c)] + right;
+          const double left =
+              phi[static_cast<std::size_t>(Cell(Wrap(i - 1, nx), j, k, nx, ny))];
+          const double right =
+              phi[static_cast<std::size_t>(Cell(Wrap(i + 1, nx), j, k, nx, ny))];
+          curv[static_cast<std::size_t>(c)] =
+              left - 2 * phi[static_cast<std::size_t>(c)] + right;
           flags[static_cast<std::size_t>(c)] =
               std::abs(phi[static_cast<std::size_t>(c)]) < kDx ? 1.0 : 0.0;
         }

@@ -940,7 +940,8 @@ void NimbusController::PlanRandomMigrations(const std::string& name, int count, 
   int attempts = 0;
   while (planned < count && attempts < count * 16) {
     ++attempts;
-    const auto g = static_cast<std::int32_t>(rng->NextBounded(static_cast<std::uint64_t>(n_entries)));
+    const auto g = static_cast<std::int32_t>(
+        rng->NextBounded(static_cast<std::uint64_t>(n_entries)));
     const WorkerId from = set->entry_meta()[static_cast<std::size_t>(g)].worker;
     // Least-loaded target, with random tie-breaking via scan start.
     WorkerId to = active[rng->NextBounded(active.size())];

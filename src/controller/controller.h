@@ -291,8 +291,8 @@ class NimbusController {
   // Resolves the driver's lookahead hint to a worker-template set that will take the
   // fast path on its next instantiation (projected, installed, and not a self-follow the
   // auto-validation of §4.2 already makes free). Null when the hint cannot pay off.
-  const core::WorkerTemplateSet* ResolveLookaheadTarget(const std::string& next_name,
-                                                        const core::WorkerTemplateSet* current);
+  const core::WorkerTemplateSet* ResolveLookaheadTarget(
+      const std::string& next_name, const core::WorkerTemplateSet* current);
 
   // Every controller-side version-map mutation outside the lookahead-covered window runs
   // through a site that calls this: an overlapped validation result is only reusable if

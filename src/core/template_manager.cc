@@ -104,7 +104,8 @@ WorkerTemplateSet* TemplateManager::FindProjection(TemplateId id,
   // A template has a handful of cached schedules: a linear scan of its (signature ->
   // worker-template id) list beats any hash, and the pair key cannot alias.
   const std::uint64_t signature = assignment.Signature();
-  for (const auto& [sig, index] : templates_[static_cast<std::size_t>(id.value())].projections) {
+  const TemplateSlot& slot = templates_[static_cast<std::size_t>(id.value())];
+  for (const auto& [sig, index] : slot.projections) {
     if (sig == signature) {
       return projections_[index].get();
     }

@@ -183,7 +183,9 @@ class PreconditionSet {
 
   const_iterator LowerBound(const Precondition& pre) const {
     return std::lower_bound(entries_.begin(), entries_.end(), pre,
-                            [](const Entry& e, const Precondition& p) { return Less(e.pre, p); });
+                            [](const Entry& e, const Precondition& p) {
+                              return Less(e.pre, p);
+                            });
   }
 
   void Normalize() const {

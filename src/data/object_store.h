@@ -100,7 +100,9 @@ class ObjectStore {
     PutDense(Intern(object), version, std::move(payload));
   }
 
-  Payload* GetMutable(LogicalObjectId object) { return GetMutableDense(ExistingIndex(object)); }
+  Payload* GetMutable(LogicalObjectId object) {
+    return GetMutableDense(ExistingIndex(object));
+  }
 
   const Payload* Get(LogicalObjectId object) const {
     return GetDense(ExistingIndex(object));

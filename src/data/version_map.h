@@ -173,7 +173,9 @@ class VersionMap {
     ++churn_epoch_;
   }
 
-  Version latest(LogicalObjectId object) const { return states_[ExistingIndex(object)].latest; }
+  Version latest(LogicalObjectId object) const {
+    return states_[ExistingIndex(object)].latest;
+  }
 
   bool WorkerHasLatest(LogicalObjectId object, WorkerId worker) const {
     const DenseIndex w = workers_.Find(worker);

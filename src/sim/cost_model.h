@@ -64,7 +64,8 @@ struct CostModel {
   Duration lookahead_schedule_per_task = Micros(0.3);
   // Consuming an overlapped validation at the next instantiation: stamp check plus the
   // handoff of the merged failure list. Replaces the serial full-sweep surcharge
-  // (instantiate_worker_template_validate_per_task - instantiate_worker_template_auto_per_task).
+  // (instantiate_worker_template_validate_per_task -
+  // instantiate_worker_template_auto_per_task).
   Duration lookahead_consume_per_task = Micros(0.5);
   // Worker-side parallel materialization (DESIGN.md §9.3): with a parallel executor the
   // per-entry materialization charge divides by min(executor lanes, worker_cores) scaled

@@ -93,7 +93,8 @@ ParameterBlob EncodeBatch(std::uint64_t group_seq, CommandId command_base, TaskI
     if (cmd.type == CommandType::kTask && slots != nullptr) {
       NIMBUS_CHECK(task_base.valid());
       slots->push_back(ParamSlot{
-          static_cast<std::int32_t>(DeltaOf(cmd.task_id.value(), task_base.value(), "task id")),
+          static_cast<std::int32_t>(
+              DeltaOf(cmd.task_id.value(), task_base.value(), "task id")),
           static_cast<std::uint32_t>(w.size()),
           static_cast<std::uint32_t>(cmd.params.size())});
     }

@@ -557,7 +557,8 @@ void Worker::Launch(Group& group, std::int32_t index) {
       break;
     case CommandType::kFileSave: {
       const sim::Duration cost = costs_->CheckpointWriteTime(
-          rc.cmd.copy_bytes > 0 ? rc.cmd.copy_bytes : store_.Get(rc.cmd.data_object)->ByteSize());
+          rc.cmd.copy_bytes > 0 ? rc.cmd.copy_bytes
+                                : store_.Get(rc.cmd.data_object)->ByteSize());
       const std::uint64_t seq = group.seq;
       cores_.Submit(cost, [this, seq, index]() {
         control_phase_.Assert();  // deferred onto the serial control phase
@@ -640,7 +641,8 @@ void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
   if (peer != nullptr) {
     network_->Send(
         address(), peer->address(), rc.cmd.copy_bytes,
-        [peer, copy, object, version, p = std::shared_ptr<Payload>(std::move(payload))]() mutable {
+        [peer, copy, object, version,
+         p = std::shared_ptr<Payload>(std::move(payload))]() mutable {
           peer->OnDataMessage(copy, object, version, p->Clone());
         },
         MessageKind::kData);

@@ -44,7 +44,8 @@ TEST(RemoveTaskTest, TombstonesLeafTaskAndReleasesPrecondition) {
   EXPECT_EQ(plan.tasks_touched, 1);
   // Slot stays allocated but dead; other entries keep their indexes.
   const core::EntryMeta& em = f.set->entry_meta()[0];
-  EXPECT_TRUE(f.set->HalfFor(em.worker)->entries[static_cast<std::size_t>(em.local_index)].dead);
+  EXPECT_TRUE(
+      f.set->HalfFor(em.worker)->entries[static_cast<std::size_t>(em.local_index)].dead);
   EXPECT_EQ(f.set->preconditions().count(core::Precondition{LogicalObjectId(50), WorkerId(0)}),
             0u);
   // Its output no longer appears in the write deltas.

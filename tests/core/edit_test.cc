@@ -23,8 +23,12 @@ struct Fixture {
   TemplateId tid;
   WorkerTemplateSet* set = nullptr;
 
-  LogicalObjectId tdata(int q) const { return LogicalObjectId(10 + static_cast<std::uint64_t>(q)); }
-  LogicalObjectId grad(int q) const { return LogicalObjectId(20 + static_cast<std::uint64_t>(q)); }
+  LogicalObjectId tdata(int q) const {
+    return LogicalObjectId(10 + static_cast<std::uint64_t>(q));
+  }
+  LogicalObjectId grad(int q) const {
+    return LogicalObjectId(20 + static_cast<std::uint64_t>(q));
+  }
   LogicalObjectId coeff() const { return LogicalObjectId(1); }
 
   Fixture() {

@@ -19,7 +19,9 @@ constexpr int kPartitions = 12;
 constexpr int kWorkers = 4;
 
 ObjectBytesFn Bytes() {
-  return [](LogicalObjectId o) -> std::int64_t { return 64 + static_cast<std::int64_t>(o.value()); };
+  return [](LogicalObjectId o) -> std::int64_t {
+    return 64 + static_cast<std::int64_t>(o.value());
+  };
 }
 
 // An LR-shaped block: per-partition map tasks reading a broadcast object, one reduce per
@@ -29,7 +31,8 @@ TemplateId CaptureBlock(TemplateManager* manager) {
   const LogicalObjectId coeff(1000);
   const TemplateId id = manager->BeginCapture("determinism");
   for (int q = 0; q < kPartitions; ++q) {
-    manager->CaptureTask(FunctionId(0), {LogicalObjectId(static_cast<std::uint64_t>(q)), coeff},
+    manager->CaptureTask(FunctionId(0),
+                         {LogicalObjectId(static_cast<std::uint64_t>(q)), coeff},
                          {LogicalObjectId(100 + static_cast<std::uint64_t>(q))}, q,
                          sim::Millis(1), false, {});
   }
@@ -46,7 +49,8 @@ TemplateId CaptureBlock(TemplateManager* manager) {
   for (int g = 0; g < kWorkers; ++g) {
     finals.push_back(LogicalObjectId(200 + static_cast<std::uint64_t>(g)));
   }
-  manager->CaptureTask(FunctionId(2), std::move(finals), {coeff}, 0, sim::Micros(80), true, {});
+  manager->CaptureTask(FunctionId(2), std::move(finals), {coeff}, 0, sim::Micros(80), true,
+                       {});
   manager->FinishCapture();
   return id;
 }
@@ -137,7 +141,8 @@ TEST(ProjectionDeterminismTest, PreconditionsAndDeltasAreSorted) {
     EXPECT_GT(refcount, 0);
     if (prev != nullptr) {
       const bool ordered =
-          prev->object < pre.object || (prev->object == pre.object && prev->worker < pre.worker);
+          prev->object < pre.object ||
+          (prev->object == pre.object && prev->worker < pre.worker);
       EXPECT_TRUE(ordered) << "preconditions out of (object, worker) order";
     }
     prev = &pre;

@@ -66,7 +66,8 @@ TEST(ProjectionTest, CrossWorkerReadInsertsCopyPair) {
   const WtEntry& reader = TaskEntryFor(set, 1);
   ASSERT_EQ(reader.before.size(), 1u);
   WorkerTemplateSet& ms = set;
-  const WtEntry& recv = ms.HalfFor(WorkerId(1))->entries[static_cast<std::size_t>(reader.before[0])];
+  const WtEntry& recv =
+      ms.HalfFor(WorkerId(1))->entries[static_cast<std::size_t>(reader.before[0])];
   EXPECT_EQ(recv.type, CommandType::kCopyReceive);
   EXPECT_EQ(recv.object, LogicalObjectId(1));
   EXPECT_EQ(recv.peer, WorkerId(0));

@@ -55,7 +55,8 @@ TEST(VersionMapDenseTest, LatestHoldersListsExactlyTheLatestReplicas) {
 
   // A new write leaves the other replicas stale but still tracked as instances.
   vm.RecordWrite(LogicalObjectId(5), WorkerId(2));
-  EXPECT_EQ(Sorted(vm.LatestHolders(LogicalObjectId(5))), (std::vector<WorkerId>{WorkerId(2)}));
+  EXPECT_EQ(Sorted(vm.LatestHolders(LogicalObjectId(5))),
+            (std::vector<WorkerId>{WorkerId(2)}));
   EXPECT_EQ(vm.instance_count(), 3u);
   EXPECT_EQ(vm.AnyLatestHolder(LogicalObjectId(5)), WorkerId(2));
 }

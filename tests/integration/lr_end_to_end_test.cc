@@ -96,7 +96,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ModeCase{ControlMode::kTemplates, "templates"},
                       ModeCase{ControlMode::kCentralOnly, "central"},
                       ModeCase{ControlMode::kStaticDataflow, "dataflow"}),
-    [](const ::testing::TestParamInfo<ModeCase>& param_info) { return param_info.param.name; });
+    [](const ::testing::TestParamInfo<ModeCase>& param_info) {
+      return param_info.param.name;
+    });
 
 // Sweep cluster geometries with templates: uneven partition/worker ratios, single worker,
 // more groups than workers.

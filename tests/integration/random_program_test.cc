@@ -98,7 +98,8 @@ std::map<std::uint64_t, std::vector<double>> BuildAndRun(Cluster* cluster, Job* 
         task.function = combine;
         for (int r = 0; r < n_reads; ++r) {
           const auto read_var = static_cast<std::size_t>(rng.NextBounded(vars.size()));
-          const auto read_part = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(p)));
+          const auto read_part =
+              static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(p)));
           task.reads.push_back(ObjRef{vars[read_var], read_part});
         }
         task.writes = {ObjRef{vars[target], q}};

@@ -309,7 +309,8 @@ RunTrace RunEngine(Executor* executor, std::uint32_t shards, int iters) {
     if (i % 2 == 1) {
       // Invalidate the broadcast object everywhere but one rotating writer.
       versions.RecordWrite(block->coeff,
-                           block->assignment.WorkerFor(i % block->assignment.partition_count()));
+                           block->assignment.WorkerFor(
+                               i % block->assignment.partition_count()));
     }
     InstantiationOutcome outcome =
         pipeline.Run(set, &versions, params, /*edits=*/nullptr,
