@@ -28,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "src/baselines/spark_opt.h"
+#include "src/common/tracing.h"
 
 namespace nimbus::bench {
 namespace {
@@ -163,10 +164,26 @@ int Run(const char* json_path) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[i + 1];
     }
   }
-  return nimbus::bench::Run(json_path);
+  if (trace_out != nullptr) {
+    nimbus::trace::Tracer::Options topts;
+    topts.ring_capacity = 1 << 20;
+    nimbus::trace::Tracer::Get().Enable(topts);
+  }
+  const int rc = nimbus::bench::Run(json_path);
+  if (trace_out != nullptr &&
+      !nimbus::trace::Tracer::Get().WriteChromeJson(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_out);
+    return 1;
+  }
+  return rc;
 }

@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/instantiation_pipeline.h"
@@ -24,6 +25,16 @@ namespace {
 
 constexpr int kWorkers = 100;
 constexpr int kPartitions = 7899;
+
+// Exports every field of the registered counter groups into the benchmark's counter map
+// under the registry's "group.field" names. Replaces the hand-plucked per-field rows:
+// a field added to a counter struct shows up in the bench report with no bench change.
+void ExportRegistry(const metrics::Registry& registry, benchmark::State& state) {
+  const metrics::Snapshot snap = registry.Take();
+  registry.ForEach(snap, [&state](const std::string& name, std::uint64_t value) {
+    state.counters[name] = static_cast<double>(value);
+  });
+}
 
 // Per-instantiation controller-template bookkeeping: fill parameters + apply the cached
 // write delta (paper row: 0.2µs/task).
@@ -101,10 +112,10 @@ void BM_ResolvePatchCacheHit(benchmark::State& state) {
   state.counters["cache_hit"] = hit ? 1 : 0;
   state.counters["directives"] = static_cast<double>(first.size());
   const CacheCounters& cc = block->manager.patch_cache().counters();
-  state.counters["cache_hits"] = static_cast<double>(cc.hits);
-  state.counters["cache_misses"] = static_cast<double>(cc.misses);
-  state.counters["cache_evictions"] = static_cast<double>(cc.evictions);
-  state.counters["cache_hit_rate"] = cc.HitRate();
+  metrics::Registry registry;
+  registry.Register(&cc);
+  ExportRegistry(registry, state);
+  state.counters["cache.hit_rate"] = cc.HitRate();
 }
 BENCHMARK(BM_ResolvePatchCacheHit)->Unit(benchmark::kMillisecond);
 
@@ -127,22 +138,10 @@ void BM_EngineFullValidationInline(benchmark::State& state) {
     benchmark::DoNotOptimize(needed);
     pipeline.ApplyEffects(set, no_patch, &versions);
   }
-  const ExecutorCounters& ec = executor.counters();
-  state.counters["executor_jobs"] = static_cast<double>(ec.jobs_run);
-  state.counters["executor_batches"] = static_cast<double>(ec.batches);
-  state.counters["executor_steals"] = static_cast<double>(ec.steals);
-  state.counters["executor_busy_ns"] = static_cast<double>(ec.busy_ns);
-  state.counters["executor_critical_path_ns"] = static_cast<double>(ec.critical_path_ns);
-  const ShardCounters& sc = pipeline.shard_counters();
-  double checked = 0, failures = 0, deltas = 0;
-  for (std::size_t s = 0; s < sc.preconditions_checked.size(); ++s) {
-    checked += static_cast<double>(sc.preconditions_checked[s]);
-    failures += static_cast<double>(sc.validation_failures[s]);
-    deltas += static_cast<double>(sc.deltas_applied[s]);
-  }
-  state.counters["shard_preconditions_checked"] = checked;
-  state.counters["shard_validation_failures"] = failures;
-  state.counters["shard_deltas_applied"] = deltas;
+  metrics::Registry registry;
+  registry.Register(&executor.counters());
+  registry.Register(&pipeline.shard_counters());
+  ExportRegistry(registry, state);
   ReportPerTaskTime(state, 8000.0);
 }
 BENCHMARK(BM_EngineFullValidationInline)->Unit(benchmark::kMillisecond);
@@ -198,10 +197,10 @@ void BM_SerializedBatchAssembly(benchmark::State& state) {
     benchmark::DoNotOptimize(batches);
   }
   const SerializedBatchCounters& sbc = pipeline.serialized_counters();
-  state.counters["half_encodes"] = static_cast<double>(sbc.half_encodes);
-  state.counters["half_reuses"] = static_cast<double>(sbc.half_reuses);
-  state.counters["reuse_rate"] = sbc.ReuseRate();
-  state.counters["bytes_shipped"] = static_cast<double>(sbc.bytes_shipped);
+  metrics::Registry registry;
+  registry.Register(&sbc);
+  ExportRegistry(registry, state);
+  state.counters["serialized.reuse_rate"] = sbc.ReuseRate();
   ReportPerTaskTime(state, 8000.0);
 }
 // Allocation-heavy and fast per iteration (one ~750KB buffer set per call): the longer

@@ -19,11 +19,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
+#include "src/common/tracing.h"
 #include "src/driver/cluster.h"
 #include "src/driver/job.h"
 #include "src/runtime/executor.h"
@@ -307,7 +310,30 @@ int main(int argc, char** argv) {
       "BM_ControllerLoopPipelined drives the same overlap from the REAL controller loop\n"
       "(driver lookahead hints, DESIGN.md 9): sim_tasks_per_s is dispatched tasks over\n"
       "elapsed VIRTUAL time (deterministic). Expect lookahead=1 >= 1.5x lookahead=0.\n\n");
+  // --trace-out must be stripped before benchmark::Initialize (it rejects unknown flags).
+  const char* trace_out = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (trace_out != nullptr) {
+    nimbus::trace::Tracer::Options topts;
+    topts.ring_capacity = 1 << 20;
+    nimbus::trace::Tracer::Get().Enable(topts);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (trace_out != nullptr &&
+      !nimbus::trace::Tracer::Get().WriteChromeJson(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_out);
+    return 1;
+  }
   return 0;
 }

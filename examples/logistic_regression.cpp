@@ -2,17 +2,38 @@
 // resource-manager event (half the cluster revoked and later returned), mirroring the
 // dynamic-adaptation experiment.
 //
-//   $ ./examples/logistic_regression
+//   $ ./examples/logistic_regression [--trace-out=FILE]
+//
+// With --trace-out the run records a span timeline (controller phases, pipeline jobs,
+// worker materialization, network sends) and writes it as Chrome trace-event JSON —
+// load it in Perfetto or summarize it with scripts/trace_summarize.py.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/apps/logistic_regression.h"
+#include "src/common/tracing.h"
 #include "src/driver/cluster.h"
 #include "src/driver/job.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nimbus;
   using apps::LogisticRegressionApp;
+
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+  if (!trace_out.empty()) {
+    trace::Tracer::Options topts;
+    topts.ring_capacity = 1 << 18;
+    trace::Tracer::Get().Enable(topts);
+  }
 
   ClusterOptions options;
   options.workers = 8;
@@ -63,5 +84,15 @@ int main() {
               tm.template_count(), tm.projection_count(),
               static_cast<unsigned long long>(tm.patch_cache().hits()),
               static_cast<unsigned long long>(tm.patch_cache().misses()));
+
+  if (!trace_out.empty()) {
+    auto& tracer = trace::Tracer::Get();
+    if (!tracer.WriteChromeJson(trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events (%llu dropped) -> %s\n", tracer.Snapshot().size(),
+                static_cast<unsigned long long>(tracer.dropped()), trace_out.c_str());
+  }
   return 0;
 }

@@ -21,6 +21,10 @@ Enforces contracts the compiler cannot know about:
                   ApplyEffects sweeps) also calls InvalidateLookahead, so the
                   overlapped precondition sweep can never be consumed against a map
                   it did not read.
+  counters-register  Every *Counters struct in src/common/stats.h is self-describing:
+                  it declares kGroupName and VisitFields so it can register with the
+                  metrics registry (src/common/metrics.h). A counter struct without
+                  them is invisible to every registry-driven report.
 
 Suppression mechanism
 ---------------------
@@ -46,7 +50,9 @@ CONTROLLER_GLOB = "src/controller/*.cc"
 SEND_SCAN_DIRS = ("src", "tests", "bench")
 
 ALLOW_RE = re.compile(r"lint:allow\(([\w\-, ]+)\)\s*(?:--\s*(.*))?")
-RULES = ("hot-map", "send-kind", "decoder-bounds", "map-invalidate")
+RULES = ("hot-map", "send-kind", "decoder-bounds", "map-invalidate", "counters-register")
+
+STATS_FILE = "src/common/stats.h"
 
 # decoder-bounds: a raw access must see one of these within the window above it.
 DECODER_WINDOW = 4
@@ -199,6 +205,39 @@ def check_map_invalidate(src: Source, errors):
 
 
 # ------------------------------------------------------------------------------------
+# Rule: counters-register
+# ------------------------------------------------------------------------------------
+
+COUNTERS_DEF_RE = re.compile(r"^\s*struct\s+(\w+Counters)\b")
+
+
+def check_counters_register(src: Source, errors):
+    for i, line in enumerate(src.code, start=1):
+        m = COUNTERS_DEF_RE.match(line)
+        if m is None:
+            continue
+        # Skip the CRTP helper itself (and any future templated base): a template
+        # header line directly above marks it as infrastructure, not a counter group.
+        if i >= 2 and "template" in src.code[i - 2]:
+            continue
+        # Walk the balanced struct body.
+        depth = 0
+        body_lines = []
+        for j in range(i - 1, len(src.code)):
+            depth += src.code[j].count("{") - src.code[j].count("}")
+            body_lines.append(src.code[j])
+            if depth == 0 and "{" in "".join(body_lines):
+                break
+        body = "\n".join(body_lines)
+        missing = [need for need in ("kGroupName", "VisitFields") if need not in body]
+        if missing and not src.allowed("counters-register", i):
+            emit(errors, src, i, "counters-register",
+                 f"counter struct {m.group(1)} lacks {' and '.join(missing)}; declare "
+                 "kGroupName + VisitFields so it can register with the metrics "
+                 "registry (src/common/metrics.h)")
+
+
+# ------------------------------------------------------------------------------------
 # Driver
 # ------------------------------------------------------------------------------------
 
@@ -235,6 +274,8 @@ def main() -> int:
 
     for path in collect([CONTROLLER_GLOB]):
         check_map_invalidate(source(path), errors)
+
+    check_counters_register(source(REPO / STATS_FILE), errors)
 
     # Suppression hygiene: every allow must carry a reason and actually fire.
     for src in sources.values():

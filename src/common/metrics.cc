@@ -1,0 +1,119 @@
+#include "src/common/metrics.h"
+
+#include "src/common/logging.h"
+
+namespace nimbus::metrics {
+
+std::uint32_t NameInterner::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t NameInterner::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+void NameInterner::Clear() {
+  index_.clear();
+  names_.clear();
+}
+
+std::uint32_t Registry::RegisterGroup(std::string_view group, VisitFn visit) {
+  NIMBUS_CHECK_EQ(group_names_.Find(group), NameInterner::kNotFound)
+      << "duplicate metrics group '" << std::string(group) << "'";
+  const std::uint32_t name_id = group_names_.Intern(group);
+  Group g;
+  g.name_id = name_id;
+  g.first_field = field_names_.size();
+  // Capture the field list from a first dry visit; Take() re-walks the same hook and
+  // expects the same fields in the same order.
+  const std::string prefix = std::string(group) + ".";
+  visit([this, &g, &prefix](const char* field, std::uint64_t value) {
+    static_cast<void>(value);
+    field_names_.push_back(prefix + field);
+    field_index_.Intern(field_names_.back());
+    ++g.field_count;
+  });
+  g.visit = std::move(visit);
+  const auto group_id = static_cast<std::uint32_t>(groups_.size());
+  groups_.push_back(std::move(g));
+  return group_id;
+}
+
+Snapshot Registry::Take() const {
+  Snapshot snap;
+  snap.values.reserve(field_names_.size());
+  for (const Group& g : groups_) {
+    const std::size_t before = snap.values.size();
+    g.visit([&snap](const char* field, std::uint64_t value) {
+      static_cast<void>(field);
+      snap.values.push_back(value);
+    });
+    NIMBUS_CHECK_EQ(snap.values.size() - before, g.field_count)
+        << "group '" << group_names_.Name(g.name_id)
+        << "' visited a different field count than it registered";
+  }
+  return snap;
+}
+
+Snapshot Registry::Delta(const Snapshot& before, const Snapshot& after) {
+  NIMBUS_CHECK_EQ(before.values.size(), after.values.size());
+  Snapshot delta;
+  delta.values.reserve(after.values.size());
+  for (std::size_t i = 0; i < after.values.size(); ++i) {
+    delta.values.push_back(after.values[i] - before.values[i]);
+  }
+  return delta;
+}
+
+bool Registry::Value(const Snapshot& snap, std::string_view full_name,
+                     std::uint64_t* out) const {
+  const std::uint32_t i = field_index_.Find(full_name);
+  if (i == NameInterner::kNotFound || i >= snap.values.size()) {
+    return false;
+  }
+  *out = snap.values[i];
+  return true;
+}
+
+void Registry::ForEach(const Snapshot& snap,
+                       const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+  NIMBUS_CHECK_EQ(snap.values.size(), field_names_.size());
+  for (std::size_t i = 0; i < field_names_.size(); ++i) {
+    fn(field_names_[i], snap.values[i]);
+  }
+}
+
+std::string Registry::ToJson(const Snapshot& snap) const {
+  NIMBUS_CHECK_EQ(snap.values.size(), field_names_.size());
+  std::string out = "{";
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const Group& g = groups_[gi];
+    if (gi > 0) {
+      out += ",";
+    }
+    out += "\"" + group_names_.Name(g.name_id) + "\":{";
+    for (std::size_t f = 0; f < g.field_count; ++f) {
+      const std::size_t i = g.first_field + f;
+      // Strip the "group." prefix the flat table carries.
+      const std::string& full = field_names_[i];
+      const std::string field = full.substr(full.find('.') + 1);
+      if (f > 0) {
+        out += ",";
+      }
+      out += "\"" + field + "\":" + std::to_string(snap.values[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nimbus::metrics

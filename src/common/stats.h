@@ -1,4 +1,10 @@
 // Small statistics helpers used by benchmarks and the trace recorder.
+//
+// Every counter struct here self-describes to the metrics registry (DESIGN.md §12.2):
+// `kGroupName` names its group, `VisitFields` walks its exported fields in a fixed order,
+// and `Clear()` comes from the shared CRTP base instead of per-struct boilerplate. New
+// counter structs must follow the same shape — scripts/lint_invariants.py (rule
+// counters-register) rejects a `*Counters` struct without kGroupName + VisitFields.
 
 #ifndef NIMBUS_SRC_COMMON_STATS_H_
 #define NIMBUS_SRC_COMMON_STATS_H_
@@ -12,9 +18,28 @@
 
 namespace nimbus {
 
+namespace detail {
+
+// Shared reset: value-reinitialize the derived struct.
+template <typename T>
+struct ClearableCounters {
+  void Clear() { *static_cast<T*>(this) = T{}; }
+};
+
+template <typename C>
+std::uint64_t SumCounters(const C& c) {
+  std::uint64_t n = 0;
+  for (const auto v : c) {
+    n += static_cast<std::uint64_t>(v);
+  }
+  return n;
+}
+
+}  // namespace detail
+
 // Hit/miss/eviction counters for the control plane's caches (patch cache, projection
 // cache...). Benchmarks export these through their reporters; examples print HitRate().
-struct CacheCounters {
+struct CacheCounters : detail::ClearableCounters<CacheCounters> {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
@@ -23,7 +48,14 @@ struct CacheCounters {
   double HitRate() const {
     return lookups() == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups());
   }
-  void Clear() { *this = CacheCounters{}; }
+
+  static constexpr const char* kGroupName = "cache";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("hits", hits);
+    visit("misses", misses);
+    visit("evictions", evictions);
+  }
 };
 
 // Work accounting for a runtime::Executor. `busy_ns` is per-job CPU time summed over all
@@ -32,7 +64,7 @@ struct CacheCounters {
 // shard scaling, so benchmarks report modeled throughput from this critical path (and say
 // so). `steals` counts jobs claimed by a thread other than the job's home thread
 // (index-striped), the shared-queue analogue of work stealing.
-struct ExecutorCounters {
+struct ExecutorCounters : detail::ClearableCounters<ExecutorCounters> {
   std::uint64_t jobs_run = 0;
   std::uint64_t batches = 0;
   std::uint64_t steals = 0;
@@ -52,13 +84,23 @@ struct ExecutorCounters {
         static_cast<double>(critical_path_ns) * static_cast<double>(concurrency);
     return denom == 0.0 ? 0.0 : static_cast<double>(busy_ns) / denom;
   }
-  void Clear() { *this = ExecutorCounters{}; }
+
+  static constexpr const char* kGroupName = "executor";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("jobs_run", jobs_run);
+    visit("batches", batches);
+    visit("steals", steals);
+    visit("busy_ns", busy_ns);
+    visit("critical_path_ns", critical_path_ns);
+    visit("wall_ns", wall_ns);
+  }
 };
 
 // Per-shard accounting for the sharded instantiation pipeline. Vectors are indexed by shard
 // and sized on first use; `validation_failures[s]` counts preconditions that failed in shard
 // s's dense-index range (a skew diagnostic: one hot shard means the striping is off).
-struct ShardCounters {
+struct ShardCounters : detail::ClearableCounters<ShardCounters> {
   std::uint64_t validate_batches = 0;
   std::uint64_t apply_batches = 0;
   std::uint64_t assemble_jobs = 0;
@@ -82,7 +124,23 @@ struct ShardCounters {
       deltas_applied.resize(shards, 0);
     }
   }
-  void Clear() { *this = ShardCounters{}; }
+
+  // The per-shard vectors export as totals so the field list stays fixed regardless of
+  // shard count; skew diagnostics read the vectors directly.
+  static constexpr const char* kGroupName = "shards";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("validate_batches", validate_batches);
+    visit("apply_batches", apply_batches);
+    visit("assemble_jobs", assemble_jobs);
+    visit("plan_builds", plan_builds);
+    visit("plan_reuses", plan_reuses);
+    visit("command_batches", command_batches);
+    visit("commands_assembled", commands_assembled);
+    visit("preconditions_checked", detail::SumCounters(preconditions_checked));
+    visit("validation_failures", detail::SumCounters(validation_failures));
+    visit("deltas_applied", detail::SumCounters(deltas_applied));
+  }
 };
 
 // Serialized-batch cache accounting (DESIGN.md §10): the pre-encoded per-worker command
@@ -91,7 +149,7 @@ struct ShardCounters {
 // `half_reuses` — memcpy + slot patch. `params_patched` are same-size in-place parameter
 // overwrites; `splices` are batches rebuilt by segment copy because an override changed a
 // parameter's length.
-struct SerializedBatchCounters {
+struct SerializedBatchCounters : detail::ClearableCounters<SerializedBatchCounters> {
   std::uint64_t half_encodes = 0;    // cold per-worker-half template encodes
   std::uint64_t half_reuses = 0;     // cached template bytes reused (memcpy + patch)
   std::uint64_t batches = 0;         // serialized batches shipped
@@ -105,7 +163,19 @@ struct SerializedBatchCounters {
     const std::uint64_t total = half_encodes + half_reuses;
     return total == 0 ? 0.0 : static_cast<double>(half_reuses) / static_cast<double>(total);
   }
-  void Clear() { *this = SerializedBatchCounters{}; }
+
+  static constexpr const char* kGroupName = "serialized";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("half_encodes", half_encodes);
+    visit("half_reuses", half_reuses);
+    visit("batches", batches);
+    visit("commands", commands);
+    visit("params_patched", params_patched);
+    visit("splices", splices);
+    visit("bytes_encoded", bytes_encoded);
+    visit("bytes_shipped", bytes_shipped);
+  }
 };
 
 // What a network message carries, for per-kind wire accounting (the bench JSONs report
@@ -118,8 +188,23 @@ enum class MessageKind : std::uint8_t {
 };
 inline constexpr std::size_t kMessageKindCount = 4;
 
+// Static names for per-kind reporting (trace lanes, registry fields, bench rows).
+inline const char* MessageKindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kControl:
+      return "control";
+    case MessageKind::kCommand:
+      return "command";
+    case MessageKind::kSerializedBatch:
+      return "serialized_batch";
+    case MessageKind::kData:
+      return "data";
+  }
+  return "unknown";
+}
+
 // Per-message-kind traffic counters kept by sim::Network.
-struct NetworkCounters {
+struct NetworkCounters : detail::ClearableCounters<NetworkCounters> {
   std::array<std::uint64_t, kMessageKindCount> messages{};
   std::array<std::int64_t, kMessageKindCount> bytes{};
 
@@ -148,21 +233,42 @@ struct NetworkCounters {
     }
     return n;
   }
-  void Clear() { *this = NetworkCounters{}; }
+
+  static constexpr const char* kGroupName = "network";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("messages_control", messages_for(MessageKind::kControl));
+    visit("messages_command", messages_for(MessageKind::kCommand));
+    visit("messages_serialized_batch", messages_for(MessageKind::kSerializedBatch));
+    visit("messages_data", messages_for(MessageKind::kData));
+    visit("bytes_control", static_cast<std::uint64_t>(bytes_for(MessageKind::kControl)));
+    visit("bytes_command", static_cast<std::uint64_t>(bytes_for(MessageKind::kCommand)));
+    visit("bytes_serialized_batch",
+          static_cast<std::uint64_t>(bytes_for(MessageKind::kSerializedBatch)));
+    visit("bytes_data", static_cast<std::uint64_t>(bytes_for(MessageKind::kData)));
+  }
 };
 
 // Worker-side materialization accounting (DESIGN.md §9.3): per-worker totals, folded per
 // instantiation group the worker materializes through its executor. `dense_resolves`
 // counts entries whose read/write sets had to be (re)resolved to store-dense indices (the
 // serial intern pre-pass: first touch or post-edit); steady state is zero per group.
-struct MaterializeCounters {
+struct MaterializeCounters : detail::ClearableCounters<MaterializeCounters> {
   std::uint64_t groups = 0;         // instantiation groups materialized
   std::uint64_t entries = 0;        // template entries turned into runtime commands
   std::uint64_t dense_resolves = 0;  // entries resolved in the serial intern pre-pass
   std::uint64_t build_chunks = 0;   // executor jobs across command-build batches
   std::uint64_t launch_scans = 0;   // group-start eligibility scans run as batches
 
-  void Clear() { *this = MaterializeCounters{}; }
+  static constexpr const char* kGroupName = "materialize";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("groups", groups);
+    visit("entries", entries);
+    visit("dense_resolves", dense_resolves);
+    visit("build_chunks", build_chunks);
+    visit("launch_scans", launch_scans);
+  }
 };
 
 // Accumulates samples and answers summary queries. Percentile queries sort a copy lazily.

@@ -3,8 +3,14 @@
 #include <algorithm>
 
 #include "src/common/hash.h"
+#include "src/common/tracing.h"
 
 namespace nimbus {
+
+namespace {
+// Controller phases all live on track 0 of the controller trace lane (DESIGN.md §12.3).
+constexpr std::uint32_t kControlTrack = 0;
+}  // namespace
 
 NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* network,
                                    const sim::CostModel* costs, ObjectDirectory* directory,
@@ -226,6 +232,7 @@ void NimbusController::ExecuteStagesCentrally(const std::vector<StageDescriptor>
     }
     // Build a throwaway single-stage template and run the full dependency analysis through
     // the same projection code the template path uses.
+    NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "stage_central");
     core::ControllerTemplate adhoc = CompileStageTemplate(stage, /*include_params=*/true);
 
     // Capture feeds the template being recorded, charging the Table 1 install cost.
@@ -335,6 +342,7 @@ void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
                                            PendingBlock* block) {
   // lint:allow(map-invalidate) -- only reached from ExecuteStagesCentrally, which
   // invalidates the lookahead before any stage mutates the map
+  NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "stage_batched");
   // Capture feeds the template being recorded exactly like the per-task path does,
   // independent of the plan cache (capture is a one-off; the plan may already be warm).
   if (templates_.capturing()) {
@@ -362,7 +370,11 @@ void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
 
   // Sharded precondition sweep (the plan has a valid id, so the engine caches its shard
   // plan); failures become explicit patch copies exactly as on the per-task path.
-  const std::vector<core::PatchDirective> needed = pipeline_.Validate(*set, versions_);
+  std::vector<core::PatchDirective> needed;
+  {
+    NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "validate");
+    needed = pipeline_.Validate(*set, versions_);
+  }
   control_thread_.Charge(costs_->validate_per_entry *
                          static_cast<sim::Duration>(set->preconditions().size()));
   if (!needed.empty()) {
@@ -384,12 +396,14 @@ void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
 
   core::Patch no_patch;
   // Patch effects were applied above; only the write deltas remain (sharded apply).
+  NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "apply_effects");
   pipeline_.ApplyEffects(*set, no_patch, &versions_);
 }
 
 void NimbusController::DispatchCentralBlock(
     const core::WorkerTemplateSet& set,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& params, PendingBlock* block) {
+  NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "dispatch_central_block");
   const std::uint64_t seq = NewGroupSeq();
   const TaskId task_base = task_ids_.NextRange(set.entry_meta().size());
 
@@ -665,6 +679,7 @@ void NimbusController::InstantiateTemplate(
   // lint:allow(map-invalidate) -- the bring-up stages delegate to
   // RunSetCentrallyWithPatches (which invalidates first); the steady-state stage delegates
   // to InstantiateSet (which consumes-or-invalidates the lookahead before mutating)
+  NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "instantiate_template");
   const TemplateId tid = templates_.FindByName(name);
   NIMBUS_CHECK(tid.valid()) << "unknown template '" << name << "'";
   core::ControllerTemplate* tmpl = templates_.Find(tid);
@@ -751,6 +766,7 @@ void NimbusController::InstantiateSet(
     std::vector<std::pair<std::int32_t, ParameterBlob>> params, PendingBlock* block,
     const core::WorkerTemplateSet* next_set) {
   control_plane_.Assert();  // lookahead cache access below requires the serial role
+  NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "instantiate_set");
   const std::size_t n_tasks = set->entry_meta().size();
 
   // Controller-template instantiation cost (Table 2 row 1).
@@ -795,15 +811,19 @@ void NimbusController::InstantiateSet(
       runtime::audit::CheckStamp("controller lookahead", lookahead_.audit_stamp);
       ++lookahead_hits_;
       required = std::move(lookahead_.required);
+      NIMBUS_TRACE_INSTANT(trace::Lane::kController, kControlTrack, "lookahead_consume",
+                           static_cast<std::int64_t>(required.size()));
       control_thread_.Charge(costs_->lookahead_consume_per_task *
                              static_cast<sim::Duration>(n_tasks));
     } else if (has_edits && follows_self) {
       // Edits name exactly the preconditions they touched, so only those entries need
       // re-checking (paper §4.3: edit cost scales with the size of the change).
+      NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "validate");
       control_thread_.Charge(costs_->validate_per_entry *
                              static_cast<sim::Duration>(edits.tasks_touched));
       required = pipeline_.Validate(*set, versions_);
     } else {
+      NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "validate");
       control_thread_.Charge((costs_->instantiate_worker_template_validate_per_task -
                               costs_->instantiate_worker_template_auto_per_task) *
                              static_cast<sim::Duration>(n_tasks));
@@ -817,6 +837,9 @@ void NimbusController::InstantiateSet(
     // the result against the patch cache.
     patch = templates_.ResolvePatchFrom(*set, cache_key, versions_, std::move(required),
                                         &cache_hit);
+    NIMBUS_TRACE_INSTANT(trace::Lane::kController, kControlTrack,
+                         cache_hit ? "patch_cache_hit" : "patch_cache_miss",
+                         static_cast<std::int64_t>(patch.size()));
     if (!patch.empty()) {
       control_thread_.Charge((cache_hit ? costs_->patch_directive_cost
                                         : costs_->patch_compute_per_entry)
@@ -833,7 +856,10 @@ void NimbusController::InstantiateSet(
   // the overlapped sweep of `next_set` below reads exactly the state its consuming
   // instantiation would. Assembly and dispatch never read the version map, so the move is
   // unobservable on the serial path (the bit-equality tests pin it).
-  pipeline_.ApplyEffects(*set, patch, &versions_);
+  {
+    NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "apply_effects");
+    pipeline_.ApplyEffects(*set, patch, &versions_);
+  }
 
   // One instantiation message per worker (steady state: n+1 messages total, §2.2). The
   // engine's assembly stage routes params and edit ops to the worker owning each entry
@@ -843,11 +869,16 @@ void NimbusController::InstantiateSet(
   const std::uint64_t seq = NewGroupSeq();
   const TaskId task_base = task_ids_.NextRange(n_tasks);
   std::vector<core::PatchDirective> next_required;
-  std::vector<runtime::WorkerMessage> assembled = pipeline_.AssembleMessages(
-      *set, params, has_edits ? &edits : nullptr, next_set,
-      next_set != nullptr ? &versions_ : nullptr,
-      next_set != nullptr ? &next_required : nullptr);
+  std::vector<runtime::WorkerMessage> assembled;
+  {
+    NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "assemble_messages");
+    assembled = pipeline_.AssembleMessages(
+        *set, params, has_edits ? &edits : nullptr, next_set,
+        next_set != nullptr ? &versions_ : nullptr,
+        next_set != nullptr ? &next_required : nullptr);
+  }
   if (next_set != nullptr) {
+    NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "lookahead_fill");
     // Serial charge is job setup only; the sweep itself overlapped with assembly.
     control_thread_.Charge(costs_->lookahead_schedule_per_task *
                            static_cast<sim::Duration>(next_set->entry_meta().size()));

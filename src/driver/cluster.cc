@@ -1,9 +1,15 @@
 #include "src/driver/cluster.h"
 
+#include "src/common/tracing.h"
+
 namespace nimbus {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(options), network_(&simulation_, &options_.costs) {
+  // Bind the span tracer's virtual clock to this cluster's simulation; a later cluster
+  // rebinds it (sequential cluster lifetimes, which is how examples and benches run).
+  trace::Tracer::Get().SetVirtualClock([this] { return simulation_.now(); }, this);
+
   controller_ = std::make_unique<NimbusController>(&simulation_, &network_, &options_.costs,
                                                    &directory_, &durable_, &trace_,
                                                    options_.mode);
@@ -26,6 +32,8 @@ Cluster::Cluster(ClusterOptions options)
   }
   controller_->SetPartitions(options_.partitions);
 }
+
+Cluster::~Cluster() { trace::Tracer::Get().ResetVirtualClock(this); }
 
 Worker* Cluster::worker(WorkerId id) {
   for (auto& w : workers_) {

@@ -33,6 +33,7 @@ struct ClusterOptions {
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/tracing.h"
 #include "src/runtime/shard_audit.h"
 
 namespace nimbus::runtime {
@@ -92,6 +93,7 @@ void InstantiationPipeline::ValidateJob(const ShardPlan& plan, const VersionMap&
   const std::uint32_t subs = ValidateSubchunks();
   const auto s = static_cast<std::uint32_t>(job / subs);
   const std::size_t sub = job % subs;
+  NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, s, "validate_job");
   const auto& planned_pres = plan.pre_by_shard[s];
   const std::size_t begin = sub * planned_pres.size() / subs;
   const std::size_t end = (sub + 1) * planned_pres.size() / subs;
@@ -225,6 +227,7 @@ std::vector<core::PatchDirective> InstantiationPipeline::Validate(
     std::vector<core::PatchDirective> out;
     std::uint64_t checked = 0;
     executor_->Run(1, [&](std::size_t) {
+      NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, 0, "validate_job");
       checked = SweepPreconditions(plan.pre_by_shard[0], versions, &out);
     });
     shard_counters_.preconditions_checked[0] += checked;
@@ -311,6 +314,7 @@ void InstantiationPipeline::ApplyEffects(const core::WorkerTemplateSet& set,
   audit::BeginBatch();
   executor_->Run(shard_count_, [&](std::size_t job) {
     const auto s = static_cast<std::uint32_t>(job);
+    NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, s, "apply_job");
     ShardedVersionMap::Shard shard = sharded.shard(s);
     // The single-writer ownership transfer: this job is the only writer of shard s for
     // the duration of the batch. Checked by clang (REQUIRES on the accessors), by the
@@ -428,6 +432,8 @@ std::vector<WorkerMessage> InstantiationPipeline::AssembleMessages(
       ValidateJob(*next_plan, *versions, vjob, &next_failures[vjob], &next_checked[vjob]);
       return;
     }
+    NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, static_cast<std::uint32_t>(job),
+                      "assemble_job");
     const std::size_t begin = job * halves.size() / chunks;
     const std::size_t end = (job + 1) * halves.size() / chunks;
     AssembleChunk(set, params, edits, begin, end, &messages);
@@ -506,6 +512,8 @@ std::vector<CommandBatch> InstantiationPipeline::AssembleCommandBatches(
   // across every stage, and chunks write disjoint batch slots.
   const std::size_t chunks = shard_count_;
   executor_->Run(chunks, [&](std::size_t job) {
+    NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, static_cast<std::uint32_t>(job),
+                      "assemble_batch_job");
     const std::size_t begin = job * halves.size() / chunks;
     const std::size_t end = (job + 1) * halves.size() / chunks;
     for (std::size_t h = begin; h < end; ++h) {
@@ -575,6 +583,8 @@ std::vector<SerializedBatch> InstantiationPipeline::AssembleSerializedBatches(
   // Same chunking as the struct path: shard_count contiguous chunks of halves.
   const std::size_t chunks = shard_count_;
   executor_->Run(chunks, [&](std::size_t job) {
+    NIMBUS_TRACE_SPAN(trace::Lane::kPipeline, static_cast<std::uint32_t>(job),
+                      "assemble_serialized_job");
     const std::size_t begin = job * halves.size() / chunks;
     const std::size_t end = (job + 1) * halves.size() / chunks;
     static const ParamList kNoParams;

@@ -16,6 +16,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/common/tracing.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/simulation.h"
 #include "src/sim/virtual_time.h"
@@ -29,6 +30,10 @@ using NodeAddress = std::int64_t;
 constexpr NodeAddress kControllerAddress = -1;
 constexpr NodeAddress kDriverAddress = -2;
 constexpr NodeAddress kFirstWorkerAddress = 0;
+
+// Span names for the network trace lane, indexed by MessageKind.
+inline constexpr const char* kSendSpanNames[kMessageKindCount] = {
+    "send_control", "send_command", "send_serialized_batch", "send_data"};
 
 class Network {
  public:
@@ -47,6 +52,12 @@ class Network {
             Simulation::Callback deliver, MessageKind kind) {
     NIMBUS_CHECK_GE(payload_bytes, 0);
     static_cast<void>(dst);  // contention is modeled at the sender NIC only
+
+    // Send span: one per message on the kind's network track, carrying the encoded bytes.
+    // Wall duration covers enqueue only; the virtual transmit+propagation window rides in
+    // `value`-adjacent args via the summarizer (bytes are the value).
+    NIMBUS_TRACE_SPAN_V(trace::Lane::kNetwork, static_cast<std::uint32_t>(kind),
+                        kSendSpanNames[static_cast<std::size_t>(kind)], payload_bytes);
 
     Processor& tx = TxPath(src);
     counters_.Record(kind, payload_bytes);

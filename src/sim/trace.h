@@ -2,14 +2,22 @@
 //
 // Benchmarks query the recorder to print the same rows/series the paper's figures report
 // (per-iteration completion time, control vs computation split, task throughput...).
+//
+// Names are interned once into dense ids (metrics::NameInterner); series and counters live
+// in dense vectors indexed by those ids, so steady-state recording through a pre-interned
+// id touches no string or hash table. The string-keyed overloads below are the thin
+// back-compat shim: controller counter bumps and test queries are rare (recoveries,
+// checkpoints, migrations), so they intern on the fly.
 
 #ifndef NIMBUS_SRC_SIM_TRACE_H_
 #define NIMBUS_SRC_SIM_TRACE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "src/common/metrics.h"
 
 namespace nimbus::sim {
 
@@ -20,36 +28,68 @@ struct TracePoint {
 
 class TraceRecorder {
  public:
-  void AddPoint(const std::string& series, double x, double value) {
+  using SeriesId = std::uint32_t;
+  using CounterId = std::uint32_t;
+
+  // Dense-id fast path: intern once, record through the id.
+  SeriesId InternSeries(std::string_view name) {
+    const SeriesId id = series_names_.Intern(name);
+    if (series_.size() <= id) {
+      series_.resize(id + 1);
+    }
+    return id;
+  }
+  CounterId InternCounter(std::string_view name) {
+    const CounterId id = counter_names_.Intern(name);
+    if (counters_.size() <= id) {
+      counters_.resize(id + 1, 0);
+    }
+    return id;
+  }
+
+  void AddPoint(SeriesId series, double x, double value) {
     series_[series].push_back(TracePoint{x, value});
   }
-
-  void IncrementCounter(const std::string& name, std::int64_t delta = 1) {
-    counters_[name] += delta;
+  void IncrementCounter(CounterId counter, std::int64_t delta) {
+    counters_[counter] += delta;
   }
 
-  const std::vector<TracePoint>& Series(const std::string& name) const {
+  // String-keyed shim (interns on first use).
+  void AddPoint(std::string_view series, double x, double value) {
+    AddPoint(InternSeries(series), x, value);
+  }
+  void IncrementCounter(std::string_view name, std::int64_t delta = 1) {
+    IncrementCounter(InternCounter(name), delta);
+  }
+
+  const std::vector<TracePoint>& Series(std::string_view name) const {
     static const std::vector<TracePoint> kEmpty;
-    auto it = series_.find(name);
-    return it == series_.end() ? kEmpty : it->second;
+    const std::uint32_t id = series_names_.Find(name);
+    return id == metrics::NameInterner::kNotFound ? kEmpty : series_[id];
   }
 
-  std::int64_t Counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  std::int64_t Counter(std::string_view name) const {
+    const std::uint32_t id = counter_names_.Find(name);
+    return id == metrics::NameInterner::kNotFound ? 0 : counters_[id];
   }
 
-  const std::map<std::string, std::vector<TracePoint>>& all_series() const { return series_; }
-  const std::map<std::string, std::int64_t>& all_counters() const { return counters_; }
+  std::size_t series_count() const { return series_.size(); }
+  std::size_t counter_count() const { return counters_.size(); }
+  const std::string& SeriesName(SeriesId id) const { return series_names_.Name(id); }
+  const std::string& CounterName(CounterId id) const { return counter_names_.Name(id); }
 
   void Clear() {
+    series_names_.Clear();
+    counter_names_.Clear();
     series_.clear();
     counters_.clear();
   }
 
  private:
-  std::map<std::string, std::vector<TracePoint>> series_;
-  std::map<std::string, std::int64_t> counters_;
+  metrics::NameInterner series_names_;
+  metrics::NameInterner counter_names_;
+  std::vector<std::vector<TracePoint>> series_;   // by SeriesId
+  std::vector<std::int64_t> counters_;            // by CounterId
 };
 
 }  // namespace nimbus::sim

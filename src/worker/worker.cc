@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "src/common/tracing.h"
+
 namespace nimbus {
+
+namespace {
+// Worker trace track: worker id = track (DESIGN.md §12.3).
+inline std::uint32_t TraceTrack(WorkerId id) {
+  return static_cast<std::uint32_t>(id.value());
+}
+}  // namespace
 
 Worker::Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
                const sim::CostModel* costs, const FunctionRegistry* functions,
@@ -123,6 +132,8 @@ void Worker::OnSerializedCommands(std::uint64_t group_seq, ParameterBlob bytes,
   if (group_seq <= stale_seq_floor_) {
     return;
   }
+  NIMBUS_TRACE_SPAN_V(trace::Lane::kWorker, TraceTrack(id_), "decode",
+                      static_cast<std::int64_t>(bytes.size()));
   wire::DecodedBatch batch = wire::DecodeBatch(bytes);
   NIMBUS_CHECK_EQ(batch.header.group_seq, group_seq)
       << "serialized batch addressed to a different group";
@@ -257,6 +268,7 @@ std::size_t Worker::ChunkCount(std::size_t n) const {
 }
 
 void Worker::MaterializeInstantiation(DenseIndex tmpl_index, const InstantiateMsg& msg) {
+  NIMBUS_TRACE_SPAN(trace::Lane::kWorker, TraceTrack(id_), "materialize");
   CachedTemplate& cached = templates_[tmpl_index];
   const std::vector<core::WtEntry>& entries = cached.half.entries;
   cached.dense.resize(entries.size());
@@ -484,6 +496,7 @@ void Worker::StartGroup(std::uint64_t seq) {
     return;
   }
   group->started = true;
+  NIMBUS_TRACE_SPAN(trace::Lane::kWorker, TraceTrack(id_), "group_start");
 
   // Eligibility scan in executor chunks (DESIGN.md §9.3): the initial ready set is a pure
   // read of each command's dependency count, so chunks write disjoint slots of the

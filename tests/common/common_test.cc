@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/serialize.h"
 #include "src/common/stats.h"
@@ -219,6 +223,119 @@ TEST(CacheCountersTest, HitRate) {
   EXPECT_DOUBLE_EQ(c.HitRate(), 0.75);
   c.Clear();
   EXPECT_EQ(c.lookups(), 0u);
+}
+
+TEST(NameInternerTest, InternFindName) {
+  metrics::NameInterner interner;
+  EXPECT_TRUE(interner.empty());
+  const std::uint32_t a = interner.Intern("alpha");
+  const std::uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);  // idempotent
+  EXPECT_EQ(interner.Find("beta"), b);
+  EXPECT_EQ(interner.Find("gamma"), metrics::NameInterner::kNotFound);
+  EXPECT_EQ(interner.Name(a), "alpha");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RegisteredStructsExportEveryField) {
+  CacheCounters cache;
+  ExecutorCounters exec;
+  metrics::Registry registry;
+  registry.Register(&cache);
+  registry.Register(&exec);
+  EXPECT_EQ(registry.group_count(), 2u);
+  EXPECT_EQ(registry.field_count(), 3u + 6u);
+
+  cache.hits = 5;
+  cache.misses = 2;
+  exec.jobs_run = 40;
+  const metrics::Snapshot snap = registry.Take();
+  std::uint64_t value = 0;
+  ASSERT_TRUE(registry.Value(snap, "cache.hits", &value));
+  EXPECT_EQ(value, 5u);
+  ASSERT_TRUE(registry.Value(snap, "executor.jobs_run", &value));
+  EXPECT_EQ(value, 40u);
+  EXPECT_FALSE(registry.Value(snap, "cache.nonexistent", &value));
+}
+
+TEST(MetricsRegistryTest, DeltaSubtractsElementwise) {
+  CacheCounters cache;
+  metrics::Registry registry;
+  registry.Register(&cache);
+  cache.hits = 10;
+  const metrics::Snapshot before = registry.Take();
+  cache.hits = 17;
+  cache.misses = 4;
+  const metrics::Snapshot delta = metrics::Registry::Delta(before, registry.Take());
+  std::uint64_t value = 0;
+  ASSERT_TRUE(registry.Value(delta, "cache.hits", &value));
+  EXPECT_EQ(value, 7u);
+  ASSERT_TRUE(registry.Value(delta, "cache.misses", &value));
+  EXPECT_EQ(value, 4u);
+}
+
+TEST(MetricsRegistryTest, ToJsonNestsGroupsInRegistrationOrder) {
+  CacheCounters cache;
+  metrics::Registry registry;
+  registry.Register(&cache);
+  cache.hits = 1;
+  cache.misses = 2;
+  cache.evictions = 3;
+  EXPECT_EQ(registry.ToJson(registry.Take()),
+            "{\"cache\":{\"hits\":1,\"misses\":2,\"evictions\":3}}");
+}
+
+TEST(MetricsRegistryTest, ForEachWalksRegistrationOrder) {
+  CacheCounters cache;
+  metrics::Registry registry;
+  registry.Register(&cache);
+  std::vector<std::string> names;
+  registry.ForEach(registry.Take(),
+                   [&names](const std::string& name, std::uint64_t) {
+                     names.push_back(name);
+                   });
+  const std::vector<std::string> expected = {"cache.hits", "cache.misses",
+                                             "cache.evictions"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(MetricsRegistryTest, ShardCountersExportVectorSums) {
+  ShardCounters shards;
+  shards.EnsureShards(3);
+  shards.preconditions_checked[0] = 5;
+  shards.preconditions_checked[2] = 7;
+  metrics::Registry registry;
+  registry.Register(&shards);
+  std::uint64_t value = 0;
+  ASSERT_TRUE(registry.Value(registry.Take(), "shards.preconditions_checked", &value));
+  EXPECT_EQ(value, 12u);
+}
+
+TEST(MetricsRegistryTest, NetworkCountersExportPerKindFields) {
+  NetworkCounters net;
+  net.Record(MessageKind::kCommand, 100);
+  net.Record(MessageKind::kCommand, 50);
+  net.Record(MessageKind::kData, 7);
+  metrics::Registry registry;
+  registry.Register(&net);
+  const metrics::Snapshot snap = registry.Take();
+  std::uint64_t value = 0;
+  ASSERT_TRUE(registry.Value(snap, "network.messages_command", &value));
+  EXPECT_EQ(value, 2u);
+  ASSERT_TRUE(registry.Value(snap, "network.bytes_command", &value));
+  EXPECT_EQ(value, 150u);
+  ASSERT_TRUE(registry.Value(snap, "network.bytes_data", &value));
+  EXPECT_EQ(value, 7u);
+}
+
+TEST(MetricsRegistryTest, ClearableCountersResetEveryField) {
+  SerializedBatchCounters sbc;
+  sbc.half_encodes = 3;
+  sbc.bytes_shipped = 999;
+  sbc.Clear();
+  EXPECT_EQ(sbc.half_encodes, 0u);
+  EXPECT_EQ(sbc.bytes_shipped, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the span tracer (src/common/tracing.h): recording and span nesting,
+// ring-buffer wraparound accounting, Chrome trace-event export shape, and the
+// disabled-tracer no-op contract.
+//
+// The tracer is a process-global singleton, so every test enables it with fresh options
+// (which resets all rings and the sequence counter) and disables it on the way out.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/tracing.h"
+
+namespace nimbus::trace {
+namespace {
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if defined(NIMBUS_TRACING_DISABLED)
+    GTEST_SKIP() << "tracing compiled out (-DNIMBUS_TRACING=OFF)";
+#endif
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+Tracer::Options SmallRing(std::size_t capacity) {
+  Tracer::Options options;
+  options.ring_capacity = capacity;
+  return options;
+}
+
+TEST_F(TracingTest, RecordsSpansInstantsAndCounters) {
+  Tracer::Get().Enable(SmallRing(64));
+  { NIMBUS_TRACE_SPAN(Lane::kController, 0, "phase"); }
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "tick", 7);
+  NIMBUS_TRACE_COUNTER(Lane::kWorker, 3, "queue_depth", 42);
+
+  const std::vector<Event> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, EventType::kSpan);
+  EXPECT_STREQ(events[0].name, "phase");
+  EXPECT_GE(events[0].wall_dur_ns, 0);
+  EXPECT_EQ(events[1].type, EventType::kInstant);
+  EXPECT_EQ(events[1].value, 7);
+  EXPECT_EQ(events[2].type, EventType::kCounter);
+  EXPECT_EQ(events[2].lane, Lane::kWorker);
+  EXPECT_EQ(events[2].track, 3u);
+  EXPECT_EQ(events[2].value, 42);
+}
+
+TEST_F(TracingTest, NestedSpansCloseInnermostFirstAndWallContain) {
+  Tracer::Get().Enable(SmallRing(64));
+  {
+    NIMBUS_TRACE_SPAN(Lane::kController, 0, "outer");
+    {
+      NIMBUS_TRACE_SPAN(Lane::kController, 0, "middle");
+      { NIMBUS_TRACE_SPAN(Lane::kController, 0, "inner"); }
+    }
+  }
+  const std::vector<Event> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans are recorded at scope exit: sequence order is innermost-out.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  // Each enclosing span starts no later and ends no earlier than its inner span.
+  const Event& inner = events[0];
+  for (std::size_t outer = 1; outer < events.size(); ++outer) {
+    EXPECT_LE(events[outer].wall_ns, inner.wall_ns);
+    EXPECT_GE(events[outer].wall_ns + events[outer].wall_dur_ns,
+              inner.wall_ns + inner.wall_dur_ns);
+  }
+}
+
+TEST_F(TracingTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  Tracer::Get().Enable(SmallRing(4));
+  for (int i = 0; i < 10; ++i) {
+    NIMBUS_TRACE_INSTANT(Lane::kController, 0, "tick", i);
+  }
+  EXPECT_EQ(Tracer::Get().dropped(), 6u);
+  const std::vector<Event> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The oldest six were overwritten; the survivors are 6..9 in order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].value, 6 + i);
+  }
+}
+
+TEST_F(TracingTest, ClearDropsEventsButStaysEnabled) {
+  Tracer::Get().Enable(SmallRing(16));
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "tick", 1);
+  ASSERT_EQ(Tracer::Get().Snapshot().size(), 1u);
+  Tracer::Get().Clear();
+  EXPECT_TRUE(Tracer::enabled());
+  EXPECT_EQ(Tracer::Get().Snapshot().size(), 0u);
+  EXPECT_EQ(Tracer::Get().dropped(), 0u);
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "tick", 2);
+  EXPECT_EQ(Tracer::Get().Snapshot().size(), 1u);
+}
+
+TEST_F(TracingTest, DisabledTracerRecordsNothing) {
+  Tracer::Get().Enable(SmallRing(16));
+  Tracer::Get().Disable();
+  EXPECT_FALSE(Tracer::enabled());
+  { NIMBUS_TRACE_SPAN(Lane::kController, 0, "phase"); }
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "tick", 1);
+  NIMBUS_TRACE_COUNTER(Lane::kController, 0, "count", 1);
+  EXPECT_EQ(Tracer::Get().Snapshot().size(), 0u);
+  EXPECT_EQ(Tracer::Get().dropped(), 0u);
+}
+
+TEST_F(TracingTest, VirtualClockIsOwnerKeyed) {
+  int dummy_a = 0, dummy_b = 0;
+  Tracer::Get().SetVirtualClock([] { return std::int64_t{1234}; }, &dummy_a);
+  EXPECT_EQ(Tracer::Get().VirtualNow(), 1234);
+  // A non-owner reset is ignored (a destroyed predecessor must not unbind a successor).
+  Tracer::Get().ResetVirtualClock(&dummy_b);
+  EXPECT_EQ(Tracer::Get().VirtualNow(), 1234);
+  Tracer::Get().ResetVirtualClock(&dummy_a);
+  EXPECT_EQ(Tracer::Get().VirtualNow(), 0);
+}
+
+TEST_F(TracingTest, SpansStampVirtualTimeAtScopeStart) {
+  std::int64_t now = 100;
+  int owner = 0;
+  Tracer::Get().SetVirtualClock([&now] { return now; }, &owner);
+  Tracer::Get().Enable(SmallRing(16));
+  {
+    NIMBUS_TRACE_SPAN(Lane::kPipeline, 2, "job");
+    now = 500;  // advances mid-scope: the span keeps its start stamp
+  }
+  NIMBUS_TRACE_INSTANT(Lane::kPipeline, 2, "after", 0);
+  const std::vector<Event> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].virtual_ns, 100);
+  EXPECT_EQ(events[1].virtual_ns, 500);
+  Tracer::Get().ResetVirtualClock(&owner);
+}
+
+TEST_F(TracingTest, ChromeJsonHasLaneMetadataAndEventShapes) {
+  Tracer::Get().Enable(SmallRing(64));
+  { NIMBUS_TRACE_SPAN_V(Lane::kNetwork, 1, "send_command", 4096); }
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "patch_cache_hit", 3);
+  NIMBUS_TRACE_COUNTER(Lane::kWorker, 2, "depth", 9);
+  const std::string json = Tracer::Get().ChromeJson();
+
+  // Document shell and lane metadata.
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  for (const char* lane : {"controller", "pipeline", "worker", "network"}) {
+    EXPECT_NE(json.find("\"name\":\"process_name\",\"pid\":"), std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"" + std::string(lane) + "\"}"), std::string::npos)
+        << lane;
+  }
+  // One complete span with its payload bytes in args, one instant, one counter sample.
+  EXPECT_NE(json.find("\"name\":\"send_command\",\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"patch_cache_hit\",\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":9"), std::string::npos);
+  // Braces and brackets balance (cheap well-formedness proxy; no string in the export
+  // contains either character unescaped).
+  std::int64_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TracingTest, ChromeJsonEscapesNames) {
+  Tracer::Get().Enable(SmallRing(16));
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "quote\"back\\slash", 0);
+  const std::string json = Tracer::Get().ChromeJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST_F(TracingTest, EnableResetsSequenceAndRings) {
+  Tracer::Get().Enable(SmallRing(16));
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "a", 1);
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "b", 2);
+  Tracer::Get().Enable(SmallRing(16));
+  NIMBUS_TRACE_INSTANT(Lane::kController, 0, "c", 3);
+  const std::vector<Event> events = Tracer::Get().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "c");
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+}  // namespace
+}  // namespace nimbus::trace
