@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the Table 1-4 microbenchmarks (and the Fig 8 series) and writes
-# BENCH_table{1,2,3,4}.json + BENCH_fig8.json at the repo root, so every PR leaves a
-# comparable perf sample behind (the paper's Tables 1-3 are the control-plane cost claims
-# this reproduction tracks; Table 4 is this repo's shard-scaling series for the runtime
-# engine, DESIGN.md §7; Fig 8 carries the central-batched dispatch series, §8).
+# Runs the Table 1-4 microbenchmarks (and the Fig 8 + wire series) and writes
+# BENCH_table{1,2,3,4}.json + BENCH_fig8.json + BENCH_wire.json at the repo root, so every
+# PR leaves a comparable perf sample behind (the paper's Tables 1-3 are the control-plane
+# cost claims this reproduction tracks; Table 4 is this repo's shard-scaling series for the
+# runtime engine, DESIGN.md §7; Fig 8 carries the central-batched dispatch series, §8;
+# the wire series is real-socket dispatch throughput over the TCP transport, §13).
 #
 # Usage:
 #   bench/run_benchmarks.sh [extra google-benchmark flags...]
@@ -92,7 +93,7 @@ fi
 cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
   --target bench_table1_install bench_table2_instantiate bench_table3_edits \
-  bench_table4_sharding bench_fig8_task_throughput >/dev/null
+  bench_table4_sharding bench_fig8_task_throughput bench_wire_throughput >/dev/null
 
 for bench in table1_install table2_instantiate table3_edits table4_sharding; do
   out="$ROOT/BENCH_${bench%%_*}.json"
@@ -105,3 +106,9 @@ done
 echo "== fig8_task_throughput -> $ROOT/BENCH_fig8.json"
 "$BUILD/bench/bench_fig8_task_throughput" --json "$ROOT/BENCH_fig8.json.tmp"
 mv "$ROOT/BENCH_fig8.json.tmp" "$ROOT/BENCH_fig8.json"
+
+# The wire bench runs the control plane over real loopback sockets and exits nonzero if
+# the dispatch-strategy ordering (serialized >= struct-batched >= per-task) fails.
+echo "== wire_throughput -> $ROOT/BENCH_wire.json"
+"$BUILD/bench/bench_wire_throughput" --json "$ROOT/BENCH_wire.json.tmp"
+mv "$ROOT/BENCH_wire.json.tmp" "$ROOT/BENCH_wire.json"

@@ -83,8 +83,9 @@ bool Registry::Value(const Snapshot& snap, std::string_view full_name,
   return true;
 }
 
-void Registry::ForEach(const Snapshot& snap,
-                       const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+void Registry::ForEach(
+    const Snapshot& snap,
+    const std::function<void(const std::string&, std::uint64_t)>& fn) const {
   NIMBUS_CHECK_EQ(snap.values.size(), field_names_.size());
   for (std::size_t i = 0; i < field_names_.size(); ++i) {
     fn(field_names_[i], snap.values[i]);

@@ -12,18 +12,84 @@ namespace {
 constexpr std::uint32_t kControlTrack = 0;
 }  // namespace
 
-NimbusController::NimbusController(sim::Simulation* simulation, sim::Network* network,
+NimbusController::NimbusController(sim::Simulation* simulation, net::Transport* transport,
                                    const sim::CostModel* costs, ObjectDirectory* directory,
                                    DurableStore* durable, sim::TraceRecorder* trace,
                                    ControlMode mode)
     : simulation_(simulation),
-      network_(network),
+      transport_(transport),
       costs_(costs),
       directory_(directory),
       durable_(durable),
       trace_(trace),
       mode_(mode),
       control_thread_(simulation) {}
+
+void NimbusController::OnEnvelope(net::NodeAddress src, MessageKind kind,
+                                  ParameterBlob bytes) {
+  static_cast<void>(src);
+  static_cast<void>(kind);
+  switch (wire::PeekEnvelopeType(bytes)) {
+    case wire::EnvelopeType::kHeartbeat:
+      OnHeartbeat(wire::DecodeHeartbeatEnvelope(bytes));
+      break;
+    case wire::EnvelopeType::kGroupComplete: {
+      wire::GroupCompleteEnvelope e = wire::DecodeGroupCompleteEnvelope(bytes);
+      OnGroupComplete(e.worker, e.group_seq, std::move(e.scalars));
+      break;
+    }
+    case wire::EnvelopeType::kSubmitStages: {
+      wire::SubmitStagesEnvelope e = wire::DecodeSubmitStagesEnvelope(bytes);
+      const std::uint64_t request_id = e.request_id;
+      BlockDone done = [this, request_id](std::vector<ScalarResult> scalars) {
+        SendBlockDone(request_id, std::move(scalars));
+      };
+      if (!e.capture_name.empty()) {
+        BeginTemplate(e.capture_name);
+        SubmitStages(e.stages, std::move(done));
+        EndTemplate();
+      } else {
+        SubmitStages(e.stages, std::move(done));
+      }
+      break;
+    }
+    case wire::EnvelopeType::kInstantiateRequest: {
+      wire::InstantiateRequestEnvelope e = wire::DecodeInstantiateRequestEnvelope(bytes);
+      const std::uint64_t request_id = e.request_id;
+      InstantiateTemplate(
+          e.name, std::move(e.params),
+          [this, request_id](std::vector<ScalarResult> scalars) {
+            SendBlockDone(request_id, std::move(scalars));
+          },
+          e.next_hint);
+      break;
+    }
+    case wire::EnvelopeType::kCheckpointRequest: {
+      wire::CheckpointRequestEnvelope e = wire::DecodeCheckpointRequestEnvelope(bytes);
+      const std::uint64_t request_id = e.request_id;
+      TriggerCheckpoint(e.marker, [this, request_id]() {
+        transport_->Send(net::NodeAddress::Controller(), net::NodeAddress::Driver(),
+                         MessageKind::kControl,
+                         wire::EncodeCheckpointDoneEnvelope(request_id),
+                         /*cost_bytes=*/16);
+      });
+      break;
+    }
+    default:
+      NIMBUS_CHECK(false) << "controller: unexpected envelope type "
+                          << static_cast<int>(wire::PeekEnvelopeType(bytes));
+  }
+}
+
+void NimbusController::SendBlockDone(std::uint64_t request_id,
+                                     std::vector<ScalarResult> scalars) {
+  wire::BlockDoneEnvelope e;
+  e.request_id = request_id;
+  e.scalars = std::move(scalars);
+  const std::int64_t bytes = 64 + static_cast<std::int64_t>(e.scalars.size()) * 16;
+  transport_->Send(net::NodeAddress::Controller(), net::NodeAddress::Driver(),
+                   MessageKind::kControl, wire::EncodeBlockDoneEnvelope(e), bytes);
+}
 
 // -----------------------------------------------------------------------------------------
 // Membership & placement
@@ -438,17 +504,19 @@ void NimbusController::DispatchCentralBlock(
                         static_cast<sim::Duration>(batch.params_patched)
               : costs_->nimbus_central_batch_per_worker +
                     costs_->serialized_batch_encode_per_task * n;
-      const std::int64_t wire = batch.wire_size;  // actual encoded bytes
-      control_thread_.Submit(
-          cost, [this, worker, bytes = std::move(batch.bytes), seq, total, wire]() mutable {
-            network_->Send(sim::kControllerAddress, worker->address(), wire,
-                           [worker, bytes = std::move(bytes), seq, total]() mutable {
-                             worker->OnSerializedCommands(seq, std::move(bytes), total,
-                                                          /*finalize=*/true,
-                                                          /*barrier=*/true);
-                           },
-                           MessageKind::kSerializedBatch);
-          });
+      const std::int64_t wire = batch.wire_size;  // modeled size: the nested NBW1 bytes
+      control_thread_.Submit(cost, [this, dst = worker->address(),
+                                    bytes = std::move(batch.bytes), seq, total,
+                                    wire]() mutable {
+        wire::SerializedBatchEnvelope e;
+        e.group_seq = seq;
+        e.expected_total = total;
+        e.barrier = true;
+        e.batch = std::move(bytes);
+        transport_->Send(net::NodeAddress::Controller(), dst,
+                         MessageKind::kSerializedBatch,
+                         wire::EncodeSerializedBatchEnvelope(e), wire);
+      });
     }
     if (participating > 0) {
       RegisterGroup(seq, block, participating);
@@ -472,15 +540,17 @@ void NimbusController::DispatchCentralBlock(
         costs_->nimbus_central_batch_per_worker +
         costs_->nimbus_central_batched_per_task * static_cast<sim::Duration>(total);
     const std::int64_t wire = batch.wire_size;
-    control_thread_.Submit(
-        cost, [this, worker, cmds = std::move(batch.commands), seq, total, wire]() mutable {
-          network_->Send(sim::kControllerAddress, worker->address(), wire,
-                         [worker, cmds = std::move(cmds), seq, total]() mutable {
-                           worker->OnCommands(seq, std::move(cmds), total,
-                                              /*finalize=*/true, /*barrier=*/true);
-                         },
-                         MessageKind::kCommand);
-        });
+    control_thread_.Submit(cost, [this, dst = worker->address(),
+                                  cmds = std::move(batch.commands), seq, total,
+                                  wire]() mutable {
+      wire::CommandsEnvelope e;
+      e.group_seq = seq;
+      e.expected_total = total;
+      e.barrier = true;
+      e.commands = std::move(cmds);
+      transport_->Send(net::NodeAddress::Controller(), dst, MessageKind::kCommand,
+                       wire::EncodeCommandsEnvelope(e), wire);
+    });
   }
   if (participating > 0) {
     RegisterGroup(seq, block, participating);
@@ -532,16 +602,17 @@ void NimbusController::DispatchSetCentrally(
       // own message: this is exactly the bottleneck the paper's Fig 1/8 demonstrate.
       const bool final = i + 1 == half.entries.size();
       const std::int64_t wire = cmd.WireSize();
-      control_thread_.Submit(per_task, [this, worker, cmd = std::move(cmd), seq, total,
-                                        final, wire]() mutable {
-        network_->Send(sim::kControllerAddress, worker->address(), wire,
-                       [worker, cmd = std::move(cmd), seq, total, final]() mutable {
-                         std::vector<Command> one;
-                         one.push_back(std::move(cmd));
-                         worker->OnCommands(seq, std::move(one), total, final,
-                                            /*barrier=*/true);
-                       },
-                       MessageKind::kCommand);
+      control_thread_.Submit(per_task, [this, dst = worker->address(),
+                                        cmd = std::move(cmd), seq, total, final,
+                                        wire]() mutable {
+        wire::CommandsEnvelope e;
+        e.group_seq = seq;
+        e.expected_total = total;
+        e.finalize = final;
+        e.barrier = true;
+        e.commands.push_back(std::move(cmd));
+        transport_->Send(net::NodeAddress::Controller(), dst, MessageKind::kCommand,
+                         wire::EncodeCommandsEnvelope(e), wire);
       });
     }
   }
@@ -606,15 +677,16 @@ void NimbusController::DispatchPatch(const core::Patch& patch, PendingBlock* blo
     // Route through the control thread so patches keep FIFO order with respect to any
     // still-draining per-task dispatches of earlier stages (workers rely on arrival
     // order to sequence barrier groups).
-    control_thread_.Submit(
-        0, [this, worker, cmds = std::move(cmds), seq, total, wire]() mutable {
-          network_->Send(sim::kControllerAddress, worker->address(), wire,
-                         [worker, cmds = std::move(cmds), seq, total]() mutable {
-                           worker->OnCommands(seq, std::move(cmds), total,
-                                              /*finalize=*/true, /*barrier=*/true);
-                         },
-                         MessageKind::kCommand);
-        });
+    control_thread_.Submit(0, [this, dst = worker->address(), cmds = std::move(cmds), seq,
+                               total, wire]() mutable {
+      wire::CommandsEnvelope e;
+      e.group_seq = seq;
+      e.expected_total = total;
+      e.barrier = true;
+      e.commands = std::move(cmds);
+      transport_->Send(net::NodeAddress::Controller(), dst, MessageKind::kCommand,
+                       wire::EncodeCommandsEnvelope(e), wire);
+    });
   }
 
   if (participating > 0) {
@@ -716,12 +788,13 @@ void NimbusController::InstantiateTemplate(
       const std::int64_t wire = static_cast<std::int64_t>(half.entries.size()) * 64;
       core::WorkerHalf copy = half;
       const WorkerTemplateId wtid = set->id();
-      control_thread_.Submit(0, [this, worker, copy = std::move(copy), wtid, wire]() mutable {
-        network_->Send(sim::kControllerAddress, worker->address(), wire,
-                       [worker, copy = std::move(copy), wtid]() mutable {
-                         worker->OnInstallTemplate(std::move(copy), wtid);
-                       },
-                       MessageKind::kControl);
+      control_thread_.Submit(0, [this, dst = worker->address(), copy = std::move(copy),
+                                 wtid, wire]() mutable {
+        wire::InstallTemplateEnvelope e;
+        e.id = wtid;
+        e.half = std::move(copy);
+        transport_->Send(net::NodeAddress::Controller(), dst, MessageKind::kControl,
+                         wire::EncodeInstallTemplateEnvelope(e), wire);
       });
     }
     state.installed_on_workers = true;
@@ -912,12 +985,10 @@ void NimbusController::InstantiateSet(
     // Assembly already sized the message (WorkerMessage::wire_size mirrors
     // InstantiateMsg::WireSize; the equivalence tests pin them together).
     const std::int64_t wire = wm.wire_size;
-    control_thread_.Submit(0, [this, worker, msg = std::move(msg), wire]() mutable {
-      network_->Send(sim::kControllerAddress, worker->address(), wire,
-                     [worker, msg = std::move(msg)]() mutable {
-                       worker->OnInstantiate(std::move(msg));
-                     },
-                     MessageKind::kControl);
+    control_thread_.Submit(0, [this, dst = worker->address(), msg = std::move(msg),
+                               wire]() mutable {
+      transport_->Send(net::NodeAddress::Controller(), dst, MessageKind::kControl,
+                       wire::EncodeInstantiateEnvelope(msg), wire);
     });
   }
   tasks_via_templates_ += n_tasks;
@@ -1087,12 +1158,13 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
       continue;
     }
     ++participating;
-    const std::size_t total = cmds.size();
-    network_->Send(sim::kControllerAddress, w->address(), 64,
-                   [w, cmds = std::move(cmds), seq, total]() mutable {
-                     w->OnCommands(seq, std::move(cmds), total, true, /*barrier=*/true);
-                   },
-                   MessageKind::kCommand);
+    wire::CommandsEnvelope e;
+    e.group_seq = seq;
+    e.expected_total = cmds.size();
+    e.barrier = true;
+    e.commands = std::move(cmds);
+    transport_->Send(net::NodeAddress::Controller(), w->address(), MessageKind::kCommand,
+                     wire::EncodeCommandsEnvelope(e), /*cost_bytes=*/64);
   }
   if (participating > 0) {
     RegisterGroup(seq, block, participating);
@@ -1178,8 +1250,8 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
     if (record == nullptr || record->failed) {
       continue;
     }
-    network_->Send(sim::kControllerAddress, w->address(), 16, [w]() { w->OnHalt(); },
-                   MessageKind::kControl);
+    transport_->Send(net::NodeAddress::Controller(), w->address(), MessageKind::kControl,
+                     wire::EncodeHaltEnvelope(), /*cost_bytes=*/16);
   }
   Rebalance();
 
@@ -1213,7 +1285,14 @@ void NimbusController::RunRecovery() {
       simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
     }
     if (recovery_handler_) {
+      // Local hook (controller unit tests observe recovery without a driver endpoint).
       recovery_handler_(checkpoint_.driver_marker);
+    } else {
+      // Tell the driver which checkpoint marker the cluster reverted to.
+      transport_->Send(net::NodeAddress::Controller(), net::NodeAddress::Driver(),
+                       MessageKind::kControl,
+                       wire::EncodeRecoveryNoticeEnvelope(checkpoint_.driver_marker),
+                       /*cost_bytes=*/16);
     }
   });
 
@@ -1223,11 +1302,11 @@ void NimbusController::RunRecovery() {
     Worker* w = FindWorker(wid);
     NIMBUS_CHECK(w != nullptr);
     ++participating;
-    network_->Send(sim::kControllerAddress, w->address(), 64,
-                   [w, seq, objects = std::move(objects)]() mutable {
-                     w->OnLoadObjects(seq, std::move(objects));
-                   },
-                   MessageKind::kControl);
+    wire::LoadObjectsEnvelope e;
+    e.group_seq = seq;
+    e.objects = std::move(objects);
+    transport_->Send(net::NodeAddress::Controller(), w->address(), MessageKind::kControl,
+                     wire::EncodeLoadObjectsEnvelope(e), /*cost_bytes=*/64);
   }
   NIMBUS_CHECK_GT(participating, 0);
   RegisterGroup(seq, block, participating);

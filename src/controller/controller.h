@@ -31,11 +31,11 @@
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
 #include "src/data/version_map.h"
+#include "src/net/transport.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/instantiation_pipeline.h"
 #include "src/runtime/shard_audit.h"
 #include "src/sim/cost_model.h"
-#include "src/sim/network.h"
 #include "src/sim/simulation.h"
 #include "src/sim/trace.h"
 #include "src/task/command.h"
@@ -54,9 +54,18 @@ using BlockDone = std::function<void(std::vector<ScalarResult>)>;
 
 class NimbusController {
  public:
-  NimbusController(sim::Simulation* simulation, sim::Network* network,
+  NimbusController(sim::Simulation* simulation, net::Transport* transport,
                    const sim::CostModel* costs, ObjectDirectory* directory,
                    DurableStore* durable, sim::TraceRecorder* trace, ControlMode mode);
+
+  // ---- Transport-facing entry point ----
+
+  // The controller's delivery handler: decodes one envelope (src/task/wire.h) and
+  // dispatches to the matching entry point. Worker traffic (heartbeats, group completions)
+  // feeds the callbacks below; driver requests (stages, instantiations, checkpoints) run
+  // the driver-facing interface and answer with kBlockDone / kCheckpointDone envelopes
+  // carrying the request id. Registered with the transport by the cluster.
+  void OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes);
 
   ControlMode mode() const { return mode_; }
   void set_mode(ControlMode mode) { mode_ = mode; }
@@ -313,8 +322,11 @@ class NimbusController {
   void RunRecovery();
   void CheckHeartbeats();
 
+  // Answers one driver request with a kBlockDone envelope carrying the block's scalars.
+  void SendBlockDone(std::uint64_t request_id, std::vector<ScalarResult> scalars);
+
   sim::Simulation* simulation_;
-  sim::Network* network_;
+  net::Transport* transport_;
   const sim::CostModel* costs_;
   ObjectDirectory* directory_;
   DurableStore* durable_;

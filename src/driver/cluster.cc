@@ -1,6 +1,9 @@
 #include "src/driver/cluster.h"
 
+#include <utility>
+
 #include "src/common/tracing.h"
+#include "src/driver/cluster_tcp.h"
 
 namespace nimbus {
 
@@ -8,32 +11,148 @@ Cluster::Cluster(ClusterOptions options)
     : options_(options), network_(&simulation_, &options_.costs) {
   // Bind the span tracer's virtual clock to this cluster's simulation; a later cluster
   // rebinds it (sequential cluster lifetimes, which is how examples and benches run).
+  // Under TCP there is no shared virtual-time domain, so spans keep the last-bound clock;
+  // TCP runs are timed in wall clock by the benches instead.
   trace::Tracer::Get().SetVirtualClock([this] { return simulation_.now(); }, this);
 
-  controller_ = std::make_unique<NimbusController>(&simulation_, &network_, &options_.costs,
-                                                   &directory_, &durable_, &trace_,
-                                                   options_.mode);
+  const bool tcp = options_.transport == TransportKind::kTcp;
+  if (tcp) {
+    tcp_ = std::make_unique<TcpClusterRuntime>(options_.workers);
+  } else {
+    sim_transport_ = std::make_unique<net::SimTransport>(&network_);
+    // Mirrors the old peer-lookup behavior: data sends to failed workers are dropped at
+    // the source (the directory has already rerouted copies away from them).
+    sim_transport_->SetLivenessProbe([this](net::NodeAddress node) {
+      return !node.is_worker() || worker(node.worker_id()) != nullptr;
+    });
+  }
 
-  WorkerEnv env;
-  env.peer = [this](WorkerId id) { return worker(id); };
-  env.on_group_complete = [this](WorkerId w, std::uint64_t seq,
-                                 std::vector<ScalarResult> scalars) {
-    controller_->OnGroupComplete(w, seq, std::move(scalars));
-  };
-  env.on_heartbeat = [this](WorkerId w) { controller_->OnHeartbeat(w); };
+  const auto controller_address = net::NodeAddress::Controller();
+  sim::Simulation* controller_sim =
+      tcp ? tcp_->node_simulation(controller_address) : &simulation_;
+  net::Transport* controller_transport =
+      tcp ? static_cast<net::Transport*>(tcp_->endpoint(controller_address))
+          : sim_transport_.get();
+  controller_ = std::make_unique<NimbusController>(controller_sim, controller_transport,
+                                                   &options_.costs, &directory_, &durable_,
+                                                   &trace_, options_.mode);
+  controller_->set_central_batching(options_.central_batching);
+  controller_->set_serialized_batching(options_.serialized_batching);
+  controller_->set_force_full_validation(options_.force_full_validation);
+  controller_->set_disable_patch_cache(options_.disable_patch_cache);
+  controller_->set_lookahead_enabled(options_.lookahead_enabled);
 
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    auto worker = std::make_unique<Worker>(WorkerId(static_cast<std::uint64_t>(i)),
-                                           &simulation_, &network_, &options_.costs,
-                                           &functions_, &durable_, env);
+    const WorkerId id(static_cast<std::uint64_t>(i));
+    const auto address = net::NodeAddress::ForWorker(id);
+    sim::Simulation* worker_sim = tcp ? tcp_->node_simulation(address) : &simulation_;
+    net::Transport* worker_transport =
+        tcp ? static_cast<net::Transport*>(tcp_->endpoint(address)) : sim_transport_.get();
+    auto worker = std::make_unique<Worker>(id, worker_sim, worker_transport,
+                                           &options_.costs, &functions_, &durable_);
+    if (options_.enable_command_log) {
+      worker->EnableCommandLog();
+    }
+    if (options_.worker_executor != nullptr) {
+      worker->set_executor(options_.worker_executor);
+    }
     controller_->AttachWorker(worker.get());
     workers_.push_back(std::move(worker));
   }
   controller_->SetPartitions(options_.partitions);
+
+  // Route deliveries. The driver handler indirects through `driver_handler_` so the driver
+  // program (Job) can install or replace its handler after construction; driver-bound
+  // envelopes arriving with none installed are dropped (nobody is waiting on them).
+  if (tcp) {
+    tcp_->InstallHandler(controller_address, MakeControllerHandler());
+    tcp_->InstallHandler(net::NodeAddress::Driver(), MakeDriverHandler());
+    for (auto& w : workers_) {
+      tcp_->InstallHandler(w->address(), MakeWorkerHandler(w.get()));
+    }
+    tcp_->Bootstrap();
+  } else {
+    sim_transport_->RegisterHandler(controller_address, MakeControllerHandler());
+    sim_transport_->RegisterHandler(net::NodeAddress::Driver(), MakeDriverHandler());
+    for (auto& w : workers_) {
+      sim_transport_->RegisterHandler(w->address(), MakeWorkerHandler(w.get()));
+    }
+  }
 }
 
-Cluster::~Cluster() { trace::Tracer::Get().ResetVirtualClock(this); }
+Cluster::~Cluster() {
+  // Stop the event loops before workers/controller go away: handler lambdas hold raw
+  // pointers into them.
+  if (tcp_) {
+    tcp_->Shutdown();
+  }
+  trace::Tracer::Get().ResetVirtualClock(this);
+}
+
+net::Transport::Handler Cluster::MakeWorkerHandler(Worker* worker) {
+  return [worker](net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+    worker->OnEnvelope(src, kind, std::move(bytes));
+  };
+}
+
+net::Transport::Handler Cluster::MakeControllerHandler() {
+  return [this](net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+    controller_->OnEnvelope(src, kind, std::move(bytes));
+  };
+}
+
+net::Transport::Handler Cluster::MakeDriverHandler() {
+  return [this](net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+    if (driver_handler_) {
+      driver_handler_(src, kind, std::move(bytes));
+    }
+  };
+}
+
+sim::Simulation& Cluster::simulation() {
+  NIMBUS_CHECK(options_.transport == TransportKind::kSim)
+      << "no shared simulation under the TCP backend (per-node virtual time)";
+  return simulation_;
+}
+
+sim::Network& Cluster::network() {
+  NIMBUS_CHECK(options_.transport == TransportKind::kSim)
+      << "no simulator network under the TCP backend";
+  return network_;
+}
+
+net::Transport& Cluster::transport() {
+  if (tcp_) {
+    return *tcp_->endpoint(net::NodeAddress::Driver());
+  }
+  return *sim_transport_;
+}
+
+void Cluster::SetDriverHandler(net::Transport::Handler handler) {
+  driver_handler_ = std::move(handler);
+}
+
+bool Cluster::AwaitDriver(const std::function<bool()>& pred) {
+  if (tcp_) {
+    return tcp_->AwaitDriver(pred);
+  }
+  return simulation_.RunUntilCondition(pred);
+}
+
+void Cluster::WithDriver(const std::function<void()>& fn) {
+  if (tcp_) {
+    tcp_->WithDriver(fn);
+  } else {
+    fn();
+  }
+}
+
+void Cluster::Quiesce() {
+  if (tcp_) {
+    tcp_->Quiesce();
+  }
+}
 
 Worker* Cluster::worker(WorkerId id) {
   for (auto& w : workers_) {

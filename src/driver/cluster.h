@@ -1,12 +1,19 @@
-// Cluster: assembles a simulated Nimbus deployment (Fig 2).
+// Cluster: assembles a Nimbus deployment (Fig 2).
 //
-// Owns the simulation, network, cost model, controller, workers, function registry, object
-// directory and durable store, and wires the message paths between them. Everything the
-// examples, tests and benchmarks start from.
+// Owns the controller, workers, function registry, object directory and durable store, and
+// wires the message paths between them across the transport seam (src/net/transport.h).
+// Two backends (DESIGN.md §13):
+//  * TransportKind::kSim — the deterministic, cost-model-charged simulator network. The
+//    default everywhere; every test and bench result is reproduced on it.
+//  * TransportKind::kTcp — real sockets over loopback: one epoll event loop per node,
+//    standing connections, length-prefixed frames. The control plane is unchanged — the
+//    equivalence tests pin TCP results bit-identical to the simulator's.
+// Everything the examples, tests and benchmarks start from.
 
 #ifndef NIMBUS_SRC_DRIVER_CLUSTER_H_
 #define NIMBUS_SRC_DRIVER_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -14,6 +21,8 @@
 #include "src/controller/controller.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
+#include "src/net/sim_transport.h"
+#include "src/net/transport.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
@@ -23,12 +32,38 @@
 
 namespace nimbus {
 
+enum class TransportKind {
+  kSim,  // deterministic simulator network (default)
+  kTcp,  // real sockets over loopback (async epoll event loops)
+};
+
+// All construction-time knobs in one place. The control-plane switches used to be
+// post-construction setters scattered over NimbusController; they are consolidated here so
+// a cluster's configuration is complete at the constructor call. The controller setters
+// (set_central_batching etc.) remain for tests that reconfigure mid-run, but new code
+// should prefer these fields.
 struct ClusterOptions {
   int workers = 4;
   int partitions = 8;  // global placement-partition space
   sim::CostModel costs;
   ControlMode mode = ControlMode::kTemplates;
+  TransportKind transport = TransportKind::kSim;
+
+  // --- Controller knobs (DESIGN.md §5, §8, §9) ---
+  bool central_batching = false;
+  bool serialized_batching = false;  // implies central_batching
+  bool force_full_validation = false;
+  bool disable_patch_cache = false;
+  bool lookahead_enabled = true;
+
+  // --- Worker knobs ---
+  bool enable_command_log = false;  // workers record their observed command streams
+  // Materialization executor for every worker (DESIGN.md §9.3); borrowed — the caller
+  // keeps it alive for the cluster's lifetime. nullptr = the built-in InlineExecutor.
+  runtime::Executor* worker_executor = nullptr;
 };
+
+class TcpClusterRuntime;  // per-node event loops + endpoints (cluster_tcp.cc)
 
 class Cluster {
  public:
@@ -38,8 +73,39 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Simulation& simulation() { return simulation_; }
-  sim::Network& network() { return network_; }
+  TransportKind transport_kind() const { return options_.transport; }
+
+  // The shared simulation / simulator network. Sim transport only — the TCP backend has
+  // one virtual-time domain per node and no modeled network (CHECK-fails).
+  sim::Simulation& simulation();
+  sim::Network& network();
+
+  // The transport endpoint the driver program sends through. Under the simulator this is
+  // the single shared SimTransport; under TCP it is the driver node's endpoint.
+  net::Transport& transport();
+
+  // Installs the driver program's delivery handler (kBlockDone / kCheckpointDone /
+  // kRecoveryNotice envelopes). Replaces any previous handler. Under TCP the handler runs
+  // on the driver endpoint's event-loop thread, serialized with AwaitDriver's predicate.
+  void SetDriverHandler(net::Transport::Handler handler);
+
+  // Blocks until `pred()` is true, driving deliveries: under the simulator this runs the
+  // event loop (returns false if it drains with `pred` still false); under TCP it waits on
+  // the driver mailbox (handler invocations signal it). The predicate is evaluated under
+  // the same serialization as the driver handler, so it may read driver state freely.
+  bool AwaitDriver(const std::function<bool()>& pred);
+
+  // Runs `fn` under the same serialization as the driver handler. The driver program uses
+  // this to mutate its mailbox state (request ids, completion flags) so handler-thread
+  // reads are coherent under TCP; under the simulator it just runs `fn`.
+  void WithDriver(const std::function<void()>& fn);
+
+  // Synchronizes the calling thread with all per-node state (worker stores, command logs,
+  // controller introspection). No-op under the simulator; under TCP it drains in-flight
+  // deliveries and establishes happens-before with every node's event loop. Call before
+  // reading per-node state from test code.
+  void Quiesce();
+
   const sim::CostModel& costs() const { return options_.costs; }
   NimbusController& controller() { return *controller_; }
   FunctionRegistry& functions() { return functions_; }
@@ -55,12 +121,17 @@ class Cluster {
   // Injects a hard worker failure at the current virtual time (fault-recovery tests).
   void FailWorker(WorkerId id);
 
-  // Points every worker's materialization at `executor` (DESIGN.md §9.3); nullptr
-  // restores the built-in InlineExecutor. The cluster borrows the executor — the caller
-  // keeps it alive for the cluster's lifetime (declare it before the cluster).
+  // Deprecated: prefer ClusterOptions::worker_executor. Points every worker's
+  // materialization at `executor` (DESIGN.md §9.3); nullptr restores the built-in
+  // InlineExecutor. The cluster borrows the executor — the caller keeps it alive for the
+  // cluster's lifetime (declare it before the cluster).
   void SetWorkerExecutor(runtime::Executor* executor);
 
  private:
+  net::Transport::Handler MakeWorkerHandler(Worker* worker);
+  net::Transport::Handler MakeControllerHandler();
+  net::Transport::Handler MakeDriverHandler();
+
   ClusterOptions options_;
   sim::Simulation simulation_;
   sim::Network network_;
@@ -68,8 +139,11 @@ class Cluster {
   ObjectDirectory directory_;
   DurableStore durable_;
   FunctionRegistry functions_;
+  std::unique_ptr<net::SimTransport> sim_transport_;
+  std::unique_ptr<TcpClusterRuntime> tcp_;  // non-null iff transport == kTcp
   std::unique_ptr<NimbusController> controller_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  net::Transport::Handler driver_handler_;  // installed by SetDriverHandler
 };
 
 }  // namespace nimbus

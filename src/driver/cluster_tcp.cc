@@ -1,0 +1,111 @@
+#include "src/driver/cluster_tcp.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace nimbus {
+
+namespace {
+
+net::NodeAddress AddressOfDense(std::size_t dense) {
+  if (dense == 0) {
+    return net::NodeAddress::Driver();
+  }
+  if (dense == 1) {
+    return net::NodeAddress::Controller();
+  }
+  return net::NodeAddress::ForWorker(WorkerId(static_cast<std::uint64_t>(dense - 2)));
+}
+
+}  // namespace
+
+TcpClusterRuntime::TcpClusterRuntime(int workers) {
+  nodes_.reserve(static_cast<std::size_t>(workers) + 2);
+  for (std::size_t dense = 0; dense < static_cast<std::size_t>(workers) + 2; ++dense) {
+    auto node = std::make_unique<Node>();
+    node->simulation = std::make_unique<sim::Simulation>();
+    node->endpoint = std::make_unique<net::TcpEndpoint>(AddressOfDense(dense));
+    nodes_.push_back(std::move(node));
+  }
+}
+
+TcpClusterRuntime::~TcpClusterRuntime() { Shutdown(); }
+
+TcpClusterRuntime::Node* TcpClusterRuntime::node(net::NodeAddress address) {
+  const std::size_t dense = address.DenseIndex();
+  NIMBUS_CHECK_LT(dense, nodes_.size()) << "unknown node " << address;
+  return nodes_[dense].get();
+}
+
+net::TcpEndpoint* TcpClusterRuntime::endpoint(net::NodeAddress address) {
+  return node(address)->endpoint.get();
+}
+
+sim::Simulation* TcpClusterRuntime::node_simulation(net::NodeAddress address) {
+  return node(address)->simulation.get();
+}
+
+void TcpClusterRuntime::InstallHandler(net::NodeAddress address,
+                                       net::Transport::Handler handler) {
+  Node* n = node(address);
+  const bool is_driver = address == net::NodeAddress::Driver();
+  n->endpoint->RegisterHandler(
+      address, [this, n, is_driver, handler = std::move(handler)](
+                   net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+        {
+          std::lock_guard<std::mutex> lock(n->mutex);
+          handler(src, kind, std::move(bytes));
+          // Run the node's virtual-time queue dry: work the delivery scheduled (command
+          // execution, data sends, completions) happens now, before the next delivery.
+          n->simulation->RunUntilCondition([] { return false; });
+        }
+        if (is_driver) {
+          driver_cv_.notify_all();
+        }
+      });
+}
+
+void TcpClusterRuntime::Bootstrap() {
+  std::vector<std::uint16_t> ports(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ports[i] = nodes_[i]->endpoint->Listen();
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      nodes_[i]->endpoint->DialPeer(AddressOfDense(j), ports[j]);
+      nodes_[j]->endpoint->AcceptPeer();
+    }
+  }
+  for (auto& n : nodes_) {
+    n->endpoint->Start();
+  }
+}
+
+bool TcpClusterRuntime::AwaitDriver(const std::function<bool()>& pred) {
+  Node* driver = node(net::NodeAddress::Driver());
+  std::unique_lock<std::mutex> lock(driver->mutex);
+  driver_cv_.wait(lock, pred);
+  return true;
+}
+
+void TcpClusterRuntime::WithDriver(const std::function<void()>& fn) {
+  Node* driver = node(net::NodeAddress::Driver());
+  std::lock_guard<std::mutex> lock(driver->mutex);
+  fn();
+}
+
+void TcpClusterRuntime::Quiesce() {
+  for (auto& n : nodes_) {
+    std::lock_guard<std::mutex> lock(n->mutex);
+  }
+}
+
+void TcpClusterRuntime::Shutdown() {
+  for (auto& n : nodes_) {
+    n->endpoint->Shutdown();
+  }
+}
+
+}  // namespace nimbus

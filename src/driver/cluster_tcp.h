@@ -1,0 +1,90 @@
+// TcpClusterRuntime: the per-node half of Cluster's TCP backend (DESIGN.md §13).
+//
+// Under TransportKind::kTcp every node — driver, controller, each worker — owns three
+// things, indexed by NodeAddress::DenseIndex():
+//  * a TcpEndpoint (its sockets and epoll event loop),
+//  * its own sim::Simulation (a private virtual-time domain: the controller and workers
+//    still charge modeled costs through Processor::Submit; the local queue is drained to
+//    empty after every delivery, so virtual time advances per node, decoupled from peers),
+//  * a mutex serializing deliveries against each other and against test-side inspection.
+//
+// Delivery path: the endpoint's event-loop thread invokes the wrapped handler, which takes
+// the node mutex, runs the node's OnEnvelope, then drains the node's simulation queue —
+// any sends triggered along the way go straight out through the endpoints (they take only
+// leaf per-connection mutexes, so no lock-order cycles are possible).
+//
+// The driver node doubles as a mailbox: its handler signals a condition variable, and
+// AwaitDriver blocks on it, evaluating the predicate under the driver mutex — the same
+// serialization the handler runs under, so the predicate may read driver state freely.
+
+#ifndef NIMBUS_SRC_DRIVER_CLUSTER_TCP_H_
+#define NIMBUS_SRC_DRIVER_CLUSTER_TCP_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/net/tcp_transport.h"
+#include "src/sim/simulation.h"
+
+namespace nimbus {
+
+class TcpClusterRuntime {
+ public:
+  explicit TcpClusterRuntime(int workers);
+  ~TcpClusterRuntime();
+
+  TcpClusterRuntime(const TcpClusterRuntime&) = delete;
+  TcpClusterRuntime& operator=(const TcpClusterRuntime&) = delete;
+
+  net::TcpEndpoint* endpoint(net::NodeAddress node);
+  sim::Simulation* node_simulation(net::NodeAddress node);
+
+  // Registers `handler` as `node`'s delivery handler, wrapped with the node mutex and the
+  // post-delivery simulation drain (file comment). The driver node's wrapper additionally
+  // signals the AwaitDriver mailbox. Call before Bootstrap().
+  void InstallHandler(net::NodeAddress node, net::Transport::Handler handler);
+
+  // Establishes the full connection mesh and starts every event loop. Main thread, once,
+  // after all handlers are installed: listen everywhere, then for each node pair the lower
+  // DenseIndex dials while the higher accepts, then spawn the loops (threads last, so
+  // thread creation hands each loop a happens-before edge over all setup state).
+  void Bootstrap();
+
+  // Blocks until `pred()` holds, re-evaluating under the driver mutex after each driver
+  // delivery. Returns true (mirrors Cluster::AwaitDriver's simulator signature, where a
+  // drained queue can return false; sockets never "drain").
+  bool AwaitDriver(const std::function<bool()>& pred);
+
+  // Runs `fn` under the driver node's mutex — the serialization the driver handler runs
+  // under. Mutating driver-program state (mailbox flags) from the main thread goes through
+  // here so the handler thread always observes it coherently.
+  void WithDriver(const std::function<void()>& fn);
+
+  // Locks and releases every node mutex, establishing happens-before between the calling
+  // thread and all deliveries that completed before the call.
+  void Quiesce();
+
+  // Stops every event loop and closes all sockets. Idempotent; called by ~Cluster before
+  // the nodes the handlers point at are destroyed.
+  void Shutdown();
+
+ private:
+  struct Node {
+    std::unique_ptr<sim::Simulation> simulation;
+    std::unique_ptr<net::TcpEndpoint> endpoint;
+    std::mutex mutex;
+  };
+
+  Node* node(net::NodeAddress address);
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // by NodeAddress::DenseIndex()
+  std::condition_variable driver_cv_;         // paired with the driver node's mutex
+};
+
+}  // namespace nimbus
+
+#endif  // NIMBUS_SRC_DRIVER_CLUSTER_TCP_H_

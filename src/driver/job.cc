@@ -1,12 +1,45 @@
 #include "src/driver/job.h"
 
+#include <algorithm>
+
+#include "src/task/wire.h"
+
 namespace nimbus {
 
 Job::Job(Cluster* cluster) : cluster_(cluster) {
-  cluster_->controller().SetRecoveryHandler([this](std::uint64_t marker) {
-    recovery_pending_ = true;
-    recovery_marker_ = marker;
-  });
+  cluster_->SetDriverHandler(
+      [this](net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+        OnEnvelope(src, kind, std::move(bytes));
+      });
+}
+
+void Job::OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+  (void)src;
+  (void)kind;
+  switch (wire::PeekEnvelopeType(bytes)) {
+    case wire::EnvelopeType::kBlockDone: {
+      wire::BlockDoneEnvelope e = wire::DecodeBlockDoneEnvelope(bytes);
+      if (e.request_id == waiting_request_) {
+        pending_scalars_ = std::move(e.scalars);
+        pending_done_ = true;
+      }
+      return;
+    }
+    case wire::EnvelopeType::kCheckpointDone: {
+      if (wire::DecodeCheckpointDoneEnvelope(bytes) == waiting_request_) {
+        checkpoint_done_ = true;
+      }
+      return;
+    }
+    case wire::EnvelopeType::kRecoveryNotice: {
+      recovery_marker_ = wire::DecodeRecoveryNoticeEnvelope(bytes);
+      recovery_pending_ = true;
+      return;
+    }
+    default:
+      NIMBUS_CHECK(false) << "unexpected driver-bound envelope type "
+                          << static_cast<int>(wire::PeekEnvelopeType(bytes));
+  }
 }
 
 VariableId Job::DefineVariable(const std::string& name, int partitions,
@@ -28,40 +61,35 @@ void Job::DefineBlock(const std::string& name, std::vector<StageDescriptor> stag
   blocks_[name] = std::move(def);
 }
 
-Job::RunResult Job::ExecuteAndWait(const std::function<void(BlockDone)>& submit,
+Job::RunResult Job::ExecuteAndWait(std::uint64_t request_id, ParameterBlob request,
                                    std::int64_t request_bytes) {
-  sim::Simulation& sim = cluster_->simulation();
-  sim::Network& net = cluster_->network();
+  cluster_->WithDriver([&]() {
+    waiting_request_ = request_id;
+    pending_done_ = false;
+    pending_scalars_.clear();
+  });
 
-  bool done = false;
-  RunResult result;
-
-  // Driver -> controller request (one latency hop), then wait for the controller's
-  // completion notification (another hop, folded into the callback).
-  net.Send(
-      sim::kDriverAddress, sim::kControllerAddress, request_bytes,
-      [&submit, &done, &result, &net, &sim]() {
-        submit([&done, &result, &net](std::vector<ScalarResult> scalars) {
-          net.Send(sim::kControllerAddress, sim::kDriverAddress,
-                   64 + static_cast<std::int64_t>(scalars.size()) * 16,
-                   [&done, &result, scalars = std::move(scalars)]() mutable {
-                     result.scalars = std::move(scalars);
-                     done = true;
-                   },
-                   MessageKind::kControl);
-        });
-      },
-      MessageKind::kControl);
+  cluster_->transport().Send(net::NodeAddress::Driver(), net::NodeAddress::Controller(),
+                             MessageKind::kControl, std::move(request), request_bytes);
 
   const bool ok =
-      sim.RunUntilCondition([&]() { return done || recovery_pending_; });
-  NIMBUS_CHECK(ok || done || recovery_pending_) << "simulation drained without completing";
+      cluster_->AwaitDriver([this]() { return pending_done_ || recovery_pending_; });
+  NIMBUS_CHECK(ok || pending_done_ || recovery_pending_)
+      << "cluster drained without completing the request";
 
-  if (!done && recovery_pending_) {
+  RunResult result;
+  if (pending_done_) {
+    result.scalars = std::move(pending_scalars_);
+    // Transport invariance: under TCP workers complete concurrently, so arrival order
+    // races. Task ids give the one canonical order both backends agree on bit-for-bit.
+    std::sort(result.scalars.begin(), result.scalars.end(),
+              [](const ScalarResult& a, const ScalarResult& b) { return a.task < b.task; });
+  } else {
     recovery_pending_ = false;
     result.recovered = true;
     result.resume_marker = recovery_marker_;
   }
+  cluster_->WithDriver([&]() { waiting_request_ = 0; });
   return result;
 }
 
@@ -90,12 +118,11 @@ Job::RunResult Job::RunStages(std::vector<StageDescriptor> stages) {
   for (const auto& s : stages) {
     bytes += static_cast<std::int64_t>(s.tasks.size()) * 96;
   }
-  NimbusController& controller = cluster_->controller();
-  return ExecuteAndWait(
-      [&controller, stages = std::move(stages)](BlockDone done) {
-        controller.SubmitStages(stages, std::move(done));
-      },
-      bytes);
+  const std::uint64_t request_id = next_request_id_++;
+  wire::SubmitStagesEnvelope e;
+  e.request_id = request_id;
+  e.stages = std::move(stages);
+  return ExecuteAndWait(request_id, wire::EncodeSubmitStagesEnvelope(e), bytes);
 }
 
 Job::RunResult Job::RunBlock(const std::string& name, SparseParams params) {
@@ -128,13 +155,12 @@ Job::RunResult Job::RunBlock(const std::string& name, SparseParams params) {
     for (const auto& s : stages) {
       bytes += static_cast<std::int64_t>(s.tasks.size()) * 96;
     }
-    RunResult result = ExecuteAndWait(
-        [&controller, &name, stages = std::move(stages)](BlockDone done) {
-          controller.BeginTemplate(name);
-          controller.SubmitStages(stages, std::move(done));
-          controller.EndTemplate();
-        },
-        bytes);
+    const std::uint64_t request_id = next_request_id_++;
+    wire::SubmitStagesEnvelope e;
+    e.request_id = request_id;
+    e.capture_name = name;
+    e.stages = std::move(stages);
+    RunResult result = ExecuteAndWait(request_id, wire::EncodeSubmitStagesEnvelope(e), bytes);
     if (!result.recovered) {
       def.captured = true;
     }
@@ -148,13 +174,14 @@ Job::RunResult Job::RunBlock(const std::string& name, SparseParams params) {
   for (const auto& [slot, blob] : params) {
     bytes += 8 + static_cast<std::int64_t>(blob.size());
   }
-  const std::string next = next_block_hint_;
-  bytes += static_cast<std::int64_t>(next.size());
-  return ExecuteAndWait(
-      [&controller, &name, &next, params = std::move(params)](BlockDone done) mutable {
-        controller.InstantiateTemplate(name, std::move(params), std::move(done), next);
-      },
-      bytes);
+  bytes += static_cast<std::int64_t>(next_block_hint_.size());
+  const std::uint64_t request_id = next_request_id_++;
+  wire::InstantiateRequestEnvelope e;
+  e.request_id = request_id;
+  e.name = name;
+  e.params = std::move(params);
+  e.next_hint = next_block_hint_;
+  return ExecuteAndWait(request_id, wire::EncodeInstantiateRequestEnvelope(e), bytes);
 }
 
 Job::RunResult Job::RunBlockSequence(
@@ -172,22 +199,20 @@ Job::RunResult Job::RunBlockSequence(
 }
 
 void Job::Checkpoint(std::uint64_t marker) {
-  sim::Simulation& sim = cluster_->simulation();
-  sim::Network& net = cluster_->network();
-  NimbusController& controller = cluster_->controller();
-
-  bool done = false;
-  net.Send(
-      sim::kDriverAddress, sim::kControllerAddress, 32,
-      [&]() {
-        controller.TriggerCheckpoint(marker, [&done, &net]() {
-          net.Send(sim::kControllerAddress, sim::kDriverAddress, 16,
-                   [&done]() { done = true; }, MessageKind::kControl);
-        });
-      },
-      MessageKind::kControl);
-  const bool ok = sim.RunUntilCondition([&]() { return done; });
+  const std::uint64_t request_id = next_request_id_++;
+  cluster_->WithDriver([&]() {
+    waiting_request_ = request_id;
+    checkpoint_done_ = false;
+  });
+  wire::CheckpointRequestEnvelope e;
+  e.request_id = request_id;
+  e.marker = marker;
+  cluster_->transport().Send(net::NodeAddress::Driver(), net::NodeAddress::Controller(),
+                             MessageKind::kControl, wire::EncodeCheckpointRequestEnvelope(e),
+                             /*cost_bytes=*/32);
+  const bool ok = cluster_->AwaitDriver([this]() { return checkpoint_done_; });
   NIMBUS_CHECK(ok) << "checkpoint did not complete";
+  cluster_->WithDriver([&]() { waiting_request_ = 0; });
 }
 
 void Job::Idle(sim::Duration d) {

@@ -1,9 +1,13 @@
 // Job: the driver-program API (paper Fig 2, "Application Driver").
 //
-// Presents a synchronous programming model over the event-driven simulation: RunBlock()
-// submits work and advances virtual time until the block completes, so application code is
-// ordinary C++ control flow — `while (error > threshold)` loops, nested loops, data-
-// dependent branches — exactly the programs execution templates are designed for.
+// Presents a synchronous programming model over the message-driven cluster: RunBlock()
+// ships a request envelope to the controller across the transport seam and blocks on the
+// reply, so application code is ordinary C++ control flow — `while (error > threshold)`
+// loops, nested loops, data-dependent branches — exactly the programs execution templates
+// are designed for. Every request carries a request id; the driver's delivery handler
+// (OnEnvelope) matches kBlockDone / kCheckpointDone replies against the id it is waiting
+// on. The same code runs over the simulator (waiting = advancing virtual time) and over
+// TCP (waiting = blocking on the driver mailbox).
 //
 // Block execution strategy by control-plane mode:
 //  * kTemplates       — first run marks + captures the basic block while executing it
@@ -24,6 +28,7 @@
 
 #include "src/common/ids.h"
 #include "src/driver/cluster.h"
+#include "src/net/address.h"
 #include "src/task/command.h"
 
 namespace nimbus {
@@ -99,9 +104,15 @@ class Job {
   bool templates_enabled() const { return templates_enabled_; }
 
   // Advances virtual time with no driver activity (lets in-flight work settle).
+  // Simulator backend only.
   void Idle(sim::Duration d);
 
   Cluster& cluster() { return *cluster_; }
+
+  // The driver's delivery handler: matches kBlockDone / kCheckpointDone replies against
+  // the outstanding request and records kRecoveryNotice. Installed on the cluster at
+  // construction; public for the transport plumbing, not for application code.
+  void OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes);
 
  private:
   struct BlockDef {
@@ -110,9 +121,11 @@ class Job {
     std::size_t task_count = 0;
   };
 
-  // Sends a driver->controller request (one latency hop), runs the simulation until the
-  // completion callback (or a recovery notification) fires, and returns the result.
-  RunResult ExecuteAndWait(const std::function<void(BlockDone)>& submit,
+  // Ships an encoded request envelope driver -> controller (`request_bytes` is its modeled
+  // size), waits until the matching kBlockDone reply or a recovery notice arrives, and
+  // returns the result. Scalars are sorted by task id: completion order is deterministic
+  // under the simulator but races under TCP, and results must be transport-invariant.
+  RunResult ExecuteAndWait(std::uint64_t request_id, ParameterBlob request,
                            std::int64_t request_bytes);
 
   static std::vector<StageDescriptor> WithParams(const std::vector<StageDescriptor>& stages,
@@ -125,6 +138,15 @@ class Job {
   std::uint64_t auto_checkpoint_every_ = 0;
   std::uint64_t blocks_completed_ = 0;
   std::uint64_t last_auto_checkpoint_ = 0;
+
+  // Request/reply mailbox. Written by the main thread (under Cluster::WithDriver) and by
+  // the driver delivery handler; AwaitDriver's predicate reads it under the same
+  // serialization.
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t waiting_request_ = 0;  // id the driver is blocked on; 0 = none
+  bool pending_done_ = false;
+  std::vector<ScalarResult> pending_scalars_;
+  bool checkpoint_done_ = false;
   bool recovery_pending_ = false;
   std::uint64_t recovery_marker_ = 0;
 };

@@ -1,0 +1,102 @@
+// Strong node-address type for the transport seam.
+//
+// Every node in a cluster (driver, controller, workers) is one transport endpoint. Addresses
+// used to be raw std::int64_t, which made it easy to pass a WorkerId where an address was
+// expected (they share the same small-integer range). The strong type keeps the two id spaces
+// apart at compile time; conversion goes through the explicit `ForWorker` / `worker_id`
+// helpers only.
+//
+// Address layout (unchanged from the raw-int scheme so traces and tests stay comparable):
+//   driver      = -2
+//   controller  = -1
+//   worker i    = i          (i == WorkerId.value())
+//
+// `DenseIndex()` maps that layout onto contiguous array indices (driver=0, controller=1,
+// worker i=2+i) so per-node state — the simulated NIC paths, TCP peer tables — lives in flat
+// vectors instead of hash maps (hot-map policy, scripts/lint_invariants.py).
+
+#ifndef NIMBUS_SRC_NET_ADDRESS_H_
+#define NIMBUS_SRC_NET_ADDRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "src/common/ids.h"
+#include "src/common/logging.h"
+
+namespace nimbus::net {
+
+class NodeAddress {
+ public:
+  // Default-constructed addresses are invalid; sending to one is a bug.
+  constexpr NodeAddress() = default;
+  constexpr explicit NodeAddress(std::int64_t value) : value_(value) {}
+
+  static constexpr NodeAddress Controller() { return NodeAddress(-1); }
+  static constexpr NodeAddress Driver() { return NodeAddress(-2); }
+  static constexpr NodeAddress ForWorker(WorkerId id) {
+    return NodeAddress(static_cast<std::int64_t>(id.value()));
+  }
+  static constexpr NodeAddress Invalid() { return NodeAddress(); }
+
+  constexpr std::int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+  constexpr bool is_worker() const { return value_ >= 0; }
+  constexpr bool is_controller() const { return value_ == -1; }
+  constexpr bool is_driver() const { return value_ == -2; }
+
+  WorkerId worker_id() const {
+    NIMBUS_CHECK(is_worker()) << "address " << value_ << " is not a worker endpoint";
+    return WorkerId(static_cast<std::uint64_t>(value_));
+  }
+
+  // Contiguous array index: driver=0, controller=1, worker i=2+i.
+  constexpr std::size_t DenseIndex() const {
+    return static_cast<std::size_t>(value_ + 2);
+  }
+
+  friend constexpr bool operator==(NodeAddress a, NodeAddress b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(NodeAddress a, NodeAddress b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(NodeAddress a, NodeAddress b) {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, NodeAddress a) {
+    if (!a.valid()) {
+      return os << "node<invalid>";
+    }
+    if (a.is_driver()) {
+      return os << "driver";
+    }
+    if (a.is_controller()) {
+      return os << "controller";
+    }
+    return os << "worker" << a.value_;
+  }
+
+ private:
+  static constexpr std::int64_t kInvalidValue = INT64_MIN;
+
+  std::int64_t value_ = kInvalidValue;
+};
+
+}  // namespace nimbus::net
+
+namespace std {
+
+template <>
+struct hash<nimbus::net::NodeAddress> {
+  size_t operator()(nimbus::net::NodeAddress a) const noexcept {
+    return std::hash<std::int64_t>{}(a.value());
+  }
+};
+
+}  // namespace std
+
+#endif  // NIMBUS_SRC_NET_ADDRESS_H_

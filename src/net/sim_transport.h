@@ -1,0 +1,73 @@
+// SimTransport: the deterministic simulator behind the transport seam.
+//
+// Wraps sim::Network — the cost-model-charged, virtual-time network every test and bench
+// runs on — so the refactored control plane (which speaks only Transport + envelopes)
+// keeps bit-identical behavior and cost accounting: `cost_bytes` is what the NIC model
+// charges and the per-kind counters record, exactly as the pre-seam call sites did.
+
+#ifndef NIMBUS_SRC_NET_SIM_TRANSPORT_H_
+#define NIMBUS_SRC_NET_SIM_TRANSPORT_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/net/address.h"
+#include "src/net/transport.h"
+#include "src/sim/network.h"
+
+namespace nimbus::net {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::Network* network) : network_(network) {}
+
+  void RegisterHandler(NodeAddress node, Handler handler) override {
+    const std::size_t index = node.DenseIndex();
+    if (index >= handlers_.size()) {
+      handlers_.resize(index + 1);
+    }
+    handlers_[index] = std::move(handler);
+  }
+
+  void Send(NodeAddress src, NodeAddress dst, MessageKind kind, ParameterBlob bytes,
+            std::int64_t cost_bytes) override {
+    NIMBUS_CHECK(dst.valid());
+    const std::int64_t charged =
+        cost_bytes < 0 ? static_cast<std::int64_t>(bytes.size()) : cost_bytes;
+    // lint:allow(send-kind) -- forwards the caller-declared kind (callers are linted)
+    network_->Send(src, dst, charged,
+                   [this, src, dst, kind, bytes = std::move(bytes)]() mutable {
+                     // Handler lookup at delivery time: registration may follow sends in
+                     // construction order, and tests re-register to intercept.
+                     const std::size_t index = dst.DenseIndex();
+                     NIMBUS_CHECK(index < handlers_.size() && handlers_[index])
+                         << "no delivery handler registered for " << dst;
+                     handlers_[index](src, kind, std::move(bytes));
+                   },
+                   kind);
+  }
+
+  bool Reachable(NodeAddress node) const override {
+    return liveness_ ? liveness_(node) : true;
+  }
+
+  // Installs the cluster's liveness probe (failed workers become unreachable, so data
+  // senders skip them — matching the pre-seam `peer == nullptr` fast path).
+  void SetLivenessProbe(std::function<bool(NodeAddress)> probe) {
+    liveness_ = std::move(probe);
+  }
+
+  sim::Network& network() { return *network_; }
+
+ private:
+  sim::Network* network_;
+  // Flat per-node handler table indexed by the dense address layout (hot-map policy).
+  std::vector<Handler> handlers_;
+  std::function<bool(NodeAddress)> liveness_;
+};
+
+}  // namespace nimbus::net
+
+#endif  // NIMBUS_SRC_NET_SIM_TRANSPORT_H_

@@ -1,0 +1,417 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace nimbus::net {
+
+namespace {
+
+// Frame header: u32 payload_len, u8 kind, i64 src, i64 dst.
+constexpr std::size_t kFrameHeaderSize = 4 + 1 + 8 + 8;
+constexpr std::uint8_t kHelloKind = 0xFF;
+// Loopback frames are trusted, but a corrupt length would allocate unbounded memory:
+// bound it well above any real envelope (worker halves of huge blocks are ~MBs).
+constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+void AppendRaw(std::vector<std::uint8_t>* out, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+std::vector<std::uint8_t> BuildFrame(std::uint8_t kind, NodeAddress src, NodeAddress dst,
+                                     const ParameterBlob& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  NIMBUS_CHECK_LE(len, kMaxFramePayload);
+  AppendRaw(&frame, &len, sizeof(len));
+  AppendRaw(&frame, &kind, sizeof(kind));
+  const std::int64_t s = src.value();
+  const std::int64_t d = dst.value();
+  AppendRaw(&frame, &s, sizeof(s));
+  AppendRaw(&frame, &d, sizeof(d));
+  AppendRaw(&frame, payload.data(), payload.size());
+  return frame;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  NIMBUS_CHECK_GE(flags, 0) << "fcntl(F_GETFL): " << std::strerror(errno);
+  NIMBUS_CHECK_GE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0)
+      << "fcntl(F_SETFL): " << std::strerror(errno);
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  NIMBUS_CHECK_GE(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)), 0)
+      << "setsockopt(TCP_NODELAY): " << std::strerror(errno);
+}
+
+// Blocking full-buffer write used only during single-threaded bootstrap (hello frames).
+void WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    NIMBUS_CHECK_GT(w, 0) << "bootstrap write: " << std::strerror(errno);
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+void ReadAll(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, data + done, n - done);
+    NIMBUS_CHECK_GT(r, 0) << "bootstrap read: " << std::strerror(errno);
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(NodeAddress self) : self_(self) {}
+
+TcpEndpoint::~TcpEndpoint() { Shutdown(); }
+
+std::uint16_t TcpEndpoint::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NIMBUS_CHECK_GE(listen_fd_, 0) << "socket: " << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-chosen
+  NIMBUS_CHECK_GE(
+      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << "bind: " << std::strerror(errno);
+  NIMBUS_CHECK_GE(::listen(listen_fd_, 64), 0) << "listen: " << std::strerror(errno);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  NIMBUS_CHECK_GE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len), 0)
+      << "getsockname: " << std::strerror(errno);
+  return ntohs(bound.sin_port);
+}
+
+void TcpEndpoint::DialPeer(NodeAddress peer, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NIMBUS_CHECK_GE(fd, 0) << "socket: " << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  NIMBUS_CHECK_GE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to " << peer << ": " << std::strerror(errno);
+  SetNoDelay(fd);
+  // Hello frame: names the dialing node so the acceptor can map the socket to a peer.
+  const std::vector<std::uint8_t> hello =
+      BuildFrame(kHelloKind, self_, peer, ParameterBlob{});
+  WriteAll(fd, hello.data(), hello.size());
+  AdoptSocket(fd, peer);
+}
+
+void TcpEndpoint::AcceptPeer() {
+  NIMBUS_CHECK_GE(listen_fd_, 0) << "AcceptPeer before Listen";
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  NIMBUS_CHECK_GE(fd, 0) << "accept: " << std::strerror(errno);
+  SetNoDelay(fd);
+  std::uint8_t header[kFrameHeaderSize];
+  ReadAll(fd, header, sizeof(header));
+  std::uint32_t payload_len = 0;
+  std::uint8_t kind = 0;
+  std::int64_t src = 0;
+  std::memcpy(&payload_len, header, sizeof(payload_len));
+  std::memcpy(&kind, header + 4, sizeof(kind));
+  std::memcpy(&src, header + 5, sizeof(src));
+  NIMBUS_CHECK_EQ(static_cast<int>(kind), static_cast<int>(kHelloKind))
+      << "bootstrap: expected a hello frame";
+  NIMBUS_CHECK_EQ(payload_len, 0u) << "bootstrap: hello frames carry no payload";
+  AdoptSocket(fd, NodeAddress(src));
+}
+
+void TcpEndpoint::AdoptSocket(int fd, NodeAddress peer) {
+  SetNonBlocking(fd);
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->peer = peer;
+  const std::size_t index = peer.DenseIndex();
+  if (index >= by_peer_.size()) {
+    by_peer_.resize(index + 1, nullptr);
+  }
+  NIMBUS_CHECK(by_peer_[index] == nullptr) << "duplicate connection to " << peer;
+  by_peer_[index] = conn.get();
+  connections_.push_back(std::move(conn));
+}
+
+void TcpEndpoint::Start() {
+  NIMBUS_CHECK(!running_.load()) << "endpoint already started";
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  NIMBUS_CHECK_GE(epoll_fd_, 0) << "epoll_create1: " << std::strerror(errno);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  NIMBUS_CHECK_GE(wake_fd_, 0) << "eventfd: " << std::strerror(errno);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // wake marker
+  NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev), 0)
+      << "epoll_ctl(wake): " << std::strerror(errno);
+  for (auto& conn : connections_) {
+    epoll_event cev{};
+    cev.events = EPOLLIN;  // level-triggered; EPOLLOUT armed on demand
+    cev.data.ptr = conn.get();
+    NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &cev), 0)
+        << "epoll_ctl(conn): " << std::strerror(errno);
+  }
+  running_.store(true);
+  // Thread creation happens-before the loop body: every connection and the handler
+  // registered above are visible to the loop without further synchronization.
+  loop_ = std::thread([this]() { EventLoop(); });
+}
+
+void TcpEndpoint::Shutdown() {
+  if (running_.exchange(false)) {
+    stop_.store(true);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+    loop_.join();
+  }
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpEndpoint::RegisterHandler(NodeAddress node, Handler handler) {
+  NIMBUS_CHECK(node == self_) << "endpoint " << self_ << " cannot deliver for " << node;
+  handler_ = std::move(handler);
+}
+
+TcpEndpoint::Connection* TcpEndpoint::ConnectionTo(NodeAddress peer) const {
+  const std::size_t index = peer.DenseIndex();
+  NIMBUS_CHECK(index < by_peer_.size() && by_peer_[index] != nullptr)
+      << "no standing connection " << self_ << " -> " << peer;
+  return by_peer_[index];
+}
+
+void TcpEndpoint::Send(NodeAddress src, NodeAddress dst, MessageKind kind,
+                       ParameterBlob bytes, std::int64_t cost_bytes) {
+  NIMBUS_CHECK(src == self_) << "endpoint " << self_ << " cannot send as " << src;
+  const std::int64_t charged =
+      cost_bytes < 0 ? static_cast<std::int64_t>(bytes.size()) : cost_bytes;
+  {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    ++counters_.frames_sent;
+    counters_.payload_bytes_sent += bytes.size();
+    ++kind_frames_[static_cast<std::size_t>(kind)];
+    kind_cost_bytes_[static_cast<std::size_t>(kind)] +=
+        static_cast<std::uint64_t>(charged);
+  }
+  if (dst == self_) {
+    // Self-sends short-circuit the socket (no node pair dials itself).
+    NIMBUS_CHECK(handler_) << "no delivery handler registered for " << self_;
+    handler_(src, kind, std::move(bytes));
+    return;
+  }
+  std::vector<std::uint8_t> frame =
+      BuildFrame(static_cast<std::uint8_t>(kind), src, dst, bytes);
+  Connection* conn = ConnectionTo(dst);
+  std::lock_guard<std::mutex> lock(conn->send_mutex);
+  {
+    std::lock_guard<std::mutex> clock(counter_mutex_);
+    counters_.queued_bytes += frame.size();
+    counters_.peak_queued_bytes =
+        std::max(counters_.peak_queued_bytes, counters_.queued_bytes);
+  }
+  conn->send_queue.push_back(std::move(frame));
+  // Eager flush on the sending thread; a stalled socket leaves the tail queued and arms
+  // EPOLLOUT so the event loop finishes the job (backpressure path).
+  FlushLocked(conn);
+}
+
+void TcpEndpoint::FlushLocked(Connection* conn) {
+  while (!conn->send_queue.empty()) {
+    // Gather up to 16 queued frames into one writev (the struct-batched and per-task
+    // dispatch modes queue many small frames back to back).
+    iovec iov[16];
+    int iovcnt = 0;
+    std::size_t offset = conn->send_offset;
+    for (const auto& buf : conn->send_queue) {
+      if (iovcnt == 16) {
+        break;
+      }
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(buf.data()) + offset;
+      iov[iovcnt].iov_len = buf.size() - offset;
+      ++iovcnt;
+      offset = 0;
+    }
+    const ssize_t written = ::writev(conn->fd, iov, iovcnt);
+    {
+      std::lock_guard<std::mutex> clock(counter_mutex_);
+      ++counters_.writev_calls;
+    }
+    if (written < 0) {
+      NIMBUS_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
+          << "writev to " << conn->peer << ": " << std::strerror(errno);
+      break;  // socket full: EPOLLOUT will resume
+    }
+    std::size_t remaining = static_cast<std::size_t>(written);
+    {
+      std::lock_guard<std::mutex> clock(counter_mutex_);
+      counters_.queued_bytes -= remaining;
+    }
+    while (remaining > 0) {
+      std::vector<std::uint8_t>& front = conn->send_queue.front();
+      const std::size_t left = front.size() - conn->send_offset;
+      if (remaining >= left) {
+        remaining -= left;
+        conn->send_offset = 0;
+        conn->send_queue.pop_front();
+      } else {
+        conn->send_offset += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  const bool backlog = !conn->send_queue.empty();
+  if (backlog) {
+    std::lock_guard<std::mutex> clock(counter_mutex_);
+    ++counters_.partial_writes;
+  }
+  if (backlog != conn->want_write && running_.load()) {
+    conn->want_write = backlog;
+    UpdateEpoll(conn, backlog);
+  } else {
+    conn->want_write = backlog;
+  }
+}
+
+void TcpEndpoint::UpdateEpoll(Connection* conn, bool want_write) {
+  if (epoll_fd_ < 0) {
+    return;  // bootstrap-phase send (loop not started yet); Start() arms EPOLLIN only,
+             // and the first event-loop flush re-arms EPOLLOUT if the backlog persists
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.ptr = conn;
+  NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev), 0)
+      << "epoll_ctl(mod): " << std::strerror(errno);
+}
+
+void TcpEndpoint::EventLoop() {
+  epoll_event events[64];
+  while (!stop_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      NIMBUS_CHECK(errno == EINTR) << "epoll_wait: " << std::strerror(errno);
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      auto* conn = static_cast<Connection*>(events[i].data.ptr);
+      if (conn == nullptr) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        continue;  // wake: loop re-checks stop_
+      }
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        ReadReady(conn);
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        std::lock_guard<std::mutex> lock(conn->send_mutex);
+        FlushLocked(conn);
+      }
+    }
+  }
+}
+
+void TcpEndpoint::ReadReady(Connection* conn) {
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
+    if (r < 0) {
+      NIMBUS_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
+          << "read from " << conn->peer << ": " << std::strerror(errno);
+      break;
+    }
+    if (r == 0) {
+      break;  // peer closed during teardown; stop_ ends the loop shortly
+    }
+    AppendRaw(&conn->recv_buffer, buf, static_cast<std::size_t>(r));
+  }
+  DrainFrames(conn);
+}
+
+void TcpEndpoint::DrainFrames(Connection* conn) {
+  std::size_t cursor = 0;
+  std::vector<std::uint8_t>& rb = conn->recv_buffer;
+  while (rb.size() - cursor >= kFrameHeaderSize) {
+    std::uint32_t payload_len = 0;
+    std::uint8_t kind = 0;
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    std::memcpy(&payload_len, rb.data() + cursor, sizeof(payload_len));
+    std::memcpy(&kind, rb.data() + cursor + 4, sizeof(kind));
+    std::memcpy(&src, rb.data() + cursor + 5, sizeof(src));
+    std::memcpy(&dst, rb.data() + cursor + 13, sizeof(dst));
+    NIMBUS_CHECK_LE(payload_len, kMaxFramePayload) << "corrupt frame length";
+    if (rb.size() - cursor - kFrameHeaderSize < payload_len) {
+      break;  // partial frame: wait for more bytes
+    }
+    NIMBUS_CHECK_EQ(dst, self_.value()) << "misrouted frame on " << self_;
+    NIMBUS_CHECK_LT(kind, kMessageKindCount) << "corrupt frame kind";
+    ParameterBlob payload(rb.begin() + static_cast<std::ptrdiff_t>(cursor +
+                                                                   kFrameHeaderSize),
+                          rb.begin() + static_cast<std::ptrdiff_t>(cursor +
+                                                                   kFrameHeaderSize +
+                                                                   payload_len));
+    cursor += kFrameHeaderSize + payload_len;
+    {
+      std::lock_guard<std::mutex> clock(counter_mutex_);
+      ++counters_.frames_received;
+    }
+    NIMBUS_CHECK(handler_) << "no delivery handler registered for " << self_;
+    handler_(NodeAddress(src), static_cast<MessageKind>(kind), std::move(payload));
+  }
+  if (cursor > 0) {
+    rb.erase(rb.begin(), rb.begin() + static_cast<std::ptrdiff_t>(cursor));
+  }
+}
+
+TcpEndpoint::Counters TcpEndpoint::counters() const {
+  std::lock_guard<std::mutex> lock(counter_mutex_);
+  return counters_;
+}
+
+std::uint64_t TcpEndpoint::frames_for(MessageKind kind) const {
+  std::lock_guard<std::mutex> lock(counter_mutex_);
+  return kind_frames_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t TcpEndpoint::cost_bytes_for(MessageKind kind) const {
+  std::lock_guard<std::mutex> lock(counter_mutex_);
+  return kind_cost_bytes_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace nimbus::net

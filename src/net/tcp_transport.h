@@ -1,0 +1,128 @@
+// TcpTransport: real sockets behind the transport seam (DESIGN.md §13).
+//
+// One TcpEndpoint per node. Bootstrap is synchronous and orchestrated by the cluster on
+// the main thread — every endpoint listens on 127.0.0.1, the orchestrator collects the
+// chosen ports into a NodeAddress -> port map, then establishes one standing connection
+// per node pair (the lower DenseIndex dials, sending a hello frame that names itself; the
+// higher accepts). Only after the full mesh stands does each endpoint spawn its epoll
+// event-loop thread, so thread creation gives every loop a happens-before edge covering
+// all registration and connection state (no locks needed on the fd tables afterwards).
+//
+// Wire framing (little-endian, host order — loopback only):
+//   u32 payload_len   u8 kind (MessageKind; 0xFF = bootstrap hello)   i64 src   i64 dst
+//   u8[payload_len] envelope bytes
+//
+// Sends append to a per-connection queue under its mutex and flush with writev — first
+// eagerly on the calling thread, then from the event loop under EPOLLOUT when a flush
+// stalls (backpressure). Counters record queue depth, partial writes, and per-kind frame
+// traffic. Delivery invokes the registered handler on the event-loop thread; the cluster
+// wraps handlers with per-node serialization.
+
+#ifndef NIMBUS_SRC_NET_TCP_TRANSPORT_H_
+#define NIMBUS_SRC_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/net/address.h"
+#include "src/net/transport.h"
+
+namespace nimbus::net {
+
+class TcpEndpoint final : public Transport {
+ public:
+  explicit TcpEndpoint(NodeAddress self);
+  ~TcpEndpoint() override;
+
+  // ---- Bootstrap (main thread, in this order; see file comment) ----
+  // Binds a listening socket on 127.0.0.1:0 and returns the kernel-chosen port.
+  std::uint16_t Listen();
+  // Dials `peer`'s listener and sends the hello frame naming this endpoint.
+  void DialPeer(NodeAddress peer, std::uint16_t port);
+  // Accepts one inbound connection and reads its hello frame to learn the peer.
+  void AcceptPeer();
+  // Spawns the epoll event-loop thread. All connections must already stand.
+  void Start();
+  // Stops the event loop, joins the thread, and closes every socket. Idempotent.
+  void Shutdown();
+
+  // ---- Transport seam ----
+  // Only this endpoint's own address may register (each node owns one endpoint).
+  void RegisterHandler(NodeAddress node, Handler handler) override;
+  // Frames `bytes` and ships it on the standing connection to `dst`. `cost_bytes` is the
+  // simulator's modeled size — recorded in the per-kind counters for comparability with
+  // sim runs; the socket carries the encoded envelope regardless. Thread-safe.
+  void Send(NodeAddress src, NodeAddress dst, MessageKind kind, ParameterBlob bytes,
+            std::int64_t cost_bytes) override;
+
+  // ---- Backpressure / traffic counters ----
+  struct Counters {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t payload_bytes_sent = 0;
+    std::uint64_t writev_calls = 0;
+    std::uint64_t partial_writes = 0;  // flushes that left queued bytes behind
+    std::uint64_t peak_queued_bytes = 0;
+    std::uint64_t queued_bytes = 0;  // currently waiting behind the socket
+  };
+  Counters counters() const;
+
+  NodeAddress self() const { return self_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    NodeAddress peer;
+    // Send side: framed buffers waiting for the socket, guarded by `send_mutex` (shared
+    // between sending threads and the event loop's EPOLLOUT flushes).
+    std::mutex send_mutex;
+    std::deque<std::vector<std::uint8_t>> send_queue;
+    std::size_t send_offset = 0;  // consumed bytes of the front buffer
+    bool want_write = false;      // EPOLLOUT currently armed
+    // Receive side: event-loop thread only.
+    std::vector<std::uint8_t> recv_buffer;
+  };
+
+  Connection* ConnectionTo(NodeAddress peer) const;
+  void AdoptSocket(int fd, NodeAddress peer);
+  // Flushes `conn`'s queue with writev; arms/disarms EPOLLOUT as needed. Requires
+  // `conn->send_mutex`.
+  void FlushLocked(Connection* conn);
+  void UpdateEpoll(Connection* conn, bool want_write);
+  void EventLoop();
+  void ReadReady(Connection* conn);
+  // Parses complete frames out of `conn->recv_buffer`, dispatching each to the handler.
+  void DrainFrames(Connection* conn);
+
+  NodeAddress self_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: kicks the loop for shutdown
+  std::vector<std::unique_ptr<Connection>> connections_;
+  // Peer DenseIndex -> connection (flat table; -1 entries are absent peers).
+  std::vector<Connection*> by_peer_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex counter_mutex_;
+  Counters counters_;
+  // Modeled per-kind traffic (mirrors sim::NetworkCounters for cross-backend reporting).
+  std::uint64_t kind_frames_[kMessageKindCount] = {};
+  std::uint64_t kind_cost_bytes_[kMessageKindCount] = {};
+
+ public:
+  std::uint64_t frames_for(MessageKind kind) const;
+  std::uint64_t cost_bytes_for(MessageKind kind) const;
+};
+
+}  // namespace nimbus::net
+
+#endif  // NIMBUS_SRC_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,61 @@
+// The transport seam (DESIGN.md §13).
+//
+// Every message between nodes — driver, controller, workers — crosses this interface as
+// encoded envelope bytes (src/task/wire.h): `Send` ships a blob from one node address to
+// another, and each node registers one delivery handler that decodes and dispatches. No
+// callback-capturing structs ride the wire path, so the same control plane runs unchanged
+// over the deterministic simulator (SimTransport) and over real sockets (TcpTransport).
+
+#ifndef NIMBUS_SRC_NET_TRANSPORT_H_
+#define NIMBUS_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/serialize.h"
+#include "src/common/stats.h"
+#include "src/net/address.h"
+
+namespace nimbus::net {
+
+class Transport {
+ public:
+  // Delivery handler of one node: invoked once per arriving message with the sender's
+  // address, the traffic kind, and the envelope bytes. Implementations invoke handlers
+  // serially per node (the control plane's serial-phase contract, DESIGN.md §11).
+  using Handler =
+      std::function<void(NodeAddress src, MessageKind kind, ParameterBlob bytes)>;
+
+  virtual ~Transport() = default;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Registers `node`'s delivery handler. Must happen before traffic addressed to `node`
+  // flows; re-registering replaces the handler.
+  virtual void RegisterHandler(NodeAddress node, Handler handler) = 0;
+
+  // Sends `bytes` from `src` to `dst`. `kind` buckets the message into the per-kind
+  // traffic counters and is deliberately not defaulted — every call site must say what
+  // kind of traffic it generates (scripts/lint_invariants.py rule send-kind).
+  //
+  // `cost_bytes` is the message's *modeled* size: what the simulator charges its cost
+  // model and counters (virtual data copies are GB-scale while their encoded payloads are
+  // tiny, and the modeled control-message sizes predate the envelope encoding). Pass a
+  // negative value to charge the encoded size. Real transports ship the encoded bytes
+  // regardless and may record both.
+  virtual void Send(NodeAddress src, NodeAddress dst, MessageKind kind,
+                    ParameterBlob bytes, std::int64_t cost_bytes) = 0;
+
+  // Whether `node` is currently reachable. Senders may probe this to skip traffic to
+  // failed peers (mirroring a connection-refused fast path); the default says yes.
+  virtual bool Reachable(NodeAddress node) const {
+    static_cast<void>(node);
+    return true;
+  }
+};
+
+}  // namespace nimbus::net
+
+#endif  // NIMBUS_SRC_NET_TRANSPORT_H_

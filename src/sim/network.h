@@ -11,25 +11,24 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/common/tracing.h"
+#include "src/net/address.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/simulation.h"
 #include "src/sim/virtual_time.h"
 
 namespace nimbus::sim {
 
-// A network endpoint address. The controller and driver get reserved addresses; workers are
-// addressed by their WorkerId value offset by kFirstWorkerAddress.
-using NodeAddress = std::int64_t;
+// A network endpoint address (see src/net/address.h). The controller and driver get reserved
+// addresses; workers are addressed by their WorkerId value.
+using NodeAddress = net::NodeAddress;
 
-constexpr NodeAddress kControllerAddress = -1;
-constexpr NodeAddress kDriverAddress = -2;
-constexpr NodeAddress kFirstWorkerAddress = 0;
+inline constexpr NodeAddress kControllerAddress = NodeAddress::Controller();
+inline constexpr NodeAddress kDriverAddress = NodeAddress::Driver();
 
 // Span names for the network trace lane, indexed by MessageKind.
 inline constexpr const char* kSendSpanNames[kMessageKindCount] = {
@@ -72,17 +71,23 @@ class Network {
   void ResetCounters() { counters_.Clear(); }
 
  private:
+  // Flat per-node NIC table indexed by the dense address layout (driver=0, controller=1,
+  // worker i=2+i); node addresses are contiguous, so a vector beats a hash map on the
+  // per-send hot path.
   Processor& TxPath(NodeAddress node) {
-    auto it = tx_paths_.find(node);
-    if (it == tx_paths_.end()) {
-      it = tx_paths_.emplace(node, std::make_unique<Processor>(simulation_)).first;
+    const std::size_t index = node.DenseIndex();
+    if (index >= tx_paths_.size()) {
+      tx_paths_.resize(index + 1);
     }
-    return *it->second;
+    if (tx_paths_[index] == nullptr) {
+      tx_paths_[index] = std::make_unique<Processor>(simulation_);
+    }
+    return *tx_paths_[index];
   }
 
   Simulation* simulation_;
   const CostModel* costs_;
-  std::unordered_map<NodeAddress, std::unique_ptr<Processor>> tx_paths_;
+  std::vector<std::unique_ptr<Processor>> tx_paths_;
   NetworkCounters counters_;
 };
 

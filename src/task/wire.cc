@@ -200,6 +200,656 @@ void PatchHeader(ParameterBlob* bytes, std::uint64_t group_seq, CommandId comman
   std::memcpy(bytes->data() + kTaskBaseOffset, &tbase, sizeof(tbase));
 }
 
+namespace {
+
+// ---- Envelope building blocks ----
+
+void WriteEnvelopeHeader(BlobWriter* w, EnvelopeType type) {
+  w->WriteU32(kEnvelopeMagic);
+  w->WriteU8(static_cast<std::uint8_t>(type));
+}
+
+// Reads + validates the header and pins the expected type (each decoder knows what it is
+// decoding; cross-type dispatch goes through PeekEnvelopeType first).
+void OpenEnvelope(BlobReader* r, EnvelopeType expected) {
+  const std::uint32_t magic = r->ReadU32();
+  NIMBUS_CHECK_EQ(magic, kEnvelopeMagic) << "not a wire-format envelope";
+  const std::uint8_t type_byte = r->ReadU8();
+  NIMBUS_CHECK_LT(type_byte, kEnvelopeTypeCount) << "unknown envelope type byte";
+  NIMBUS_CHECK_EQ(type_byte, static_cast<std::uint8_t>(expected))
+      << "envelope type mismatch";
+}
+
+// int32 fields travel as two's-complement i64 (BlobWriter has no 32-bit signed write);
+// sentinel values like -1 survive exactly.
+void WriteI32(BlobWriter* w, std::int32_t v) { w->WriteI64(v); }
+
+std::int32_t ReadI32(BlobReader* r) {
+  const std::int64_t v = r->ReadI64();
+  NIMBUS_CHECK_GE(v, INT32_MIN);
+  NIMBUS_CHECK_LE(v, INT32_MAX);
+  return static_cast<std::int32_t>(v);
+}
+
+void WriteLenBlob(BlobWriter* w, const ParameterBlob& blob) {
+  w->WriteU32(static_cast<std::uint32_t>(blob.size()));
+  for (std::uint8_t byte : blob) {
+    w->WriteU8(byte);
+  }
+}
+
+ParameterBlob ReadLenBlob(BlobReader* r) {
+  const std::uint32_t n = r->ReadU32();
+  return r->ReadBlob(n);  // bounds-checked before allocation
+}
+
+// Full-field command record: unlike the NBW1 batch records, every field is on the wire
+// absolutely (no header bases, no foreign-field default contract), so any Command
+// round-trips exactly regardless of which control path built it.
+void WriteCommandFull(BlobWriter* w, const Command& cmd) {
+  w->WriteU8(static_cast<std::uint8_t>(cmd.type));
+  w->WriteU64(cmd.id.value());
+  w->WriteU32(static_cast<std::uint32_t>(cmd.before.size()));
+  for (CommandId b : cmd.before) {
+    w->WriteU64(b.value());
+  }
+  WriteIdSet(w, cmd.read_set);
+  WriteIdSet(w, cmd.write_set);
+  WriteLenBlob(w, cmd.params);
+  w->WriteU64(cmd.task_id.value());
+  w->WriteU64(cmd.function.value());
+  w->WriteI64(cmd.duration);
+  w->WriteU8(cmd.returns_scalar ? 1 : 0);
+  w->WriteU64(cmd.copy_id.value());
+  w->WriteU64(cmd.peer.value());
+  w->WriteU64(cmd.copy_object.value());
+  w->WriteU64(cmd.copy_version);
+  w->WriteI64(cmd.copy_bytes);
+  w->WriteU64(cmd.data_object.value());
+}
+
+Command ReadCommandFull(BlobReader* r) {
+  Command cmd;
+  const std::uint8_t type_byte = r->ReadU8();
+  NIMBUS_CHECK_LE(type_byte, static_cast<std::uint8_t>(CommandType::kFileSave))
+      << "unknown command type byte";
+  cmd.type = static_cast<CommandType>(type_byte);
+  cmd.id = CommandId(r->ReadU64());
+  const std::uint32_t n_before = r->ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n_before) * 8, r->remaining());
+  cmd.before.reserve(n_before);
+  for (std::uint32_t b = 0; b < n_before; ++b) {
+    cmd.before.emplace_back(r->ReadU64());
+  }
+  cmd.read_set = ReadIdSet(r);
+  cmd.write_set = ReadIdSet(r);
+  cmd.params = ReadLenBlob(r);
+  cmd.task_id = TaskId(r->ReadU64());
+  cmd.function = FunctionId(r->ReadU64());
+  cmd.duration = r->ReadI64();
+  const std::uint8_t scalar_flag = r->ReadU8();
+  NIMBUS_CHECK_LE(scalar_flag, 1) << "unknown flag bits";
+  cmd.returns_scalar = scalar_flag != 0;
+  cmd.copy_id = CopyId(r->ReadU64());
+  cmd.peer = WorkerId(r->ReadU64());
+  cmd.copy_object = LogicalObjectId(r->ReadU64());
+  cmd.copy_version = r->ReadU64();
+  cmd.copy_bytes = r->ReadI64();
+  cmd.data_object = LogicalObjectId(r->ReadU64());
+  return cmd;
+}
+
+void WriteWtEntry(BlobWriter* w, const core::WtEntry& e) {
+  w->WriteU8(static_cast<std::uint8_t>(e.type));
+  w->WriteU64(e.function.value());
+  WriteI32(w, e.global_entry);
+  w->WriteI64(e.duration);
+  w->WriteU8(e.returns_scalar ? 1 : 0);
+  WriteIdSet(w, e.reads);
+  WriteIdSet(w, e.writes);
+  WriteLenBlob(w, e.cached_params);
+  WriteI32(w, e.copy_index);
+  w->WriteU64(e.peer.value());
+  w->WriteU64(e.object.value());
+  w->WriteI64(e.bytes);
+  w->WriteU32(static_cast<std::uint32_t>(e.before.size()));
+  for (std::int32_t b : e.before) {
+    WriteI32(w, b);
+  }
+  w->WriteU8(e.dead ? 1 : 0);
+}
+
+core::WtEntry ReadWtEntry(BlobReader* r) {
+  core::WtEntry e;
+  const std::uint8_t type_byte = r->ReadU8();
+  NIMBUS_CHECK_LE(type_byte, static_cast<std::uint8_t>(CommandType::kFileSave))
+      << "unknown command type byte";
+  e.type = static_cast<CommandType>(type_byte);
+  e.function = FunctionId(r->ReadU64());
+  e.global_entry = ReadI32(r);
+  e.duration = r->ReadI64();
+  const std::uint8_t scalar_flag = r->ReadU8();
+  NIMBUS_CHECK_LE(scalar_flag, 1) << "unknown flag bits";
+  e.returns_scalar = scalar_flag != 0;
+  e.reads = ReadIdSet(r);
+  e.writes = ReadIdSet(r);
+  e.cached_params = ReadLenBlob(r);
+  e.copy_index = ReadI32(r);
+  e.peer = WorkerId(r->ReadU64());
+  e.object = LogicalObjectId(r->ReadU64());
+  e.bytes = r->ReadI64();
+  const std::uint32_t n_before = r->ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n_before) * 8, r->remaining());
+  e.before.reserve(n_before);
+  for (std::uint32_t b = 0; b < n_before; ++b) {
+    e.before.push_back(ReadI32(r));
+  }
+  const std::uint8_t dead_flag = r->ReadU8();
+  NIMBUS_CHECK_LE(dead_flag, 1) << "unknown flag bits";
+  e.dead = dead_flag != 0;
+  return e;
+}
+
+void WriteEditOp(BlobWriter* w, const core::WorkerEditOp& op) {
+  w->WriteU8(static_cast<std::uint8_t>(op.kind));
+  WriteI32(w, op.index);
+  WriteI32(w, op.edge);
+  WriteWtEntry(w, op.entry);
+}
+
+core::WorkerEditOp ReadEditOp(BlobReader* r) {
+  core::WorkerEditOp op;
+  const std::uint8_t kind_byte = r->ReadU8();
+  NIMBUS_CHECK_LE(kind_byte,
+                  static_cast<std::uint8_t>(core::WorkerEditOp::Kind::kTombstone))
+      << "unknown edit-op kind byte";
+  op.kind = static_cast<core::WorkerEditOp::Kind>(kind_byte);
+  op.index = ReadI32(r);
+  op.edge = ReadI32(r);
+  op.entry = ReadWtEntry(r);
+  return op;
+}
+
+void WriteScalarResults(BlobWriter* w, const std::vector<ScalarResult>& scalars) {
+  w->WriteU32(static_cast<std::uint32_t>(scalars.size()));
+  for (const ScalarResult& s : scalars) {
+    w->WriteU64(s.task.value());
+    w->WriteDouble(s.value);
+  }
+}
+
+std::vector<ScalarResult> ReadScalarResults(BlobReader* r) {
+  const std::uint32_t n = r->ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 16, r->remaining());
+  std::vector<ScalarResult> scalars;
+  scalars.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ScalarResult s;
+    s.task = TaskId(r->ReadU64());
+    s.value = r->ReadDouble();
+    scalars.push_back(s);
+  }
+  return scalars;
+}
+
+void WriteSparseParams(BlobWriter* w,
+                       const std::vector<std::pair<std::int32_t, ParameterBlob>>& params) {
+  w->WriteU32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& [slot, blob] : params) {
+    WriteI32(w, slot);
+    WriteLenBlob(w, blob);
+  }
+}
+
+std::vector<std::pair<std::int32_t, ParameterBlob>> ReadSparseParams(BlobReader* r) {
+  const std::uint32_t n = r->ReadU32();
+  // 12 = minimum record size (i64 slot + empty-blob length prefix).
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 12, r->remaining());
+  std::vector<std::pair<std::int32_t, ParameterBlob>> params;
+  params.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::int32_t slot = ReadI32(r);
+    params.emplace_back(slot, ReadLenBlob(r));
+  }
+  return params;
+}
+
+void WriteObjRefs(BlobWriter* w, const std::vector<ObjRef>& refs) {
+  w->WriteU32(static_cast<std::uint32_t>(refs.size()));
+  for (const ObjRef& ref : refs) {
+    w->WriteU64(ref.variable.value());
+    WriteI32(w, ref.partition);
+  }
+}
+
+std::vector<ObjRef> ReadObjRefs(BlobReader* r) {
+  const std::uint32_t n = r->ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 16, r->remaining());
+  std::vector<ObjRef> refs;
+  refs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ObjRef ref;
+    ref.variable = VariableId(r->ReadU64());
+    ref.partition = ReadI32(r);
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+// Payload kind bytes for the data-copy envelope body.
+constexpr std::uint8_t kPayloadNone = 0;
+constexpr std::uint8_t kPayloadScalar = 1;
+constexpr std::uint8_t kPayloadVector = 2;
+
+void WritePayload(BlobWriter* w, const Payload* payload) {
+  if (payload == nullptr) {
+    w->WriteU8(kPayloadNone);
+    return;
+  }
+  if (const auto* scalar = dynamic_cast<const ScalarPayload*>(payload)) {
+    w->WriteU8(kPayloadScalar);
+    w->WriteDouble(scalar->value());
+    return;
+  }
+  if (const auto* vec = dynamic_cast<const VectorPayload*>(payload)) {
+    w->WriteU8(kPayloadVector);
+    w->WriteDoubleVector(vec->values());
+    return;
+  }
+  NIMBUS_CHECK(false) << "payload type is not wire-encodable (TypedPayload<T> is "
+                         "in-memory only)";
+}
+
+std::unique_ptr<Payload> ReadPayload(BlobReader* r) {
+  const std::uint8_t kind = r->ReadU8();
+  switch (kind) {
+    case kPayloadNone:
+      return nullptr;
+    case kPayloadScalar:
+      return std::make_unique<ScalarPayload>(r->ReadDouble());
+    case kPayloadVector:
+      return std::make_unique<VectorPayload>(r->ReadDoubleVector());
+    default:
+      NIMBUS_CHECK(false) << "unknown payload kind byte";
+      return nullptr;
+  }
+}
+
+// Group-delivery flag bits shared by the kCommands / kSerializedBatch envelopes.
+constexpr std::uint8_t kFlagFinalize = 1;
+constexpr std::uint8_t kFlagBarrier = 2;
+
+std::uint8_t GroupFlags(bool finalize, bool barrier) {
+  return static_cast<std::uint8_t>((finalize ? kFlagFinalize : 0) |
+                                   (barrier ? kFlagBarrier : 0));
+}
+
+}  // namespace
+
+EnvelopeType PeekEnvelopeType(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  const std::uint32_t magic = r.ReadU32();
+  NIMBUS_CHECK_EQ(magic, kEnvelopeMagic) << "not a wire-format envelope";
+  const std::uint8_t type_byte = r.ReadU8();
+  NIMBUS_CHECK_LT(type_byte, kEnvelopeTypeCount) << "unknown envelope type byte";
+  return static_cast<EnvelopeType>(type_byte);
+}
+
+ParameterBlob EncodeCommandsEnvelope(const CommandsEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kCommands);
+  w.WriteU64(e.group_seq);
+  w.WriteU64(e.expected_total);
+  w.WriteU8(GroupFlags(e.finalize, e.barrier));
+  w.WriteU32(static_cast<std::uint32_t>(e.commands.size()));
+  for (const Command& cmd : e.commands) {
+    WriteCommandFull(&w, cmd);
+  }
+  return w.Take();
+}
+
+CommandsEnvelope DecodeCommandsEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kCommands);
+  CommandsEnvelope e;
+  e.group_seq = r.ReadU64();
+  e.expected_total = r.ReadU64();
+  const std::uint8_t flags = r.ReadU8();
+  NIMBUS_CHECK_LE(flags, kFlagFinalize | kFlagBarrier) << "unknown flag bits";
+  e.finalize = (flags & kFlagFinalize) != 0;
+  e.barrier = (flags & kFlagBarrier) != 0;
+  const std::uint32_t n = r.ReadU32();
+  // 98 = fixed bytes of one full-field command record (sets and params add to it).
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 98, r.remaining());
+  e.commands.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    e.commands.push_back(ReadCommandFull(&r));
+  }
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the last command record";
+  return e;
+}
+
+ParameterBlob EncodeSerializedBatchEnvelope(const SerializedBatchEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kSerializedBatch);
+  w.WriteU64(e.group_seq);
+  w.WriteU64(e.expected_total);
+  w.WriteU8(GroupFlags(e.finalize, e.barrier));
+  WriteLenBlob(&w, e.batch);
+  return w.Take();
+}
+
+SerializedBatchEnvelope DecodeSerializedBatchEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kSerializedBatch);
+  SerializedBatchEnvelope e;
+  e.group_seq = r.ReadU64();
+  e.expected_total = r.ReadU64();
+  const std::uint8_t flags = r.ReadU8();
+  NIMBUS_CHECK_LE(flags, kFlagFinalize | kFlagBarrier) << "unknown flag bits";
+  e.finalize = (flags & kFlagFinalize) != 0;
+  e.barrier = (flags & kFlagBarrier) != 0;
+  e.batch = ReadLenBlob(&r);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the nested batch";
+  return e;
+}
+
+ParameterBlob EncodeInstallTemplateEnvelope(const InstallTemplateEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kInstallTemplate);
+  w.WriteU64(e.id.value());
+  w.WriteU64(e.half.worker.value());
+  w.WriteU32(static_cast<std::uint32_t>(e.half.entries.size()));
+  for (const core::WtEntry& entry : e.half.entries) {
+    WriteWtEntry(&w, entry);
+  }
+  return w.Take();
+}
+
+InstallTemplateEnvelope DecodeInstallTemplateEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kInstallTemplate);
+  InstallTemplateEnvelope e;
+  e.id = WorkerTemplateId(r.ReadU64());
+  e.half.worker = WorkerId(r.ReadU64());
+  const std::uint32_t n = r.ReadU32();
+  // 70 = fixed bytes of one WtEntry record (sets and params add to it).
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 70, r.remaining());
+  e.half.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    e.half.entries.push_back(ReadWtEntry(&r));
+  }
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the last template entry";
+  return e;
+}
+
+ParameterBlob EncodeInstantiateEnvelope(const InstantiateMsg& msg) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kInstantiate);
+  w.WriteU64(msg.worker_template.value());
+  w.WriteU64(msg.group_seq);
+  w.WriteU64(msg.command_base.value());
+  w.WriteU64(msg.task_base.value());
+  WriteSparseParams(&w, msg.params);
+  w.WriteU32(static_cast<std::uint32_t>(msg.edits.size()));
+  for (const core::WorkerEditOp& op : msg.edits) {
+    WriteEditOp(&w, op);
+  }
+  return w.Take();
+}
+
+InstantiateMsg DecodeInstantiateEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kInstantiate);
+  InstantiateMsg msg;
+  msg.worker_template = WorkerTemplateId(r.ReadU64());
+  msg.group_seq = r.ReadU64();
+  msg.command_base = CommandId(r.ReadU64());
+  msg.task_base = TaskId(r.ReadU64());
+  msg.params = ReadSparseParams(&r);
+  const std::uint32_t n = r.ReadU32();
+  // 87 = fixed bytes of one edit op (kind + two indexes + its nested WtEntry).
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n) * 87, r.remaining());
+  msg.edits.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    msg.edits.push_back(ReadEditOp(&r));
+  }
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the last edit op";
+  return msg;
+}
+
+ParameterBlob EncodeHaltEnvelope() {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kHalt);
+  return w.Take();
+}
+
+void DecodeHaltEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kHalt);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the halt header";
+}
+
+ParameterBlob EncodeLoadObjectsEnvelope(const LoadObjectsEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kLoadObjects);
+  w.WriteU64(e.group_seq);
+  WriteIdSet(&w, e.objects);
+  return w.Take();
+}
+
+LoadObjectsEnvelope DecodeLoadObjectsEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kLoadObjects);
+  LoadObjectsEnvelope e;
+  e.group_seq = r.ReadU64();
+  e.objects = ReadIdSet(&r);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the object list";
+  return e;
+}
+
+ParameterBlob EncodeHeartbeatEnvelope(WorkerId worker) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kHeartbeat);
+  w.WriteU64(worker.value());
+  return w.Take();
+}
+
+WorkerId DecodeHeartbeatEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kHeartbeat);
+  const WorkerId worker(r.ReadU64());
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the heartbeat body";
+  return worker;
+}
+
+ParameterBlob EncodeGroupCompleteEnvelope(const GroupCompleteEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kGroupComplete);
+  w.WriteU64(e.worker.value());
+  w.WriteU64(e.group_seq);
+  WriteScalarResults(&w, e.scalars);
+  return w.Take();
+}
+
+GroupCompleteEnvelope DecodeGroupCompleteEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kGroupComplete);
+  GroupCompleteEnvelope e;
+  e.worker = WorkerId(r.ReadU64());
+  e.group_seq = r.ReadU64();
+  e.scalars = ReadScalarResults(&r);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the scalar list";
+  return e;
+}
+
+ParameterBlob EncodeDataCopyEnvelope(const DataCopyEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kDataCopy);
+  w.WriteU64(e.copy.value());
+  w.WriteU64(e.object.value());
+  w.WriteU64(e.version);
+  WritePayload(&w, e.payload.get());
+  return w.Take();
+}
+
+DataCopyEnvelope DecodeDataCopyEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kDataCopy);
+  DataCopyEnvelope e;
+  e.copy = CopyId(r.ReadU64());
+  e.object = LogicalObjectId(r.ReadU64());
+  e.version = r.ReadU64();
+  e.payload = ReadPayload(&r);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the payload";
+  return e;
+}
+
+ParameterBlob EncodeSubmitStagesEnvelope(const SubmitStagesEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kSubmitStages);
+  w.WriteU64(e.request_id);
+  w.WriteString(e.capture_name);
+  w.WriteU32(static_cast<std::uint32_t>(e.stages.size()));
+  for (const StageDescriptor& stage : e.stages) {
+    w.WriteString(stage.name);
+    w.WriteU32(static_cast<std::uint32_t>(stage.tasks.size()));
+    for (const TaskDescriptor& task : stage.tasks) {
+      w.WriteU64(task.function.value());
+      WriteObjRefs(&w, task.reads);
+      WriteObjRefs(&w, task.writes);
+      WriteLenBlob(&w, task.params);
+      WriteI32(&w, task.placement_partition);
+      w.WriteI64(task.duration);
+      w.WriteU8(task.returns_scalar ? 1 : 0);
+    }
+  }
+  return w.Take();
+}
+
+SubmitStagesEnvelope DecodeSubmitStagesEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kSubmitStages);
+  SubmitStagesEnvelope e;
+  e.request_id = r.ReadU64();
+  e.capture_name = r.ReadString();
+  const std::uint32_t n_stages = r.ReadU32();
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(n_stages) * 8, r.remaining());
+  e.stages.reserve(n_stages);
+  for (std::uint32_t s = 0; s < n_stages; ++s) {
+    StageDescriptor stage;
+    stage.name = r.ReadString();
+    const std::uint32_t n_tasks = r.ReadU32();
+    // 41 = fixed bytes of one task descriptor (ref sets and params add to it).
+    NIMBUS_CHECK_LE(static_cast<std::size_t>(n_tasks) * 41, r.remaining());
+    stage.tasks.reserve(n_tasks);
+    for (std::uint32_t t = 0; t < n_tasks; ++t) {
+      TaskDescriptor task;
+      task.function = FunctionId(r.ReadU64());
+      task.reads = ReadObjRefs(&r);
+      task.writes = ReadObjRefs(&r);
+      task.params = ReadLenBlob(&r);
+      task.placement_partition = ReadI32(&r);
+      task.duration = r.ReadI64();
+      const std::uint8_t scalar_flag = r.ReadU8();
+      NIMBUS_CHECK_LE(scalar_flag, 1) << "unknown flag bits";
+      task.returns_scalar = scalar_flag != 0;
+      stage.tasks.push_back(std::move(task));
+    }
+    e.stages.push_back(std::move(stage));
+  }
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the last stage";
+  return e;
+}
+
+ParameterBlob EncodeInstantiateRequestEnvelope(const InstantiateRequestEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kInstantiateRequest);
+  w.WriteU64(e.request_id);
+  w.WriteString(e.name);
+  WriteSparseParams(&w, e.params);
+  w.WriteString(e.next_hint);
+  return w.Take();
+}
+
+InstantiateRequestEnvelope DecodeInstantiateRequestEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kInstantiateRequest);
+  InstantiateRequestEnvelope e;
+  e.request_id = r.ReadU64();
+  e.name = r.ReadString();
+  e.params = ReadSparseParams(&r);
+  e.next_hint = r.ReadString();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the lookahead hint";
+  return e;
+}
+
+ParameterBlob EncodeCheckpointRequestEnvelope(const CheckpointRequestEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kCheckpointRequest);
+  w.WriteU64(e.request_id);
+  w.WriteU64(e.marker);
+  return w.Take();
+}
+
+CheckpointRequestEnvelope DecodeCheckpointRequestEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kCheckpointRequest);
+  CheckpointRequestEnvelope e;
+  e.request_id = r.ReadU64();
+  e.marker = r.ReadU64();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the checkpoint request";
+  return e;
+}
+
+ParameterBlob EncodeBlockDoneEnvelope(const BlockDoneEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kBlockDone);
+  w.WriteU64(e.request_id);
+  WriteScalarResults(&w, e.scalars);
+  return w.Take();
+}
+
+BlockDoneEnvelope DecodeBlockDoneEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kBlockDone);
+  BlockDoneEnvelope e;
+  e.request_id = r.ReadU64();
+  e.scalars = ReadScalarResults(&r);
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the scalar list";
+  return e;
+}
+
+ParameterBlob EncodeCheckpointDoneEnvelope(std::uint64_t request_id) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kCheckpointDone);
+  w.WriteU64(request_id);
+  return w.Take();
+}
+
+std::uint64_t DecodeCheckpointDoneEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kCheckpointDone);
+  const std::uint64_t request_id = r.ReadU64();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the checkpoint reply";
+  return request_id;
+}
+
+ParameterBlob EncodeRecoveryNoticeEnvelope(std::uint64_t marker) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kRecoveryNotice);
+  w.WriteU64(marker);
+  return w.Take();
+}
+
+std::uint64_t DecodeRecoveryNoticeEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kRecoveryNotice);
+  const std::uint64_t marker = r.ReadU64();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the recovery notice";
+  return marker;
+}
+
 ParameterBlob ApplyParamOverrides(
     const ParameterBlob& tmpl, const std::vector<ParamSlot>& slots,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& overrides, PatchStats* stats) {

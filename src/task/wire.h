@@ -39,13 +39,17 @@
 #define NIMBUS_SRC_TASK_WIRE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/serialize.h"
 #include "src/common/stats.h"
+#include "src/data/payload.h"
 #include "src/task/command.h"
+#include "src/task/messages.h"
 
 namespace nimbus::wire {
 
@@ -113,6 +117,165 @@ void PatchHeader(ParameterBlob* bytes, std::uint64_t group_seq, CommandId comman
 ParameterBlob ApplyParamOverrides(
     const ParameterBlob& tmpl, const std::vector<ParamSlot>& slots,
     const std::vector<std::pair<std::int32_t, ParameterBlob>>& overrides, PatchStats* stats);
+
+// ---- Message envelopes (DESIGN.md §13) ----
+//
+// Every message that crosses the transport seam (src/net/transport.h) travels as one
+// envelope: a versioned 5-byte header (u32 magic, u8 envelope type) followed by a
+// type-specific body. Unlike the NBW1 batch format above — which stores ids as deltas so
+// cached template bytes are instantiation-invariant — envelopes are encoded per send and
+// carry every field absolutely: the decode side reconstructs the in-memory message
+// field-for-field with no preconditions on the input structs. A kSerializedBatch envelope
+// nests the NBW1 bytes verbatim, so the serialized-dispatch path still ships cached
+// template encodings (memcpy + patch), just wrapped in an envelope header.
+//
+// Decode discipline matches DecodeBatch: magic, type bytes, flag bits, and every length
+// prefix are validated against the remaining buffer before allocation, and trailing bytes
+// CHECK-fail (same death-test coverage, tests/task/envelope_test.cc).
+
+// "NBE1": Nimbus Envelope format, version 1. Bump the trailing digit on layout changes.
+inline constexpr std::uint32_t kEnvelopeMagic = 0x3145424E;
+inline constexpr std::size_t kEnvelopeHeaderSize = 5;
+
+enum class EnvelopeType : std::uint8_t {
+  // Controller -> worker.
+  kCommands = 0,       // explicit command group (central dispatch, patches, checkpoints)
+  kSerializedBatch,    // NBW1-encoded command group (serialized dispatch)
+  kInstallTemplate,    // cache one worker-template half
+  kInstantiate,        // instantiate a cached template (params + edits)
+  kHalt,               // terminate ongoing work (failure handling)
+  kLoadObjects,        // reload objects from durable storage (recovery)
+  // Worker -> controller.
+  kHeartbeat,          // periodic liveness signal
+  kGroupComplete,      // one group finished (carries scalar results)
+  // Worker -> worker.
+  kDataCopy,           // one data-copy payload (send half -> receive half)
+  // Driver -> controller.
+  kSubmitStages,       // run stages centrally (optionally capturing a template)
+  kInstantiateRequest, // run a captured block (steady state, n+1 messages per block)
+  kCheckpointRequest,  // write a checkpoint
+  // Controller -> driver.
+  kBlockDone,          // block finished (carries scalar results)
+  kCheckpointDone,     // checkpoint finished
+  kRecoveryNotice,     // a worker failed; state reverted to a checkpoint
+};
+inline constexpr std::uint8_t kEnvelopeTypeCount = 15;
+
+// Reads and validates the envelope header, returning the type. CHECK-fails on a short
+// buffer, a bad magic, or an unknown type byte.
+EnvelopeType PeekEnvelopeType(const ParameterBlob& bytes);
+
+// -- Controller -> worker --
+
+struct CommandsEnvelope {
+  std::uint64_t group_seq = 0;
+  std::uint64_t expected_total = 0;  // the group's full command count (0 while streaming)
+  bool finalize = true;
+  bool barrier = false;
+  std::vector<Command> commands;
+};
+ParameterBlob EncodeCommandsEnvelope(const CommandsEnvelope& e);
+CommandsEnvelope DecodeCommandsEnvelope(const ParameterBlob& bytes);
+
+struct SerializedBatchEnvelope {
+  std::uint64_t group_seq = 0;
+  std::uint64_t expected_total = 0;
+  bool finalize = true;
+  bool barrier = false;
+  ParameterBlob batch;  // NBW1 bytes (EncodeBatch), nested verbatim
+};
+ParameterBlob EncodeSerializedBatchEnvelope(const SerializedBatchEnvelope& e);
+SerializedBatchEnvelope DecodeSerializedBatchEnvelope(const ParameterBlob& bytes);
+
+struct InstallTemplateEnvelope {
+  WorkerTemplateId id;
+  core::WorkerHalf half;
+};
+ParameterBlob EncodeInstallTemplateEnvelope(const InstallTemplateEnvelope& e);
+InstallTemplateEnvelope DecodeInstallTemplateEnvelope(const ParameterBlob& bytes);
+
+ParameterBlob EncodeInstantiateEnvelope(const InstantiateMsg& msg);
+InstantiateMsg DecodeInstantiateEnvelope(const ParameterBlob& bytes);
+
+ParameterBlob EncodeHaltEnvelope();
+void DecodeHaltEnvelope(const ParameterBlob& bytes);  // validation only (empty body)
+
+struct LoadObjectsEnvelope {
+  std::uint64_t group_seq = 0;
+  std::vector<LogicalObjectId> objects;
+};
+ParameterBlob EncodeLoadObjectsEnvelope(const LoadObjectsEnvelope& e);
+LoadObjectsEnvelope DecodeLoadObjectsEnvelope(const ParameterBlob& bytes);
+
+// -- Worker -> controller --
+
+ParameterBlob EncodeHeartbeatEnvelope(WorkerId worker);
+WorkerId DecodeHeartbeatEnvelope(const ParameterBlob& bytes);
+
+struct GroupCompleteEnvelope {
+  WorkerId worker;
+  std::uint64_t group_seq = 0;
+  std::vector<ScalarResult> scalars;
+};
+ParameterBlob EncodeGroupCompleteEnvelope(const GroupCompleteEnvelope& e);
+GroupCompleteEnvelope DecodeGroupCompleteEnvelope(const ParameterBlob& bytes);
+
+// -- Worker -> worker --
+
+// Payload wire coverage: ScalarPayload and VectorPayload (the two application payload
+// kinds that cross worker boundaries). Encoding any other Payload subclass CHECK-fails —
+// TypedPayload<T> is in-memory only.
+struct DataCopyEnvelope {
+  CopyId copy;
+  LogicalObjectId object;
+  Version version = 0;
+  std::unique_ptr<Payload> payload;
+};
+ParameterBlob EncodeDataCopyEnvelope(const DataCopyEnvelope& e);
+DataCopyEnvelope DecodeDataCopyEnvelope(const ParameterBlob& bytes);
+
+// -- Driver -> controller --
+
+struct SubmitStagesEnvelope {
+  std::uint64_t request_id = 0;
+  // Non-empty: capture the stages as a named template while executing (BeginTemplate /
+  // SubmitStages / EndTemplate). Empty: plain central execution.
+  std::string capture_name;
+  std::vector<StageDescriptor> stages;
+};
+ParameterBlob EncodeSubmitStagesEnvelope(const SubmitStagesEnvelope& e);
+SubmitStagesEnvelope DecodeSubmitStagesEnvelope(const ParameterBlob& bytes);
+
+struct InstantiateRequestEnvelope {
+  std::uint64_t request_id = 0;
+  std::string name;
+  std::vector<std::pair<std::int32_t, ParameterBlob>> params;
+  std::string next_hint;  // lookahead announcement ("" = none, DESIGN.md §9)
+};
+ParameterBlob EncodeInstantiateRequestEnvelope(const InstantiateRequestEnvelope& e);
+InstantiateRequestEnvelope DecodeInstantiateRequestEnvelope(const ParameterBlob& bytes);
+
+struct CheckpointRequestEnvelope {
+  std::uint64_t request_id = 0;
+  std::uint64_t marker = 0;
+};
+ParameterBlob EncodeCheckpointRequestEnvelope(const CheckpointRequestEnvelope& e);
+CheckpointRequestEnvelope DecodeCheckpointRequestEnvelope(const ParameterBlob& bytes);
+
+// -- Controller -> driver --
+
+struct BlockDoneEnvelope {
+  std::uint64_t request_id = 0;
+  std::vector<ScalarResult> scalars;
+};
+ParameterBlob EncodeBlockDoneEnvelope(const BlockDoneEnvelope& e);
+BlockDoneEnvelope DecodeBlockDoneEnvelope(const ParameterBlob& bytes);
+
+ParameterBlob EncodeCheckpointDoneEnvelope(std::uint64_t request_id);
+std::uint64_t DecodeCheckpointDoneEnvelope(const ParameterBlob& bytes);
+
+ParameterBlob EncodeRecoveryNoticeEnvelope(std::uint64_t marker);
+std::uint64_t DecodeRecoveryNoticeEnvelope(const ParameterBlob& bytes);
 
 }  // namespace nimbus::wire
 

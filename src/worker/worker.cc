@@ -13,18 +13,62 @@ inline std::uint32_t TraceTrack(WorkerId id) {
 }
 }  // namespace
 
-Worker::Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
+Worker::Worker(WorkerId id, sim::Simulation* simulation, net::Transport* transport,
                const sim::CostModel* costs, const FunctionRegistry* functions,
-               DurableStore* durable, WorkerEnv env)
+               DurableStore* durable)
     : id_(id),
       simulation_(simulation),
-      network_(network),
+      transport_(transport),
       costs_(costs),
       functions_(functions),
       durable_(durable),
-      env_(std::move(env)),
       cores_(simulation, costs->worker_cores),
       control_thread_(simulation) {}
+
+void Worker::OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+  static_cast<void>(src);
+  static_cast<void>(kind);
+  switch (wire::PeekEnvelopeType(bytes)) {
+    case wire::EnvelopeType::kCommands: {
+      wire::CommandsEnvelope e = wire::DecodeCommandsEnvelope(bytes);
+      OnCommands(e.group_seq, std::move(e.commands),
+                 static_cast<std::size_t>(e.expected_total), e.finalize, e.barrier);
+      break;
+    }
+    case wire::EnvelopeType::kSerializedBatch: {
+      wire::SerializedBatchEnvelope e = wire::DecodeSerializedBatchEnvelope(bytes);
+      OnSerializedCommands(e.group_seq, std::move(e.batch),
+                           static_cast<std::size_t>(e.expected_total), e.finalize,
+                           e.barrier);
+      break;
+    }
+    case wire::EnvelopeType::kInstallTemplate: {
+      wire::InstallTemplateEnvelope e = wire::DecodeInstallTemplateEnvelope(bytes);
+      OnInstallTemplate(std::move(e.half), e.id);
+      break;
+    }
+    case wire::EnvelopeType::kInstantiate:
+      OnInstantiate(wire::DecodeInstantiateEnvelope(bytes));
+      break;
+    case wire::EnvelopeType::kHalt:
+      wire::DecodeHaltEnvelope(bytes);
+      OnHalt();
+      break;
+    case wire::EnvelopeType::kLoadObjects: {
+      wire::LoadObjectsEnvelope e = wire::DecodeLoadObjectsEnvelope(bytes);
+      OnLoadObjects(e.group_seq, std::move(e.objects));
+      break;
+    }
+    case wire::EnvelopeType::kDataCopy: {
+      wire::DataCopyEnvelope e = wire::DecodeDataCopyEnvelope(bytes);
+      OnDataMessage(e.copy, e.object, e.version, std::move(e.payload));
+      break;
+    }
+    default:
+      NIMBUS_CHECK(false) << "worker " << id_ << ": unexpected envelope type "
+                          << static_cast<int>(wire::PeekEnvelopeType(bytes));
+  }
+}
 
 void Worker::StartHeartbeats(sim::Duration period) {
   if (heartbeats_running_) {
@@ -39,8 +83,8 @@ void Worker::HeartbeatTick(sim::Duration period) {
     heartbeats_running_ = false;
     return;
   }
-  network_->Send(address(), sim::kControllerAddress, 16,
-                 [this]() { env_.on_heartbeat(id_); }, MessageKind::kControl);
+  transport_->Send(address(), net::NodeAddress::Controller(), MessageKind::kControl,
+                   wire::EncodeHeartbeatEnvelope(id_), /*cost_bytes=*/16);
   simulation_->ScheduleAfter(period, [this, period]() { HeartbeatTick(period); });
 }
 
@@ -644,21 +688,18 @@ void Worker::ExecuteCopySend(Group& group, std::int32_t index) {
   RuntimeCommand& rc = group.commands[static_cast<std::size_t>(index)];
   NIMBUS_CHECK(store_.HasDense(rc.object_dense))
       << "worker " << id_ << ": copy-send of non-resident object " << rc.cmd.copy_object;
-  auto payload = store_.GetDense(rc.object_dense)->Clone();
-  const Version version = store_.VersionDense(rc.object_dense);
-  Worker* peer = env_.peer(rc.cmd.peer);
-  const CopyId copy = rc.cmd.copy_id;
-  const LogicalObjectId object = rc.cmd.copy_object;
+  const net::NodeAddress peer = net::NodeAddress::ForWorker(rc.cmd.peer);
   // The transfer occupies this worker's NIC for its serialization time and is delivered one
   // latency later; the send command itself completes immediately (asynchronous I/O, §3.4).
-  if (peer != nullptr) {
-    network_->Send(
-        address(), peer->address(), rc.cmd.copy_bytes,
-        [peer, copy, object, version,
-         p = std::shared_ptr<Payload>(std::move(payload))]() mutable {
-          peer->OnDataMessage(copy, object, version, p->Clone());
-        },
-        MessageKind::kData);
+  // A failed peer is unreachable: skip the send (the controller reschedules via recovery).
+  if (transport_->Reachable(peer)) {
+    wire::DataCopyEnvelope e;
+    e.copy = rc.cmd.copy_id;
+    e.object = rc.cmd.copy_object;
+    e.version = store_.VersionDense(rc.object_dense);
+    e.payload = store_.GetDense(rc.object_dense)->Clone();
+    transport_->Send(address(), peer, MessageKind::kData, wire::EncodeDataCopyEnvelope(e),
+                     /*cost_bytes=*/rc.cmd.copy_bytes);
   }
   CompleteCommand(group.seq, index);
 }
@@ -758,13 +799,13 @@ void Worker::FinishGroupIfDone(std::uint64_t seq) {
   if (!group->reported) {
     group->reported = true;
     // Report completion (with any scalar results) to the controller.
-    std::vector<ScalarResult> scalars = std::move(group->scalars);
-    const std::int64_t bytes = 64 + static_cast<std::int64_t>(scalars.size()) * 16;
-    network_->Send(address(), sim::kControllerAddress, bytes,
-                   [this, seq, scalars = std::move(scalars)]() mutable {
-                     env_.on_group_complete(id_, seq, std::move(scalars));
-                   },
-                   MessageKind::kControl);
+    wire::GroupCompleteEnvelope e;
+    e.worker = id_;
+    e.group_seq = seq;
+    e.scalars = std::move(group->scalars);
+    const std::int64_t bytes = 64 + static_cast<std::int64_t>(e.scalars.size()) * 16;
+    transport_->Send(address(), net::NodeAddress::Controller(), MessageKind::kControl,
+                     wire::EncodeGroupCompleteEnvelope(e), /*cost_bytes=*/bytes);
   }
 
   // Prune completed groups from the front and unblock any waiting barrier group. Buffered

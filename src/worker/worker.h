@@ -37,68 +37,31 @@
 #include "src/core/worker_template.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_store.h"
+#include "src/net/transport.h"
 #include "src/runtime/executor.h"
 #include "src/sim/cost_model.h"
-#include "src/sim/network.h"
 #include "src/sim/simulation.h"
 #include "src/task/command.h"
+#include "src/task/messages.h"
 #include "src/task/wire.h"
 #include "src/worker/function_registry.h"
 
 namespace nimbus {
 
-class Worker;
-
-struct ScalarResult {
-  TaskId task;
-  double value = 0.0;
-};
-
-// How the worker reaches the rest of the system. The cluster wires these up; callbacks are
-// invoked at message-delivery time (the network hop is inside the worker's send path).
-struct WorkerEnv {
-  // Resolves a peer worker for direct data exchange. Returns nullptr if the peer is gone.
-  std::function<Worker*(WorkerId)> peer;
-  // Delivered to the controller when a group completes (runs controller-side).
-  std::function<void(WorkerId, std::uint64_t group_seq, std::vector<ScalarResult>)>
-      on_group_complete;
-  // Periodic liveness signal (runs controller-side).
-  std::function<void(WorkerId)> on_heartbeat;
-};
-
-// One worker-template instantiation message (controller -> worker), paper Fig 5b.
-struct InstantiateMsg {
-  WorkerTemplateId worker_template;
-  std::uint64_t group_seq = 0;
-  CommandId command_base;  // entry i gets command id base+i
-  TaskId task_base;        // task entries get task id base+global_entry
-  // Sparse per-entry parameters: (global entry index, blob).
-  std::vector<std::pair<std::int32_t, ParameterBlob>> params;
-  // Edits to apply to the cached template before materializing (paper §4.3).
-  std::vector<core::WorkerEditOp> edits;
-
-  std::int64_t WireSize() const {
-    std::int64_t bytes = 64;
-    for (const auto& [slot, blob] : params) {
-      bytes += 8 + static_cast<std::int64_t>(blob.size());
-    }
-    for (const auto& op : edits) {
-      bytes += op.WireSize();
-    }
-    return bytes;
-  }
-};
-
 class Worker {
  public:
-  Worker(WorkerId id, sim::Simulation* simulation, sim::Network* network,
+  Worker(WorkerId id, sim::Simulation* simulation, net::Transport* transport,
          const sim::CostModel* costs, const FunctionRegistry* functions,
-         DurableStore* durable, WorkerEnv env);
+         DurableStore* durable);
 
   WorkerId id() const { return id_; }
-  sim::NodeAddress address() const {
-    return sim::kFirstWorkerAddress + static_cast<sim::NodeAddress>(id_.value());
-  }
+  net::NodeAddress address() const { return net::NodeAddress::ForWorker(id_); }
+
+  // ---- Transport-facing entry point ----
+
+  // The worker's delivery handler: decodes one envelope (src/task/wire.h) and dispatches
+  // to the matching entry point below. Registered with the transport by the cluster.
+  void OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes);
 
   // ---- Controller-facing entry points (invoked at message delivery) ----
 
@@ -275,11 +238,10 @@ class Worker {
 
   WorkerId id_;
   sim::Simulation* simulation_;
-  sim::Network* network_;
+  net::Transport* transport_;
   const sim::CostModel* costs_;
   const FunctionRegistry* functions_;
   DurableStore* durable_;
-  WorkerEnv env_;
 
   ObjectStore store_;
   sim::CorePool cores_;

@@ -148,7 +148,7 @@ TEST(NetworkTest, DeliveryIncludesLatencyAndSerialization) {
   Network net(&s, &costs);
 
   TimePoint delivered = 0;
-  net.Send(0, 1, 1000000, [&] { delivered = s.now(); },
+  net.Send(NodeAddress(0), NodeAddress(1), 1000000, [&] { delivered = s.now(); },
            MessageKind::kData);  // 1 MB => 1 ms serialization
   s.Run();
   EXPECT_EQ(delivered, Millis(2));  // 1 ms wire + 1 ms latency
@@ -166,10 +166,13 @@ TEST(NetworkTest, SenderNicSerializesTransfers) {
 
   std::vector<TimePoint> deliveries;
   // Two 1 MB messages from the same sender: the second waits for the first's TX slot.
-  net.Send(0, 1, 1000000, [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
-  net.Send(0, 2, 1000000, [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
+  net.Send(NodeAddress(0), NodeAddress(1), 1000000,
+           [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
+  net.Send(NodeAddress(0), NodeAddress(2), 1000000,
+           [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
   // A message from a different sender is not blocked.
-  net.Send(5, 1, 1000000, [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
+  net.Send(NodeAddress(5), NodeAddress(1), 1000000,
+           [&] { deliveries.push_back(s.now()); }, MessageKind::kData);
   s.Run();
   ASSERT_EQ(deliveries.size(), 3u);
   EXPECT_EQ(deliveries[0], Millis(1));

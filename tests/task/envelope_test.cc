@@ -1,0 +1,320 @@
+// Envelope codec (src/task/wire.h, DESIGN.md §13).
+//
+// Everything that crosses the transport seam travels as an encoded envelope; these tests
+// pin the codec's contract: exact round-tripping for every envelope type (randomized over
+// field shapes), and CHECK-fail discipline for malformed buffers — truncations at any
+// boundary, trailing bytes, bad magics, and unknown type bytes must die loudly rather than
+// misparse.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/data/payload.h"
+#include "src/task/command.h"
+#include "src/task/messages.h"
+#include "src/task/wire.h"
+
+namespace nimbus {
+namespace {
+
+ParameterBlob RandomBlob(std::mt19937_64& rng, std::size_t size) {
+  ParameterBlob blob(size);
+  for (auto& b : blob) {
+    b = static_cast<std::uint8_t>(rng());
+  }
+  return blob;
+}
+
+// Random full-field commands: the envelope codec encodes every field of every command
+// (unlike the NBW1 batch codec there is no base-relative contract to respect).
+std::vector<Command> RandomCommands(std::mt19937_64& rng, std::size_t n) {
+  std::vector<Command> cmds;
+  for (std::size_t i = 0; i < n; ++i) {
+    Command c;
+    c.id = CommandId(rng() % 1'000'000);
+    c.type = static_cast<CommandType>(rng() % 7);
+    const std::size_t n_before = rng() % 4;
+    for (std::size_t b = 0; b < n_before; ++b) {
+      c.before.emplace_back(rng() % 1'000'000);
+    }
+    const std::size_t n_reads = rng() % 5;
+    for (std::size_t r = 0; r < n_reads; ++r) {
+      c.read_set.emplace_back(rng() % 10'000);
+    }
+    const std::size_t n_writes = rng() % 3;
+    for (std::size_t w = 0; w < n_writes; ++w) {
+      c.write_set.emplace_back(rng() % 10'000);
+    }
+    if (rng() % 2 == 0) {
+      c.params = RandomBlob(rng, rng() % 200);
+    }
+    c.task_id = TaskId(rng() % 1'000'000);
+    c.function = FunctionId(rng() % 50);
+    c.duration = static_cast<sim::Duration>(rng() % 1'000'000);
+    c.returns_scalar = rng() % 2 == 0;
+    c.copy_id = CopyId(rng() % 1'000'000);
+    c.peer = WorkerId(rng() % 100);
+    c.copy_object = LogicalObjectId(rng() % 10'000);
+    c.copy_version = rng() % 1'000;
+    c.copy_bytes = static_cast<std::int64_t>(rng() % 1'000'000);
+    c.data_object = LogicalObjectId(rng() % 10'000);
+    cmds.push_back(std::move(c));
+  }
+  return cmds;
+}
+
+TEST(EnvelopeCodecTest, CommandsEnvelopeRandomizedRoundTrip) {
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 20; ++round) {
+    wire::CommandsEnvelope e;
+    e.group_seq = rng();
+    e.expected_total = rng() % 500;
+    e.finalize = rng() % 2 == 0;
+    e.barrier = rng() % 2 == 0;
+    e.commands = RandomCommands(rng, rng() % 40);
+
+    const ParameterBlob bytes = wire::EncodeCommandsEnvelope(e);
+    ASSERT_EQ(wire::PeekEnvelopeType(bytes), wire::EnvelopeType::kCommands);
+    const wire::CommandsEnvelope d = wire::DecodeCommandsEnvelope(bytes);
+    EXPECT_EQ(d.group_seq, e.group_seq);
+    EXPECT_EQ(d.expected_total, e.expected_total);
+    EXPECT_EQ(d.finalize, e.finalize);
+    EXPECT_EQ(d.barrier, e.barrier);
+    ASSERT_EQ(d.commands.size(), e.commands.size());
+    for (std::size_t i = 0; i < e.commands.size(); ++i) {
+      EXPECT_EQ(d.commands[i], e.commands[i]) << "command " << i;
+    }
+    // Re-encoding the decoded envelope must reproduce the bytes exactly.
+    EXPECT_EQ(wire::EncodeCommandsEnvelope(d), bytes);
+  }
+}
+
+TEST(EnvelopeCodecTest, SerializedBatchEnvelopeNestsBytesVerbatim) {
+  std::mt19937_64 rng(7);
+  wire::SerializedBatchEnvelope e;
+  e.group_seq = 42;
+  e.expected_total = 17;
+  e.finalize = true;
+  e.barrier = true;
+  e.batch = RandomBlob(rng, 513);
+
+  const ParameterBlob bytes = wire::EncodeSerializedBatchEnvelope(e);
+  const wire::SerializedBatchEnvelope d = wire::DecodeSerializedBatchEnvelope(bytes);
+  EXPECT_EQ(d.group_seq, 42u);
+  EXPECT_EQ(d.expected_total, 17u);
+  EXPECT_TRUE(d.finalize);
+  EXPECT_TRUE(d.barrier);
+  EXPECT_EQ(d.batch, e.batch);
+}
+
+TEST(EnvelopeCodecTest, InstallTemplateEnvelopeRoundTripsEveryEntryField) {
+  core::WorkerHalf half;
+  half.worker = WorkerId(3);
+  for (int i = 0; i < 5; ++i) {
+    core::WtEntry entry;
+    entry.type = i % 2 == 0 ? CommandType::kTask : CommandType::kCopySend;
+    entry.function = FunctionId(static_cast<std::uint64_t>(10 + i));
+    entry.global_entry = i;
+    entry.duration = sim::Millis(i + 1);
+    entry.returns_scalar = i == 4;
+    entry.reads = {LogicalObjectId(static_cast<std::uint64_t>(i)), LogicalObjectId(99)};
+    entry.writes = {LogicalObjectId(static_cast<std::uint64_t>(100 + i))};
+    half.entries.push_back(entry);
+  }
+  wire::InstallTemplateEnvelope e;
+  e.id = WorkerTemplateId(9);
+  e.half = half;
+
+  const ParameterBlob bytes = wire::EncodeInstallTemplateEnvelope(e);
+  ASSERT_EQ(wire::PeekEnvelopeType(bytes), wire::EnvelopeType::kInstallTemplate);
+  const wire::InstallTemplateEnvelope d = wire::DecodeInstallTemplateEnvelope(bytes);
+  EXPECT_EQ(d.id, WorkerTemplateId(9));
+  EXPECT_EQ(d.half.worker, WorkerId(3));
+  ASSERT_EQ(d.half.entries.size(), half.entries.size());
+  for (std::size_t i = 0; i < half.entries.size(); ++i) {
+    const core::WtEntry& a = half.entries[i];
+    const core::WtEntry& b = d.half.entries[i];
+    EXPECT_EQ(b.type, a.type);
+    EXPECT_EQ(b.function, a.function);
+    EXPECT_EQ(b.global_entry, a.global_entry);
+    EXPECT_EQ(b.duration, a.duration);
+    EXPECT_EQ(b.returns_scalar, a.returns_scalar);
+    EXPECT_EQ(b.reads, a.reads);
+    EXPECT_EQ(b.writes, a.writes);
+  }
+}
+
+TEST(EnvelopeCodecTest, InstantiateEnvelopeRoundTripsParamsAndSeq) {
+  std::mt19937_64 rng(11);
+  InstantiateMsg msg;
+  msg.worker_template = WorkerTemplateId(5);
+  msg.group_seq = 1234;
+  msg.command_base = CommandId(1'000'000);
+  msg.task_base = TaskId(500'000);
+  msg.params.emplace_back(0, RandomBlob(rng, 8));
+  msg.params.emplace_back(7, RandomBlob(rng, 0));
+  msg.params.emplace_back(12, RandomBlob(rng, 300));
+
+  const ParameterBlob bytes = wire::EncodeInstantiateEnvelope(msg);
+  const InstantiateMsg d = wire::DecodeInstantiateEnvelope(bytes);
+  EXPECT_EQ(d.worker_template, msg.worker_template);
+  EXPECT_EQ(d.group_seq, msg.group_seq);
+  EXPECT_EQ(d.command_base, msg.command_base);
+  EXPECT_EQ(d.task_base, msg.task_base);
+  ASSERT_EQ(d.params.size(), msg.params.size());
+  for (std::size_t i = 0; i < msg.params.size(); ++i) {
+    EXPECT_EQ(d.params[i], msg.params[i]) << "param " << i;
+  }
+  EXPECT_TRUE(d.edits.empty());
+}
+
+TEST(EnvelopeCodecTest, ControlEnvelopesRoundTrip) {
+  wire::DecodeHaltEnvelope(wire::EncodeHaltEnvelope());
+
+  EXPECT_EQ(wire::DecodeHeartbeatEnvelope(wire::EncodeHeartbeatEnvelope(WorkerId(7))),
+            WorkerId(7));
+
+  wire::LoadObjectsEnvelope lo;
+  lo.group_seq = 88;
+  lo.objects = {LogicalObjectId(1), LogicalObjectId(2), LogicalObjectId(500)};
+  const wire::LoadObjectsEnvelope lod =
+      wire::DecodeLoadObjectsEnvelope(wire::EncodeLoadObjectsEnvelope(lo));
+  EXPECT_EQ(lod.group_seq, 88u);
+  EXPECT_EQ(lod.objects, lo.objects);
+
+  wire::GroupCompleteEnvelope gc;
+  gc.worker = WorkerId(2);
+  gc.group_seq = 31;
+  gc.scalars = {{TaskId(10), 1.5}, {TaskId(11), -2.25}};
+  const wire::GroupCompleteEnvelope gcd =
+      wire::DecodeGroupCompleteEnvelope(wire::EncodeGroupCompleteEnvelope(gc));
+  EXPECT_EQ(gcd.worker, WorkerId(2));
+  EXPECT_EQ(gcd.group_seq, 31u);
+  ASSERT_EQ(gcd.scalars.size(), 2u);
+  EXPECT_EQ(gcd.scalars[0].task, TaskId(10));
+  EXPECT_DOUBLE_EQ(gcd.scalars[0].value, 1.5);
+  EXPECT_EQ(gcd.scalars[1].task, TaskId(11));
+  EXPECT_DOUBLE_EQ(gcd.scalars[1].value, -2.25);
+}
+
+TEST(EnvelopeCodecTest, DriverEnvelopesRoundTrip) {
+  wire::InstantiateRequestEnvelope ir;
+  ir.request_id = 5;
+  ir.name = "lr_inner";
+  ir.params.emplace_back(3, ParameterBlob{1, 2, 3});
+  ir.next_hint = "lr_outer";
+  const wire::InstantiateRequestEnvelope ird =
+      wire::DecodeInstantiateRequestEnvelope(wire::EncodeInstantiateRequestEnvelope(ir));
+  EXPECT_EQ(ird.request_id, 5u);
+  EXPECT_EQ(ird.name, "lr_inner");
+  ASSERT_EQ(ird.params.size(), 1u);
+  EXPECT_EQ(ird.params[0], ir.params[0]);
+  EXPECT_EQ(ird.next_hint, "lr_outer");
+
+  wire::CheckpointRequestEnvelope cr;
+  cr.request_id = 6;
+  cr.marker = 40;
+  const wire::CheckpointRequestEnvelope crd =
+      wire::DecodeCheckpointRequestEnvelope(wire::EncodeCheckpointRequestEnvelope(cr));
+  EXPECT_EQ(crd.request_id, 6u);
+  EXPECT_EQ(crd.marker, 40u);
+
+  wire::BlockDoneEnvelope bd;
+  bd.request_id = 7;
+  bd.scalars = {{TaskId(1), 0.5}};
+  const wire::BlockDoneEnvelope bdd =
+      wire::DecodeBlockDoneEnvelope(wire::EncodeBlockDoneEnvelope(bd));
+  EXPECT_EQ(bdd.request_id, 7u);
+  ASSERT_EQ(bdd.scalars.size(), 1u);
+  EXPECT_EQ(bdd.scalars[0].task, TaskId(1));
+
+  EXPECT_EQ(wire::DecodeCheckpointDoneEnvelope(wire::EncodeCheckpointDoneEnvelope(9)), 9u);
+  EXPECT_EQ(wire::DecodeRecoveryNoticeEnvelope(wire::EncodeRecoveryNoticeEnvelope(13)), 13u);
+}
+
+TEST(EnvelopeCodecTest, DataCopyEnvelopeCarriesScalarAndVectorPayloads) {
+  wire::DataCopyEnvelope e;
+  e.copy = CopyId(77);
+  e.object = LogicalObjectId(5);
+  e.version = 3;
+  e.payload = std::make_unique<ScalarPayload>(6.75);
+  const wire::DataCopyEnvelope d = wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(e));
+  EXPECT_EQ(d.copy, CopyId(77));
+  EXPECT_EQ(d.object, LogicalObjectId(5));
+  EXPECT_EQ(d.version, 3u);
+  const auto* s = dynamic_cast<const ScalarPayload*>(d.payload.get());
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value(), 6.75);
+
+  wire::DataCopyEnvelope v;
+  v.copy = CopyId(78);
+  v.object = LogicalObjectId(6);
+  v.version = 4;
+  auto vec = std::make_unique<VectorPayload>();
+  vec->values() = {1.0, -2.5, 3.125};
+  v.payload = std::move(vec);
+  const wire::DataCopyEnvelope vd = wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(v));
+  const auto* pv = dynamic_cast<const VectorPayload*>(vd.payload.get());
+  ASSERT_NE(pv, nullptr);
+  EXPECT_EQ(pv->values(), (std::vector<double>{1.0, -2.5, 3.125}));
+}
+
+TEST(EnvelopeCodecDeathTest, TruncationAtEveryBoundaryDies) {
+  wire::CommandsEnvelope e;
+  e.group_seq = 9;
+  e.expected_total = 1;
+  std::mt19937_64 rng(3);
+  e.commands = RandomCommands(rng, 2);
+  const ParameterBlob bytes = wire::EncodeCommandsEnvelope(e);
+
+  // Sample truncation points across the buffer, including mid-header and mid-command.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{12},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    ParameterBlob truncated(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_DEATH(wire::DecodeCommandsEnvelope(truncated), "") << "cut at " << cut;
+  }
+}
+
+TEST(EnvelopeCodecDeathTest, TrailingBytesDie) {
+  ParameterBlob bytes = wire::EncodeHeartbeatEnvelope(WorkerId(1));
+  bytes.push_back(0);
+  EXPECT_DEATH(wire::DecodeHeartbeatEnvelope(bytes), "trailing");
+
+  ParameterBlob halt = wire::EncodeHaltEnvelope();
+  halt.push_back(7);
+  EXPECT_DEATH(wire::DecodeHaltEnvelope(halt), "");
+}
+
+TEST(EnvelopeCodecDeathTest, BadMagicAndUnknownTypeDie) {
+  ParameterBlob bytes = wire::EncodeHaltEnvelope();
+  ParameterBlob bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_DEATH(wire::PeekEnvelopeType(bad_magic), "");
+
+  ParameterBlob bad_type = bytes;
+  bad_type[4] = 0xEE;  // type byte past kEnvelopeTypeCount
+  EXPECT_DEATH(wire::PeekEnvelopeType(bad_type), "");
+
+  // Decoding as the wrong (valid) type must also die: the header pins the type.
+  EXPECT_DEATH(wire::DecodeHeartbeatEnvelope(bytes), "");
+}
+
+TEST(EnvelopeCodecDeathTest, OversizedCountFieldDiesBeforeAllocating) {
+  wire::CommandsEnvelope e;
+  e.group_seq = 1;
+  const ParameterBlob bytes = wire::EncodeCommandsEnvelope(e);
+  ParameterBlob corrupt = bytes;
+  // The command count is the 4 bytes before the (empty) records; blast it to 2^32-1.
+  for (std::size_t i = corrupt.size() - 4; i < corrupt.size(); ++i) {
+    corrupt[i] = 0xFF;
+  }
+  EXPECT_DEATH(wire::DecodeCommandsEnvelope(corrupt), "");
+}
+
+}  // namespace
+}  // namespace nimbus

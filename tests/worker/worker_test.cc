@@ -6,18 +6,23 @@
 #include <memory>
 
 #include "src/data/durable_store.h"
+#include "src/net/sim_transport.h"
 #include "src/sim/network.h"
 #include "src/sim/simulation.h"
+#include "src/task/wire.h"
 #include "src/worker/function_registry.h"
 #include "src/worker/worker.h"
 
 namespace nimbus {
 namespace {
 
+// Workers wired straight to a SimTransport, with the harness itself standing in for the
+// controller: its handler decodes the kGroupComplete envelopes workers emit.
 struct Harness {
   sim::Simulation simulation;
   sim::CostModel costs;
   sim::Network network{&simulation, &costs};
+  net::SimTransport transport{&network};
   FunctionRegistry functions;
   DurableStore durable;
   std::vector<std::unique_ptr<Worker>> workers;
@@ -25,27 +30,28 @@ struct Harness {
   std::vector<ScalarResult> scalars;
 
   explicit Harness(int n = 2) {
-    WorkerEnv env;
-    env.peer = [this](WorkerId id) -> Worker* {
-      for (auto& w : workers) {
-        if (w->id() == id) {
-          return w.get();
-        }
-      }
-      return nullptr;
-    };
-    env.on_group_complete = [this](WorkerId w, std::uint64_t seq,
-                                   std::vector<ScalarResult> s) {
-      completions.emplace_back(w, seq);
-      for (auto& r : s) {
-        scalars.push_back(r);
-      }
-    };
-    env.on_heartbeat = [](WorkerId) {};
+    transport.RegisterHandler(
+        net::NodeAddress::Controller(),
+        [this](net::NodeAddress, MessageKind, ParameterBlob bytes) {
+          if (wire::PeekEnvelopeType(bytes) != wire::EnvelopeType::kGroupComplete) {
+            return;  // heartbeats etc. are not under test here
+          }
+          wire::GroupCompleteEnvelope e = wire::DecodeGroupCompleteEnvelope(bytes);
+          completions.emplace_back(e.worker, e.group_seq);
+          for (auto& r : e.scalars) {
+            scalars.push_back(r);
+          }
+        });
     for (int i = 0; i < n; ++i) {
-      workers.push_back(std::make_unique<Worker>(WorkerId(static_cast<std::uint64_t>(i)),
-                                                 &simulation, &network, &costs, &functions,
-                                                 &durable, env));
+      auto worker = std::make_unique<Worker>(WorkerId(static_cast<std::uint64_t>(i)),
+                                             &simulation, &transport, &costs, &functions,
+                                             &durable);
+      transport.RegisterHandler(
+          worker->address(),
+          [w = worker.get()](net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
+            w->OnEnvelope(src, kind, std::move(bytes));
+          });
+      workers.push_back(std::move(worker));
     }
   }
 
