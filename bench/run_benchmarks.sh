@@ -93,7 +93,8 @@ fi
 cmake -B "$BUILD" -S "$ROOT" -DNIMBUS_BUILD_BENCHMARKS=ON >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" \
   --target bench_table1_install bench_table2_instantiate bench_table3_edits \
-  bench_table4_sharding bench_fig8_task_throughput bench_wire_throughput >/dev/null
+  bench_table4_sharding bench_fig8_task_throughput bench_wire_throughput \
+  bench_recovery_latency >/dev/null
 
 for bench in table1_install table2_instantiate table3_edits table4_sharding; do
   out="$ROOT/BENCH_${bench%%_*}.json"
@@ -112,3 +113,9 @@ mv "$ROOT/BENCH_fig8.json.tmp" "$ROOT/BENCH_fig8.json"
 echo "== wire_throughput -> $ROOT/BENCH_wire.json"
 "$BUILD/bench/bench_wire_throughput" --json "$ROOT/BENCH_wire.json.tmp"
 mv "$ROOT/BENCH_wire.json.tmp" "$ROOT/BENCH_wire.json"
+
+# The recovery bench kills a worker over TCP and gates detection latency from both sides:
+# above one heartbeat timeout (real silence elapsed) and below the miss window + slack.
+echo "== recovery_latency -> $ROOT/BENCH_recovery.json"
+"$BUILD/bench/bench_recovery_latency" --json "$ROOT/BENCH_recovery.json.tmp"
+mv "$ROOT/BENCH_recovery.json.tmp" "$ROOT/BENCH_recovery.json"

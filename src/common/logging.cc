@@ -7,6 +7,10 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
+// Depth-counted so nested scopes compose; thread-local so one test thread opting into
+// throwing checks cannot change abort semantics on a TCP event-loop thread.
+thread_local int g_check_throw_depth = 0;
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -29,6 +33,10 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+ScopedCheckThrow::ScopedCheckThrow() { ++g_check_throw_depth; }
+
+ScopedCheckThrow::~ScopedCheckThrow() { --g_check_throw_depth; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
@@ -44,7 +52,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
   }
 }
 
-LogMessage::~LogMessage() {
+LogMessage::~LogMessage() noexcept(false) {
+  if (fatal_ && g_check_throw_depth > 0) {
+    // Under ScopedCheckThrow the message is the exception payload, not stderr noise: a
+    // fuzz sweep rejects thousands of malformed blobs per run.
+    throw CheckFailure(stream_.str());
+  }
   if (enabled_) {
     std::cerr << stream_.str() << std::endl;
   }

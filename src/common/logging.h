@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace nimbus {
@@ -26,12 +27,36 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+// Thrown by a failed NIMBUS_CHECK while a ScopedCheckThrow is active on the current
+// thread. Carries the formatted check message.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& message) : std::runtime_error(message) {}
+};
+
+// While alive, failed CHECKs on this thread throw CheckFailure instead of aborting.
+//
+// This exists for robustness tests that sweep thousands of malformed inputs through the
+// wire decoders (tests/task/wire_fuzz_test.cc): EXPECT_DEATH forks per case and would be
+// unusably slow, while a thrown CheckFailure keeps the sweep in-process and lets ASan
+// verify there was no over-read before the check fired. Production code never constructs
+// one; the default abort semantics are unchanged.
+class ScopedCheckThrow {
+ public:
+  ScopedCheckThrow();
+  ~ScopedCheckThrow();
+
+  ScopedCheckThrow(const ScopedCheckThrow&) = delete;
+  ScopedCheckThrow& operator=(const ScopedCheckThrow&) = delete;
+};
+
 namespace internal {
 
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
-  ~LogMessage();
+  // noexcept(false): a fatal message throws CheckFailure under ScopedCheckThrow.
+  ~LogMessage() noexcept(false);
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;

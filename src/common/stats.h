@@ -249,6 +249,45 @@ struct NetworkCounters : detail::ClearableCounters<NetworkCounters> {
   }
 };
 
+// Failure-detection accounting (DESIGN.md §14): the heartbeat/suspicion protocol on the
+// controller plus the TCP transport's connection-loss/redial path. `suspects_marked` /
+// `suspects_cleared` track the suspicion state machine (a cleared suspect was a false
+// alarm — a late heartbeat arrived before the miss threshold); `injected_*` count fault
+// events the FaultInjector actually applied, so tests can assert a schedule executed.
+struct FailureCounters : detail::ClearableCounters<FailureCounters> {
+  std::uint64_t heartbeats_sent = 0;       // worker-side periodic beats
+  std::uint64_t heartbeats_received = 0;   // controller-side beats accepted
+  std::uint64_t heartbeat_acks = 0;        // acks received back by workers
+  std::uint64_t suspects_marked = 0;       // workers that missed >=1 beat
+  std::uint64_t suspects_cleared = 0;      // suspects exonerated by a late beat
+  std::uint64_t workers_failed = 0;        // suspects declared dead (recovery triggered)
+  std::uint64_t connection_losses = 0;     // TCP peer losses (EPIPE/ECONNRESET/read-zero)
+  std::uint64_t redials = 0;               // TCP reconnect attempts
+  std::uint64_t redials_succeeded = 0;     // reconnects that completed a hello exchange
+  std::uint64_t injected_drops = 0;        // fault-injector: heartbeats dropped
+  std::uint64_t injected_delays = 0;       // fault-injector: heartbeats held back
+  std::uint64_t injected_duplicates = 0;   // fault-injector: heartbeats sent twice
+  std::uint64_t injected_severs = 0;       // fault-injector: connections severed
+
+  static constexpr const char* kGroupName = "failure";
+  template <typename V>
+  void VisitFields(V&& visit) const {
+    visit("heartbeats_sent", heartbeats_sent);
+    visit("heartbeats_received", heartbeats_received);
+    visit("heartbeat_acks", heartbeat_acks);
+    visit("suspects_marked", suspects_marked);
+    visit("suspects_cleared", suspects_cleared);
+    visit("workers_failed", workers_failed);
+    visit("connection_losses", connection_losses);
+    visit("redials", redials);
+    visit("redials_succeeded", redials_succeeded);
+    visit("injected_drops", injected_drops);
+    visit("injected_delays", injected_delays);
+    visit("injected_duplicates", injected_duplicates);
+    visit("injected_severs", injected_severs);
+  }
+};
+
 // Worker-side materialization accounting (DESIGN.md §9.3): per-worker totals, folded per
 // instantiation group the worker materializes through its executor. `dense_resolves`
 // counts entries whose read/write sets had to be (re)resolved to store-dense indices (the

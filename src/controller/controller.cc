@@ -15,9 +15,12 @@ constexpr std::uint32_t kControlTrack = 0;
 NimbusController::NimbusController(sim::Simulation* simulation, net::Transport* transport,
                                    const sim::CostModel* costs, ObjectDirectory* directory,
                                    DurableStore* durable, sim::TraceRecorder* trace,
-                                   ControlMode mode)
+                                   ControlMode mode, net::TimerQueue* timers)
     : simulation_(simulation),
       transport_(transport),
+      owned_timers_(timers == nullptr ? std::make_unique<net::SimTimerQueue>(simulation)
+                                      : nullptr),
+      timers_(timers == nullptr ? owned_timers_.get() : timers),
       costs_(costs),
       directory_(directory),
       durable_(durable),
@@ -30,9 +33,11 @@ void NimbusController::OnEnvelope(net::NodeAddress src, MessageKind kind,
   static_cast<void>(src);
   static_cast<void>(kind);
   switch (wire::PeekEnvelopeType(bytes)) {
-    case wire::EnvelopeType::kHeartbeat:
-      OnHeartbeat(wire::DecodeHeartbeatEnvelope(bytes));
+    case wire::EnvelopeType::kHeartbeat: {
+      const wire::HeartbeatEnvelope e = wire::DecodeHeartbeatEnvelope(bytes);
+      OnHeartbeat(e.worker, e.seq);
       break;
+    }
     case wire::EnvelopeType::kGroupComplete: {
       wire::GroupCompleteEnvelope e = wire::DecodeGroupCompleteEnvelope(bytes);
       OnGroupComplete(e.worker, e.group_seq, std::move(e.scalars));
@@ -101,7 +106,7 @@ void NimbusController::AttachWorker(Worker* worker) {
   worker_records_.EnsureSize(worker_ids_.size());
   WorkerRecord& record = worker_records_[index];
   record.worker = worker;
-  record.last_heard = simulation_->now();
+  record.last_heard = timers_->Now();
   // A worker attached after failure detection was armed joins liveness accounting
   // immediately — otherwise its death would go unnoticed forever.
   if (failure_detection_) {
@@ -139,7 +144,9 @@ void NimbusController::RestoreWorkers(const std::vector<WorkerId>& workers) {
     record->revoked = false;
     // Liveness restarts now: the stale pre-revocation timestamp must not count against a
     // worker that was silent (legitimately) while out of the allocation.
-    record->last_heard = simulation_->now();
+    record->last_heard = timers_->Now();
+    record->missed_beats = 0;
+    record->suspect = false;
     record->heartbeat_tracked = failure_detection_ && !record->failed;
   }
   Rebalance();
@@ -224,7 +231,10 @@ void NimbusController::RegisterGroup(std::uint64_t seq, PendingBlock* block,
 void NimbusController::OnGroupComplete(WorkerId worker_id, std::uint64_t seq,
                                        std::vector<ScalarResult> scalars) {
   if (WorkerRecord* record = RecordFor(worker_id); record != nullptr && !record->failed) {
-    record->last_heard = simulation_->now();
+    // Detection clock, not the node simulation: under TCP those are different domains
+    // (wall nanos vs per-node virtual time), and a virtual stamp here would make the
+    // worker look silent for eons at the next wall-clock heartbeat check.
+    record->last_heard = timers_->Now();
   }
   GroupTracker* tracker = groups_.Find(seq);
   if (tracker == nullptr || tracker->block == nullptr) {
@@ -437,6 +447,9 @@ void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
   // Sharded precondition sweep (the plan has a valid id, so the engine caches its shard
   // plan); failures become explicit patch copies exactly as on the per-task path.
   std::vector<core::PatchDirective> needed;
+  if (phase_probe_) {
+    phase_probe_("validate");
+  }
   {
     NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "validate");
     needed = pipeline_.Validate(*set, versions_);
@@ -462,6 +475,9 @@ void NimbusController::ExecuteStageBatched(const StageDescriptor& stage,
 
   core::Patch no_patch;
   // Patch effects were applied above; only the write deltas remain (sharded apply).
+  if (phase_probe_) {
+    phase_probe_("apply");
+  }
   NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "apply_effects");
   pipeline_.ApplyEffects(*set, no_patch, &versions_);
 }
@@ -487,8 +503,14 @@ void NimbusController::DispatchCentralBlock(
     // Serialized path (DESIGN.md §10): ship each worker's pre-encoded wire buffer. Cold
     // batches (template just encoded) pay the encode; steady-state batches pay only the
     // memcpy-scale patch costs — the gap Fig 8's central-serialized series measures.
+    if (phase_probe_) {
+      phase_probe_("assemble");
+    }
     std::vector<runtime::SerializedBatch> batches =
         pipeline_.AssembleSerializedBatches(set, params, seq, task_base, bases);
+    if (phase_probe_) {
+      phase_probe_("dispatch");
+    }
     int participating = 0;
     for (runtime::SerializedBatch& batch : batches) {
       Worker* worker = FindWorker(batch.worker);
@@ -524,9 +546,15 @@ void NimbusController::DispatchCentralBlock(
     return;
   }
 
+  if (phase_probe_) {
+    phase_probe_("assemble");
+  }
   std::vector<runtime::CommandBatch> batches =
       pipeline_.AssembleCommandBatches(set, params, seq, task_base, bases);
 
+  if (phase_probe_) {
+    phase_probe_("dispatch");
+  }
   int participating = 0;
   for (runtime::CommandBatch& batch : batches) {
     Worker* worker = FindWorker(batch.worker);
@@ -857,6 +885,9 @@ void NimbusController::InstantiateSet(
 
   // Validation: skipped when this template directly follows itself and is self-validating
   // (Table 2 row 2 vs row 3). Edits force a full validation.
+  if (phase_probe_) {
+    phase_probe_("validate");
+  }
   core::Patch patch;
   const bool follows_self =
       set->self_validating() && prev_executed_ == set->id().value();
@@ -929,6 +960,9 @@ void NimbusController::InstantiateSet(
   // the overlapped sweep of `next_set` below reads exactly the state its consuming
   // instantiation would. Assembly and dispatch never read the version map, so the move is
   // unobservable on the serial path (the bit-equality tests pin it).
+  if (phase_probe_) {
+    phase_probe_("apply");
+  }
   {
     NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "apply_effects");
     pipeline_.ApplyEffects(*set, patch, &versions_);
@@ -943,6 +977,9 @@ void NimbusController::InstantiateSet(
   const TaskId task_base = task_ids_.NextRange(n_tasks);
   std::vector<core::PatchDirective> next_required;
   std::vector<runtime::WorkerMessage> assembled;
+  if (phase_probe_) {
+    phase_probe_("assemble");
+  }
   {
     NIMBUS_TRACE_SPAN(trace::Lane::kController, kControlTrack, "assemble_messages");
     assembled = pipeline_.AssembleMessages(
@@ -965,6 +1002,9 @@ void NimbusController::InstantiateSet(
     lookahead_.audit_stamp = runtime::audit::CurrentStamp();
     lookahead_.required = std::move(next_required);
     ++lookaheads_scheduled_;
+  }
+  if (phase_probe_) {
+    phase_probe_("dispatch");
   }
   int participating = 0;
   for (runtime::WorkerMessage& wm : assembled) {
@@ -1176,47 +1216,109 @@ void NimbusController::TriggerCheckpoint(std::uint64_t driver_marker,
 }
 
 void NimbusController::EnableFailureDetection(sim::Duration heartbeat_period,
-                                              sim::Duration timeout) {
+                                              sim::Duration timeout, int miss_threshold) {
+  NIMBUS_CHECK_GT(miss_threshold, 0);
   failure_detection_ = true;
   heartbeat_period_ = heartbeat_period;
   heartbeat_timeout_ = timeout;
+  miss_threshold_ = miss_threshold;
   for (Worker* w : workers_) {
     WorkerRecord* record = RecordFor(w->id());
     if (record == nullptr || record->failed) {
       continue;  // a dead worker must not re-enter liveness accounting
     }
     w->StartHeartbeats(heartbeat_period);
-    record->last_heard = simulation_->now();
+    record->last_heard = timers_->Now();
+    record->missed_beats = 0;
+    record->suspect = false;
     record->heartbeat_tracked = !record->revoked;
   }
-  simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
+  timers_->Schedule(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
 }
 
 void NimbusController::CheckHeartbeats() {
   if (!failure_detection_) {
     return;
   }
-  for (const WorkerRecord& record : worker_records_) {
+  const sim::TimePoint now = timers_->Now();
+  for (WorkerRecord& record : worker_records_) {
     if (record.worker == nullptr || record.failed || record.revoked ||
         !record.heartbeat_tracked) {
       continue;
     }
-    if (simulation_->now() - record.last_heard > heartbeat_timeout_) {
+    const sim::Duration silent = now - record.last_heard;
+    const std::uint64_t missed =
+        silent > heartbeat_timeout_
+            ? static_cast<std::uint64_t>(silent / heartbeat_timeout_)
+            : 0;
+    record.missed_beats = missed;
+    if (missed == 0) {
+      continue;
+    }
+    if (!record.suspect) {
+      record.suspect = true;
+      ++failure_counters_.suspects_marked;
+      NIMBUS_LOG(Info) << "worker " << record.worker->id() << " suspected (" << missed
+                       << " missed heartbeat timeouts)";
+      if (!recovery_handler_) {
+        // Informational notice to the driver; suppressed when a local recovery hook is
+        // installed (controller unit tests have no driver endpoint to deliver to).
+        wire::SuspectNoticeEnvelope notice;
+        notice.worker = record.worker->id();
+        notice.missed_beats = missed;
+        transport_->Send(net::NodeAddress::Controller(), net::NodeAddress::Driver(),
+                         MessageKind::kControl, wire::EncodeSuspectNoticeEnvelope(notice),
+                         /*cost_bytes=*/16);
+      }
+    }
+    if (missed >= static_cast<std::uint64_t>(miss_threshold_)) {
       NIMBUS_LOG(Info) << "worker " << record.worker->id()
                        << " missed heartbeats; starting recovery";
       OnWorkerFailed(record.worker->id());
       return;  // recovery re-arms the check
     }
   }
-  simulation_->ScheduleAfter(heartbeat_timeout_ / 2, [this]() { CheckHeartbeats(); });
+  timers_->Schedule(heartbeat_timeout_ / 2, [this]() { CheckHeartbeats(); });
 }
 
-void NimbusController::OnHeartbeat(WorkerId worker_id) {
+void NimbusController::OnHeartbeat(WorkerId worker_id, std::uint64_t seq) {
   // Heartbeats from failed workers are stale by definition (detection already fired or the
   // failure was injected); letting them refresh liveness would resurrect a dead worker.
-  if (WorkerRecord* record = RecordFor(worker_id); record != nullptr && !record->failed) {
-    record->last_heard = simulation_->now();
+  WorkerRecord* record = RecordFor(worker_id);
+  if (record == nullptr || record->failed) {
+    return;
   }
+  record->last_heard = timers_->Now();
+  ++failure_counters_.heartbeats_received;
+  if (record->suspect) {
+    record->suspect = false;
+    record->missed_beats = 0;
+    ++failure_counters_.suspects_cleared;
+    NIMBUS_LOG(Info) << "worker " << worker_id << " heard again; suspicion cleared";
+  }
+  if (failure_detection_ && record->worker != nullptr) {
+    wire::HeartbeatAckEnvelope ack;
+    ack.worker = worker_id;
+    ack.seq = seq;
+    transport_->Send(net::NodeAddress::Controller(), record->worker->address(),
+                     MessageKind::kControl, wire::EncodeHeartbeatAckEnvelope(ack),
+                     /*cost_bytes=*/16);
+    ++failure_counters_.heartbeat_acks;
+  }
+}
+
+void NimbusController::OnPeerLost(net::NodeAddress peer) {
+  if (!peer.is_worker()) {
+    return;  // driver/controller loss is not a worker failure; nothing to recover
+  }
+  WorkerRecord* record = RecordFor(peer.worker_id());
+  if (record == nullptr || record->failed) {
+    return;
+  }
+  ++failure_counters_.connection_losses;
+  NIMBUS_LOG(Info) << "worker " << peer.worker_id()
+                   << " connection lost (redial budget exhausted); starting recovery";
+  OnWorkerFailed(peer.worker_id());
 }
 
 bool NimbusController::HeartbeatTracked(WorkerId worker_id) const {
@@ -1235,7 +1337,10 @@ void NimbusController::OnWorkerFailed(WorkerId worker_id) {
     // Evict the liveness entry: a dead worker must not look live to heartbeat accounting.
     record->heartbeat_tracked = false;
     record->last_heard = 0;
+    record->missed_beats = 0;
+    record->suspect = false;
   }
+  ++failure_counters_.workers_failed;
   versions_.DropWorker(worker_id);
 
   // Abandon all in-flight blocks: the driver reruns from the checkpoint marker.
@@ -1282,7 +1387,7 @@ void NimbusController::RunRecovery() {
     prev_executed_ = core::PatchCache::kEntryFromOutside;
     trace_->IncrementCounter("recoveries");
     if (failure_detection_) {
-      simulation_->ScheduleAfter(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
+      timers_->Schedule(heartbeat_timeout_, [this]() { CheckHeartbeats(); });
     }
     if (recovery_handler_) {
       // Local hook (controller unit tests observe recovery without a driver endpoint).

@@ -26,11 +26,13 @@
 #include "src/common/dense_id.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/template_manager.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
 #include "src/data/version_map.h"
+#include "src/net/timer_wheel.h"
 #include "src/net/transport.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/instantiation_pipeline.h"
@@ -54,9 +56,14 @@ using BlockDone = std::function<void(std::vector<ScalarResult>)>;
 
 class NimbusController {
  public:
+  // `timers` is the clock the liveness protocol runs against (DESIGN.md §14): heartbeat
+  // deadlines are scheduled and `last_heard` stamps taken from it. Null means "own a
+  // SimTimerQueue over `simulation`" — the right default for simulator runs; the TCP
+  // cluster passes the node's timerfd-backed queue so detection uses real wall time.
   NimbusController(sim::Simulation* simulation, net::Transport* transport,
                    const sim::CostModel* costs, ObjectDirectory* directory,
-                   DurableStore* durable, sim::TraceRecorder* trace, ControlMode mode);
+                   DurableStore* durable, sim::TraceRecorder* trace, ControlMode mode,
+                   net::TimerQueue* timers = nullptr);
 
   // ---- Transport-facing entry point ----
 
@@ -176,11 +183,29 @@ class NimbusController {
   void SetRecoveryHandler(std::function<void(std::uint64_t)> handler) {
     recovery_handler_ = std::move(handler);
   }
-  void EnableFailureDetection(sim::Duration heartbeat_period, sim::Duration timeout);
+  // Arms heartbeat-based detection: each tracked worker must be heard from within
+  // `timeout`; a worker `miss_threshold` timeouts silent is declared failed (the first
+  // missed timeout only marks it suspect and notifies the driver). The default threshold
+  // of 1 keeps the original fail-on-first-miss behavior.
+  void EnableFailureDetection(sim::Duration heartbeat_period, sim::Duration timeout,
+                              int miss_threshold = 1);
+  // Transport-level loss report (redial budget exhausted under TCP): feeds the same
+  // failure path as a heartbeat timeout. Non-worker and already-failed peers are ignored.
+  void OnPeerLost(net::NodeAddress peer);
+  const FailureCounters& failure_counters() const { return failure_counters_; }
+
+  // Test probe invoked at the start of each instantiation-pipeline phase ("validate",
+  // "apply", "assemble", "dispatch") — lets fault tests align injected failures with a
+  // precise phase boundary. Null (the default) costs one branch per phase.
+  void set_phase_probe(std::function<void(const char*)> probe) {
+    phase_probe_ = std::move(probe);
+  }
 
   // ---- Worker-facing callbacks (invoked at message delivery) ----
   void OnGroupComplete(WorkerId worker, std::uint64_t seq, std::vector<ScalarResult> scalars);
-  void OnHeartbeat(WorkerId worker);
+  // `seq` is the worker's heartbeat sequence number, echoed back in the kHeartbeatAck
+  // answered while failure detection is armed.
+  void OnHeartbeat(WorkerId worker, std::uint64_t seq = 0);
 
   // Whether `worker` participates in heartbeat timeout accounting. Failed and revoked
   // workers are untracked (regression surface for stale-liveness bugs).
@@ -229,10 +254,12 @@ class NimbusController {
   // One attached worker's control-plane record, in a flat array by dense worker id.
   struct WorkerRecord {
     Worker* worker = nullptr;
-    sim::TimePoint last_heard = 0;
-    bool revoked = false;          // temporarily out of the allocation
+    sim::TimePoint last_heard = 0;   // stamped from timers_->Now() (detection clock)
+    bool revoked = false;            // temporarily out of the allocation
     bool failed = false;
     bool heartbeat_tracked = false;  // participates in timeout accounting
+    std::uint64_t missed_beats = 0;  // consecutive timeouts with no heartbeat
+    bool suspect = false;            // missed at least one timeout; cleared on contact
   };
 
   struct CheckpointState {
@@ -327,6 +354,11 @@ class NimbusController {
 
   sim::Simulation* simulation_;
   net::Transport* transport_;
+  // Liveness clock (see ctor comment): owned_timers_ backs timers_ when the caller did
+  // not supply one. All heartbeat deadlines and last_heard stamps go through timers_;
+  // recovery-pipeline delays stay on simulation_ (they are modeled work, not liveness).
+  std::unique_ptr<net::SimTimerQueue> owned_timers_;
+  net::TimerQueue* timers_;
   const sim::CostModel* costs_;
   ObjectDirectory* directory_;
   DurableStore* durable_;
@@ -394,6 +426,9 @@ class NimbusController {
   bool failure_detection_ = false;
   sim::Duration heartbeat_period_ = 0;
   sim::Duration heartbeat_timeout_ = 0;
+  int miss_threshold_ = 1;
+  FailureCounters failure_counters_;
+  std::function<void(const char*)> phase_probe_;
 
   std::uint64_t tasks_dispatched_ = 0;
   std::uint64_t tasks_via_templates_ = 0;

@@ -33,9 +33,10 @@ Cluster::Cluster(ClusterOptions options)
   net::Transport* controller_transport =
       tcp ? static_cast<net::Transport*>(tcp_->endpoint(controller_address))
           : sim_transport_.get();
+  net::TimerQueue* controller_timers = tcp ? tcp_->node_timers(controller_address) : nullptr;
   controller_ = std::make_unique<NimbusController>(controller_sim, controller_transport,
                                                    &options_.costs, &directory_, &durable_,
-                                                   &trace_, options_.mode);
+                                                   &trace_, options_.mode, controller_timers);
   controller_->set_central_batching(options_.central_batching);
   controller_->set_serialized_batching(options_.serialized_batching);
   controller_->set_force_full_validation(options_.force_full_validation);
@@ -49,8 +50,15 @@ Cluster::Cluster(ClusterOptions options)
     sim::Simulation* worker_sim = tcp ? tcp_->node_simulation(address) : &simulation_;
     net::Transport* worker_transport =
         tcp ? static_cast<net::Transport*>(tcp_->endpoint(address)) : sim_transport_.get();
+    if (options_.fault_injector != nullptr) {
+      // The injector filters worker->controller heartbeats per its schedule; all other
+      // traffic passes through untouched (src/net/fault_injector.h).
+      worker_transport = options_.fault_injector->Wrap(worker_transport);
+    }
+    net::TimerQueue* worker_timers = tcp ? tcp_->node_timers(address) : nullptr;
     auto worker = std::make_unique<Worker>(id, worker_sim, worker_transport,
-                                           &options_.costs, &functions_, &durable_);
+                                           &options_.costs, &functions_, &durable_,
+                                           worker_timers);
     if (options_.enable_command_log) {
       worker->EnableCommandLog();
     }
@@ -71,12 +79,31 @@ Cluster::Cluster(ClusterOptions options)
     for (auto& w : workers_) {
       tcp_->InstallHandler(w->address(), MakeWorkerHandler(w.get()));
     }
-    tcp_->Bootstrap();
+    // TCP connection loss (redial budget exhausted) feeds the controller's suspicion
+    // state like a heartbeat timeout would. Installed before any loop runs.
+    tcp_->InstallPeerLossHandler(
+        controller_address,
+        [this](net::NodeAddress peer) { controller_->OnPeerLost(peer); });
+    // Arm detection between mesh establishment and loop start: the first heartbeats need
+    // standing connections to flush into, and pre-Start everything is still main-thread
+    // only, so the controller/worker state mutations need no node mutexes yet.
+    tcp_->EstablishMesh();
+    if (options_.failure_detection) {
+      controller_->EnableFailureDetection(options_.heartbeat_period,
+                                          options_.heartbeat_timeout,
+                                          options_.miss_threshold);
+    }
+    tcp_->StartLoops();
   } else {
     sim_transport_->RegisterHandler(controller_address, MakeControllerHandler());
     sim_transport_->RegisterHandler(net::NodeAddress::Driver(), MakeDriverHandler());
     for (auto& w : workers_) {
       sim_transport_->RegisterHandler(w->address(), MakeWorkerHandler(w.get()));
+    }
+    if (options_.failure_detection) {
+      controller_->EnableFailureDetection(options_.heartbeat_period,
+                                          options_.heartbeat_timeout,
+                                          options_.miss_threshold);
     }
   }
 }
@@ -181,11 +208,25 @@ void Cluster::SetWorkerExecutor(runtime::Executor* executor) {
 void Cluster::FailWorker(WorkerId id) {
   for (auto& w : workers_) {
     if (w->id() == id) {
-      w->Fail();
+      if (tcp_) {
+        // Serialize the kill with the worker node's deliveries and timers; the next
+        // heartbeat tick observes failed_ and stops beating.
+        tcp_->WithNode(w->address(), [&w]() { w->Fail(); });
+      } else {
+        w->Fail();
+      }
       return;
     }
   }
   NIMBUS_CHECK(false) << "unknown worker " << id;
+}
+
+void Cluster::SeverConnection(net::NodeAddress a, net::NodeAddress b) {
+  if (tcp_) {
+    // Severing one side shuts down both directions; each endpoint's event loop then runs
+    // its own loss path (dialer redials, acceptor re-accepts).
+    tcp_->endpoint(a)->SeverPeer(b);
+  }
 }
 
 }  // namespace nimbus

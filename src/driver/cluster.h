@@ -21,6 +21,7 @@
 #include "src/controller/controller.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_directory.h"
+#include "src/net/fault_injector.h"
 #include "src/net/sim_transport.h"
 #include "src/net/transport.h"
 #include "src/sim/cost_model.h"
@@ -61,6 +62,20 @@ struct ClusterOptions {
   // Materialization executor for every worker (DESIGN.md §9.3); borrowed — the caller
   // keeps it alive for the cluster's lifetime. nullptr = the built-in InlineExecutor.
   runtime::Executor* worker_executor = nullptr;
+
+  // --- Failure detection (DESIGN.md §14) ---
+  // Arms heartbeat/suspicion detection at construction, before any traffic flows. Under
+  // the simulator timers ride virtual time; under TCP they ride the per-node timerfd
+  // wheels, so pick wall-clock-realistic knobs when transport == kTcp.
+  bool failure_detection = false;
+  sim::Duration heartbeat_period = sim::Millis(25);
+  sim::Duration heartbeat_timeout = sim::Millis(100);
+  int miss_threshold = 1;
+
+  // Fault-injection seam (DESIGN.md §14.3); borrowed — the caller keeps it alive for the
+  // cluster's lifetime. Worker transports are wrapped so the injector's schedule filters
+  // their heartbeat sends identically under both backends. nullptr = no injection.
+  net::FaultInjector* fault_injector = nullptr;
 };
 
 class TcpClusterRuntime;  // per-node event loops + endpoints (cluster_tcp.cc)
@@ -119,7 +134,14 @@ class Cluster {
   int partitions() const { return options_.partitions; }
 
   // Injects a hard worker failure at the current virtual time (fault-recovery tests).
+  // Under TCP the mutation runs under the worker's node mutex, serialized with its
+  // deliveries and timers.
   void FailWorker(WorkerId id);
+
+  // Cuts the standing connection between two nodes (fault injection). TCP: both ends see
+  // the break and run their loss paths (the dialer redials; a live listener re-accepts).
+  // Simulator: no-op — the sim network has no connections to cut.
+  void SeverConnection(net::NodeAddress a, net::NodeAddress b);
 
   // Deprecated: prefer ClusterOptions::worker_executor. Points every worker's
   // materialization at `executor` (DESIGN.md §9.3); nullptr restores the built-in

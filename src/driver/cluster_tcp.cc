@@ -21,12 +21,44 @@ net::NodeAddress AddressOfDense(std::size_t dense) {
 
 }  // namespace
 
+// TimerQueue facade over the node endpoint's wheel: callbacks get the same wrapping as
+// deliveries (node mutex + simulation drain + driver mailbox signal), so a heartbeat tick
+// firing from the timerfd is indistinguishable from one arriving off the wire.
+class TcpClusterRuntime::NodeTimerQueue final : public net::TimerQueue {
+ public:
+  NodeTimerQueue(TcpClusterRuntime* runtime, Node* node, bool is_driver)
+      : runtime_(runtime), node_(node), is_driver_(is_driver) {}
+
+  TimerId Schedule(sim::Duration delay, std::function<void()> fn) override {
+    return node_->endpoint->ScheduleTimer(delay, [this, fn = std::move(fn)]() {
+      {
+        std::lock_guard<std::mutex> lock(node_->mutex);
+        fn();
+        node_->simulation->RunUntilCondition([] { return false; });
+      }
+      if (is_driver_) {
+        runtime_->driver_cv_.notify_all();
+      }
+    });
+  }
+
+  bool Cancel(TimerId id) override { return node_->endpoint->CancelTimer(id); }
+
+  sim::TimePoint Now() const override { return net::TcpEndpoint::NowNanos(); }
+
+ private:
+  TcpClusterRuntime* runtime_;
+  Node* node_;
+  bool is_driver_;
+};
+
 TcpClusterRuntime::TcpClusterRuntime(int workers) {
   nodes_.reserve(static_cast<std::size_t>(workers) + 2);
   for (std::size_t dense = 0; dense < static_cast<std::size_t>(workers) + 2; ++dense) {
     auto node = std::make_unique<Node>();
     node->simulation = std::make_unique<sim::Simulation>();
     node->endpoint = std::make_unique<net::TcpEndpoint>(AddressOfDense(dense));
+    node->timers = std::make_unique<NodeTimerQueue>(this, node.get(), dense == 0);
     nodes_.push_back(std::move(node));
   }
 }
@@ -45,6 +77,10 @@ net::TcpEndpoint* TcpClusterRuntime::endpoint(net::NodeAddress address) {
 
 sim::Simulation* TcpClusterRuntime::node_simulation(net::NodeAddress address) {
   return node(address)->simulation.get();
+}
+
+net::TimerQueue* TcpClusterRuntime::node_timers(net::NodeAddress address) {
+  return node(address)->timers.get();
 }
 
 void TcpClusterRuntime::InstallHandler(net::NodeAddress address,
@@ -67,7 +103,22 @@ void TcpClusterRuntime::InstallHandler(net::NodeAddress address,
       });
 }
 
+void TcpClusterRuntime::InstallPeerLossHandler(net::NodeAddress address,
+                                               std::function<void(net::NodeAddress)> fn) {
+  Node* n = node(address);
+  n->endpoint->SetPeerLossHandler([n, fn = std::move(fn)](net::NodeAddress peer) {
+    std::lock_guard<std::mutex> lock(n->mutex);
+    fn(peer);
+    n->simulation->RunUntilCondition([] { return false; });
+  });
+}
+
 void TcpClusterRuntime::Bootstrap() {
+  EstablishMesh();
+  StartLoops();
+}
+
+void TcpClusterRuntime::EstablishMesh() {
   std::vector<std::uint16_t> ports(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     ports[i] = nodes_[i]->endpoint->Listen();
@@ -78,9 +129,19 @@ void TcpClusterRuntime::Bootstrap() {
       nodes_[j]->endpoint->AcceptPeer();
     }
   }
+}
+
+void TcpClusterRuntime::StartLoops() {
   for (auto& n : nodes_) {
     n->endpoint->Start();
   }
+}
+
+void TcpClusterRuntime::WithNode(net::NodeAddress address, const std::function<void()>& fn) {
+  Node* n = node(address);
+  std::lock_guard<std::mutex> lock(n->mutex);
+  fn();
+  n->simulation->RunUntilCondition([] { return false; });
 }
 
 bool TcpClusterRuntime::AwaitDriver(const std::function<bool()>& pred) {
@@ -103,6 +164,12 @@ void TcpClusterRuntime::Quiesce() {
 }
 
 void TcpClusterRuntime::Shutdown() {
+  // Two passes: first mark every endpoint as draining, then close. Closing node A's
+  // sockets makes node B observe read-zero; without the draining mark B would treat that
+  // as a failure and start redialing a listener that is about to vanish.
+  for (auto& n : nodes_) {
+    n->endpoint->PrepareShutdown();
+  }
   for (auto& n : nodes_) {
     n->endpoint->Shutdown();
   }

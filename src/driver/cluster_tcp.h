@@ -43,16 +43,41 @@ class TcpClusterRuntime {
   net::TcpEndpoint* endpoint(net::NodeAddress node);
   sim::Simulation* node_simulation(net::NodeAddress node);
 
+  // The node's TimerQueue over the endpoint's wheel/timerfd (CLOCK_MONOTONIC domain).
+  // Callbacks run on the node's event-loop thread wrapped exactly like deliveries: node
+  // mutex, then a drain of the node's simulation queue, then (driver node) the mailbox
+  // signal. Controller/worker heartbeat logic runs against this under TCP and against
+  // SimTimerQueue under the simulator, without knowing which.
+  net::TimerQueue* node_timers(net::NodeAddress node);
+
   // Registers `handler` as `node`'s delivery handler, wrapped with the node mutex and the
   // post-delivery simulation drain (file comment). The driver node's wrapper additionally
   // signals the AwaitDriver mailbox. Call before Bootstrap().
   void InstallHandler(net::NodeAddress node, net::Transport::Handler handler);
 
+  // Registers `node`'s peer-loss callback (redial budget exhausted), wrapped exactly like
+  // a delivery: node mutex, callback, simulation drain. Call before Bootstrap().
+  void InstallPeerLossHandler(net::NodeAddress node,
+                              std::function<void(net::NodeAddress)> fn);
+
   // Establishes the full connection mesh and starts every event loop. Main thread, once,
   // after all handlers are installed: listen everywhere, then for each node pair the lower
   // DenseIndex dials while the higher accepts, then spawn the loops (threads last, so
   // thread creation hands each loop a happens-before edge over all setup state).
+  // Equivalent to EstablishMesh() + StartLoops().
   void Bootstrap();
+
+  // The two halves of Bootstrap, split so the cluster can run setup that must see the
+  // full mesh but single-threaded main-thread state — arming failure detection sends the
+  // first heartbeats — between them (sends queue on the standing sockets; timers hold in
+  // the wheel and arm when the loop spawns).
+  void EstablishMesh();
+  void StartLoops();
+
+  // Runs `fn` under `node`'s mutex followed by a drain of its simulation queue — the same
+  // serialization deliveries run under. Cross-thread pokes at node-owned state (failure
+  // injection) go through here.
+  void WithNode(net::NodeAddress node, const std::function<void()>& fn);
 
   // Blocks until `pred()` holds, re-evaluating under the driver mutex after each driver
   // delivery. Returns true (mirrors Cluster::AwaitDriver's simulator signature, where a
@@ -68,16 +93,20 @@ class TcpClusterRuntime {
   // thread and all deliveries that completed before the call.
   void Quiesce();
 
-  // Stops every event loop and closes all sockets. Idempotent; called by ~Cluster before
-  // the nodes the handlers point at are destroyed.
+  // Stops every event loop and closes all sockets. Before touching any socket, every
+  // endpoint is switched to draining (PrepareShutdown) so the peer closes that follow are
+  // orderly teardown, not "failures" to redial or report. Idempotent; called by ~Cluster
+  // before the nodes the handlers point at are destroyed.
   void Shutdown();
 
  private:
   struct Node {
     std::unique_ptr<sim::Simulation> simulation;
     std::unique_ptr<net::TcpEndpoint> endpoint;
+    std::unique_ptr<net::TimerQueue> timers;
     std::mutex mutex;
   };
+  class NodeTimerQueue;
 
   Node* node(net::NodeAddress address);
 

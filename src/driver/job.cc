@@ -36,6 +36,13 @@ void Job::OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes
       recovery_pending_ = true;
       return;
     }
+    case wire::EnvelopeType::kSuspectNotice: {
+      // Informational: the controller suspects a worker but has not declared it failed.
+      // The driver only counts them (tests assert the suspicion path fired).
+      wire::DecodeSuspectNoticeEnvelope(bytes);
+      ++suspect_notices_;
+      return;
+    }
     default:
       NIMBUS_CHECK(false) << "unexpected driver-bound envelope type "
                           << static_cast<int>(wire::PeekEnvelopeType(bytes));

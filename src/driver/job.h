@@ -107,6 +107,10 @@ class Job {
   // Simulator backend only.
   void Idle(sim::Duration d);
 
+  // kSuspectNotice envelopes received (controller suspected a worker without declaring
+  // it failed). Read under Cluster::WithDriver when the TCP backend is active.
+  std::uint64_t suspect_notices() const { return suspect_notices_; }
+
   Cluster& cluster() { return *cluster_; }
 
   // The driver's delivery handler: matches kBlockDone / kCheckpointDone replies against
@@ -149,6 +153,7 @@ class Job {
   bool checkpoint_done_ = false;
   bool recovery_pending_ = false;
   std::uint64_t recovery_marker_ = 0;
+  std::uint64_t suspect_notices_ = 0;
 };
 
 }  // namespace nimbus

@@ -1,0 +1,213 @@
+#include "src/net/fault_injector.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/task/wire.h"
+
+namespace nimbus::net {
+
+FaultSchedule FaultSchedule::Generate(std::uint64_t seed, int workers, int epochs,
+                                      int max_run) {
+  NIMBUS_CHECK_GT(workers, 0);
+  NIMBUS_CHECK_GE(epochs, 4) << "a kill in the middle half needs at least 4 epochs";
+  NIMBUS_CHECK_GT(max_run, 0);
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  Rng rng(seed);
+  auto pick_worker = [&]() {
+    return WorkerId(rng.NextBounded(static_cast<std::uint64_t>(workers)));
+  };
+  // Heartbeat-plane noise: 0-2 events per epoch, runs bounded by max_run.
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const int n = static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent e;
+      const std::uint64_t kind = rng.NextBounded(3);
+      e.kind = kind == 0 ? FaultKind::kDropHeartbeat
+               : kind == 1 ? FaultKind::kDelayHeartbeat
+                           : FaultKind::kDuplicateHeartbeat;
+      e.epoch = epoch;
+      e.worker = pick_worker();
+      e.count = 1 + static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(max_run)));
+      schedule.events.push_back(e);
+    }
+  }
+  // One sever somewhere in the middle (structural; no-op under the simulator).
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kSever;
+    e.epoch = 1 + static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(epochs - 2)));
+    e.worker = pick_worker();
+    schedule.events.push_back(e);
+  }
+  // Exactly one kill, pinned to the middle half so there is work both before and after.
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kKillWorker;
+    const int lo = epochs / 4;
+    const int hi = epochs - epochs / 4;
+    e.epoch = lo + static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(hi - lo)));
+    e.worker = pick_worker();
+    schedule.events.push_back(e);
+  }
+  return schedule;
+}
+
+// The wrapping transport: forwards everything, diverting worker->controller heartbeats
+// through the injector's schedule state.
+class FaultInjector::Filter final : public Transport {
+ public:
+  Filter(FaultInjector* injector, Transport* inner) : injector_(injector), inner_(inner) {}
+
+  void RegisterHandler(NodeAddress node, Handler handler) override {
+    inner_->RegisterHandler(node, std::move(handler));
+  }
+
+  void Send(NodeAddress src, NodeAddress dst, MessageKind kind, ParameterBlob bytes,
+            std::int64_t cost_bytes) override {
+    if (src.is_worker() && dst.is_controller() &&
+        wire::PeekEnvelopeType(bytes) == wire::EnvelopeType::kHeartbeat) {
+      bool duplicate = false;
+      if (injector_->FilterHeartbeat(inner_, src, dst, bytes, cost_bytes, &duplicate)) {
+        return;  // dropped or held
+      }
+      if (duplicate) {
+        // lint:allow(send-kind) -- forwards the caller-declared kind (callers are linted)
+        inner_->Send(src, dst, kind, bytes, cost_bytes);
+      }
+    }
+    // lint:allow(send-kind) -- forwards the caller-declared kind (callers are linted)
+    inner_->Send(src, dst, kind, std::move(bytes), cost_bytes);
+  }
+
+  bool Reachable(NodeAddress node) const override { return inner_->Reachable(node); }
+
+ private:
+  FaultInjector* injector_;
+  Transport* inner_;
+};
+
+FaultInjector::FaultInjector(FaultSchedule schedule) : schedule_(std::move(schedule)) {
+  LoadEpochLocked();  // single-threaded construction: no lock needed yet
+}
+
+FaultInjector::~FaultInjector() = default;
+
+Transport* FaultInjector::Wrap(Transport* inner) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  filters_.push_back(std::make_unique<Filter>(this, inner));
+  return filters_.back().get();
+}
+
+FaultInjector::WorkerBudget& FaultInjector::BudgetFor(WorkerId worker) {
+  const auto index = static_cast<std::size_t>(worker.value());
+  if (index >= budgets_.size()) {
+    budgets_.resize(index + 1);
+    held_.resize(index + 1);
+  }
+  return budgets_[index];
+}
+
+void FaultInjector::LoadEpochLocked() {
+  for (WorkerBudget& b : budgets_) {
+    b = WorkerBudget{};
+  }
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.epoch != epoch_) {
+      continue;
+    }
+    switch (e.kind) {
+      case FaultKind::kDropHeartbeat:
+        BudgetFor(e.worker).drops += e.count;
+        break;
+      case FaultKind::kDelayHeartbeat:
+        BudgetFor(e.worker).delays += e.count;
+        break;
+      case FaultKind::kDuplicateHeartbeat:
+        BudgetFor(e.worker).duplicates += e.count;
+        break;
+      case FaultKind::kSever:
+      case FaultKind::kKillWorker:
+        break;  // structural: applied by the harness, not the Send path
+    }
+  }
+}
+
+void FaultInjector::FlushHeldLocked(std::size_t worker_index) {
+  if (worker_index >= held_.size()) {
+    return;
+  }
+  std::vector<HeldBeat> beats = std::move(held_[worker_index]);
+  held_[worker_index].clear();
+  for (HeldBeat& beat : beats) {
+    beat.inner->Send(beat.src, beat.dst, MessageKind::kControl, std::move(beat.bytes),
+                     beat.cost_bytes);
+  }
+}
+
+bool FaultInjector::FilterHeartbeat(Transport* inner, NodeAddress src, NodeAddress dst,
+                                    const ParameterBlob& bytes, std::int64_t cost_bytes,
+                                    bool* duplicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerBudget& budget = BudgetFor(src.worker_id());
+  const auto index = static_cast<std::size_t>(src.worker_id().value());
+  if (budget.drops > 0) {
+    --budget.drops;
+    ++counters_.injected_drops;
+    return true;
+  }
+  if (budget.delays > 0) {
+    --budget.delays;
+    ++counters_.injected_delays;
+    HeldBeat beat;
+    beat.inner = inner;
+    beat.src = src;
+    beat.dst = dst;
+    beat.bytes = bytes;
+    beat.cost_bytes = cost_bytes;
+    held_[index].push_back(std::move(beat));
+    return true;
+  }
+  // A passing beat releases any held predecessors first, preserving send order.
+  FlushHeldLocked(index);
+  if (budget.duplicates > 0) {
+    --budget.duplicates;
+    ++counters_.injected_duplicates;
+    *duplicate = true;
+  }
+  return false;
+}
+
+void FaultInjector::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    FlushHeldLocked(i);
+  }
+  ++epoch_;
+  LoadEpochLocked();
+}
+
+int FaultInjector::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::vector<FaultEvent> FaultInjector::PendingStructural(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.epoch == epoch_ && e.kind == kind) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+FailureCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace nimbus::net

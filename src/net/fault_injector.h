@@ -1,0 +1,131 @@
+// Fault injection at the transport seam (DESIGN.md §14.3).
+//
+// A FaultSchedule is a seeded, fully deterministic script of failure events, each pinned
+// to a driver epoch (iteration). The FaultInjector honors the Send-path events — dropping,
+// delaying, or duplicating heartbeat envelopes — by wrapping a node's Transport in a thin
+// filter; structural events (killing a worker, severing a TCP connection) cannot be
+// expressed as Send filtering and are applied by the test harness through Cluster at the
+// epoch boundary the schedule names.
+//
+// Determinism argument (why the same script yields bit-identical results over the
+// simulator and over loopback TCP): heartbeat traffic carries no data-plane state — a
+// dropped, delayed, or duplicated beat moves only the controller's `last_heard` stamp,
+// never a command stream, a version map entry, or a scalar. The generator keeps every
+// injected silence run shorter than the suspicion threshold, so injected faults alone can
+// never trigger detection; the only event that changes the recovered computation is the
+// epoch-pinned worker kill, which both backends apply at the same iteration boundary. The
+// post-recovery LR coefficients and per-worker command logs are therefore a pure function
+// of (workload, schedule), not of the transport underneath — which is exactly what
+// tests/runtime/fault_schedule_test.cc asserts.
+
+#ifndef NIMBUS_SRC_NET_FAULT_INJECTOR_H_
+#define NIMBUS_SRC_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/stats.h"
+#include "src/net/transport.h"
+
+namespace nimbus::net {
+
+enum class FaultKind : std::uint8_t {
+  kDropHeartbeat,       // swallow the next `count` beats from `worker`
+  kDelayHeartbeat,      // hold the next `count` beats until the following beat passes
+  kDuplicateHeartbeat,  // send the next `count` beats twice
+  kSever,               // cut the controller<->worker connection (TCP; no-op under sim)
+  kKillWorker,          // hard-fail `worker` at the epoch boundary (applied by the test)
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropHeartbeat;
+  int epoch = 0;  // driver iteration the event applies to (AdvanceEpoch() counts them)
+  WorkerId worker;
+  int count = 1;  // consecutive beats affected (drop/delay/duplicate)
+};
+
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  // Deterministic schedule synthesis: per epoch a few drop/delay/duplicate runs against
+  // random workers, one sever at a random mid epoch, and exactly one kKillWorker in the
+  // middle half of the run. `max_run` bounds every drop/delay run; callers must pick
+  // detection knobs with heartbeat_period * max_run < timeout so injected silence stays
+  // below even the first suspicion threshold (see the determinism argument above).
+  static FaultSchedule Generate(std::uint64_t seed, int workers, int epochs,
+                                int max_run = 3);
+};
+
+// Wraps Transports and filters heartbeat Sends per the schedule. Thread-safe: under TCP
+// every worker's event loop sends beats concurrently. One injector serves all nodes of a
+// cluster (Wrap once per node transport); it must outlive the cluster using it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Returns a Transport that forwards everything to `inner` except heartbeat envelopes,
+  // which consult the schedule. The filter is owned by the injector; `inner` is borrowed
+  // and must outlive any traffic through the filter.
+  Transport* Wrap(Transport* inner);
+
+  // Moves to the next epoch: flushes every still-held beat (a delay never crosses an
+  // epoch boundary) and loads the new epoch's drop/delay/duplicate budgets.
+  void AdvanceEpoch();
+  int epoch() const;
+
+  // Schedule events of `kind` pinned to the current epoch — how the test harness finds
+  // the kills/severs it must apply structurally.
+  std::vector<FaultEvent> PendingStructural(FaultKind kind) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  FailureCounters counters() const;
+
+ private:
+  class Filter;
+
+  // Per-worker injection budgets for the current epoch, flat by worker id value.
+  struct WorkerBudget {
+    int drops = 0;
+    int delays = 0;
+    int duplicates = 0;
+  };
+
+  struct HeldBeat {
+    Transport* inner = nullptr;
+    NodeAddress src;
+    NodeAddress dst;
+    ParameterBlob bytes;
+    std::int64_t cost_bytes = 0;
+  };
+
+  void LoadEpochLocked();
+  void FlushHeldLocked(std::size_t worker_index);
+  WorkerBudget& BudgetFor(WorkerId worker);
+
+  // Send-path decision for one heartbeat from `worker`. Returns true if the beat was
+  // consumed (dropped or held); false means the caller forwards it (`*duplicate` tells it
+  // to forward twice). Flushes earlier held beats of the worker first.
+  bool FilterHeartbeat(Transport* inner, NodeAddress src, NodeAddress dst,
+                       const ParameterBlob& bytes, std::int64_t cost_bytes,
+                       bool* duplicate);
+
+  mutable std::mutex mutex_;
+  FaultSchedule schedule_;
+  int epoch_ = 0;
+  std::vector<WorkerBudget> budgets_;            // by worker id value
+  std::vector<std::vector<HeldBeat>> held_;      // delayed beats, by worker id value
+  FailureCounters counters_;
+  std::vector<std::unique_ptr<Filter>> filters_;
+};
+
+}  // namespace nimbus::net
+
+#endif  // NIMBUS_SRC_NET_FAULT_INJECTOR_H_

@@ -7,11 +7,14 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -25,6 +28,19 @@ constexpr std::uint8_t kHelloKind = 0xFF;
 // Loopback frames are trusted, but a corrupt length would allocate unbounded memory:
 // bound it well above any real envelope (worker halves of huge blocks are ~MBs).
 constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+// Redial policy: bounded exponential backoff before the peer is declared unreachable.
+// Loopback connects resolve instantly, so the budget is dominated by the backoff sum
+// (20 + 40 + 80 + 160 ms) — comfortably under typical suspicion timeouts, so a transient
+// sever heals before the heartbeat path escalates.
+constexpr int kMaxRedialAttempts = 4;
+constexpr sim::Duration kRedialBackoffBase = sim::Millis(20);
+
+// A read/write errno that means the connection is gone (vs a programming error).
+bool IsConnectionLossErrno(int err) {
+  return err == ECONNRESET || err == EPIPE || err == ETIMEDOUT || err == ENOTCONN ||
+         err == ECONNABORTED || err == EPROTO;
+}
 
 void AppendRaw(std::vector<std::uint8_t>* out, const void* data, std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
@@ -86,16 +102,26 @@ TcpEndpoint::TcpEndpoint(NodeAddress self) : self_(self) {}
 TcpEndpoint::~TcpEndpoint() { Shutdown(); }
 
 std::uint16_t TcpEndpoint::Listen() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  NIMBUS_CHECK_GE(listen_fd_, 0) << "socket: " << std::strerror(errno);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // kernel-chosen
-  NIMBUS_CHECK_GE(
-      ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0)
-      << "bind: " << std::strerror(errno);
-  NIMBUS_CHECK_GE(::listen(listen_fd_, 64), 0) << "listen: " << std::strerror(errno);
+  // Port 0 hands port selection to the kernel, so parallel ctest runs cannot collide by
+  // construction; the EADDRINUSE retry additionally guards the ephemeral-reuse race where
+  // the kernel hands back a port mid-teardown from another process.
+  for (int attempt = 0;; ++attempt) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    NIMBUS_CHECK_GE(listen_fd_, 0) << "socket: " << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // kernel-chosen
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0 &&
+        ::listen(listen_fd_, 64) == 0) {
+      break;
+    }
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    NIMBUS_CHECK(err == EADDRINUSE && attempt < 4)
+        << "bind/listen: " << std::strerror(err);
+  }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   NIMBUS_CHECK_GE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len), 0)
@@ -117,7 +143,9 @@ void TcpEndpoint::DialPeer(NodeAddress peer, std::uint16_t port) {
   const std::vector<std::uint8_t> hello =
       BuildFrame(kHelloKind, self_, peer, ParameterBlob{});
   WriteAll(fd, hello.data(), hello.size());
-  AdoptSocket(fd, peer);
+  Connection* conn = AdoptSocket(fd, peer);
+  conn->dialer = true;
+  conn->peer_port = port;  // kept for redial after a connection loss
 }
 
 void TcpEndpoint::AcceptPeer() {
@@ -139,7 +167,7 @@ void TcpEndpoint::AcceptPeer() {
   AdoptSocket(fd, NodeAddress(src));
 }
 
-void TcpEndpoint::AdoptSocket(int fd, NodeAddress peer) {
+TcpEndpoint::Connection* TcpEndpoint::AdoptSocket(int fd, NodeAddress peer) {
   SetNonBlocking(fd);
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
@@ -151,6 +179,7 @@ void TcpEndpoint::AdoptSocket(int fd, NodeAddress peer) {
   NIMBUS_CHECK(by_peer_[index] == nullptr) << "duplicate connection to " << peer;
   by_peer_[index] = conn.get();
   connections_.push_back(std::move(conn));
+  return by_peer_[index];
 }
 
 void TcpEndpoint::Start() {
@@ -164,6 +193,26 @@ void TcpEndpoint::Start() {
   ev.data.ptr = nullptr;  // wake marker
   NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev), 0)
       << "epoll_ctl(wake): " << std::strerror(errno);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  NIMBUS_CHECK_GE(timer_fd_, 0) << "timerfd_create: " << std::strerror(errno);
+  epoll_event tev{};
+  tev.events = EPOLLIN;
+  tev.data.ptr = static_cast<void*>(&timer_fd_);  // timer marker
+  NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &tev), 0)
+      << "epoll_ctl(timer): " << std::strerror(errno);
+  {
+    // Timers scheduled before Start have been accumulating in the wheel; arm for them.
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    ArmTimerLocked();
+  }
+  if (listen_fd_ >= 0) {
+    // The listener stays in the loop for runtime re-accepts after a connection loss.
+    epoll_event lev{};
+    lev.events = EPOLLIN;
+    lev.data.ptr = static_cast<void*>(&listen_fd_);  // accept marker
+    NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &lev), 0)
+        << "epoll_ctl(listen): " << std::strerror(errno);
+  }
   for (auto& conn : connections_) {
     epoll_event cev{};
     cev.events = EPOLLIN;  // level-triggered; EPOLLOUT armed on demand
@@ -177,7 +226,10 @@ void TcpEndpoint::Start() {
   loop_ = std::thread([this]() { EventLoop(); });
 }
 
+void TcpEndpoint::PrepareShutdown() { draining_.store(true); }
+
 void TcpEndpoint::Shutdown() {
+  draining_.store(true);
   if (running_.exchange(false)) {
     stop_.store(true);
     const std::uint64_t one = 1;
@@ -193,6 +245,10 @@ void TcpEndpoint::Shutdown() {
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
     epoll_fd_ = -1;
+  }
+  if (timer_fd_ >= 0) {
+    ::close(timer_fd_);
+    timer_fd_ = -1;
   }
   if (wake_fd_ >= 0) {
     ::close(wake_fd_);
@@ -252,6 +308,9 @@ void TcpEndpoint::Send(NodeAddress src, NodeAddress dst, MessageKind kind,
 }
 
 void TcpEndpoint::FlushLocked(Connection* conn) {
+  if (conn->fd < 0) {
+    return;  // connection down: frames stay queued and resend after redial/re-accept
+  }
   while (!conn->send_queue.empty()) {
     // Gather up to 16 queued frames into one writev (the struct-batched and per-task
     // dispatch modes queue many small frames back to back).
@@ -273,8 +332,14 @@ void TcpEndpoint::FlushLocked(Connection* conn) {
       ++counters_.writev_calls;
     }
     if (written < 0) {
-      NIMBUS_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
-          << "writev to " << conn->peer << ": " << std::strerror(errno);
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        NIMBUS_CHECK(IsConnectionLossErrno(errno))
+            << "writev to " << conn->peer << ": " << std::strerror(errno);
+        // The peer is gone. Leave the backlog queued; the event loop observes the errored
+        // socket (EPOLLERR/EPOLLHUP) and runs the loss path, which may be mid-flight on
+        // another thread right now — senders never tear sockets down themselves.
+        break;
+      }
       break;  // socket full: EPOLLOUT will resume
     }
     std::size_t remaining = static_cast<std::size_t>(written);
@@ -309,6 +374,9 @@ void TcpEndpoint::FlushLocked(Connection* conn) {
 }
 
 void TcpEndpoint::UpdateEpoll(Connection* conn, bool want_write) {
+  if (conn->fd < 0) {
+    return;  // connection down; reconnect re-registers with EPOLLIN and re-flushes
+  }
   if (epoll_fd_ < 0) {
     return;  // bootstrap-phase send (loop not started yet); Start() arms EPOLLIN only,
              // and the first event-loop flush re-arms EPOLLOUT if the backlog persists
@@ -329,12 +397,21 @@ void TcpEndpoint::EventLoop() {
       continue;
     }
     for (int i = 0; i < n; ++i) {
-      auto* conn = static_cast<Connection*>(events[i].data.ptr);
-      if (conn == nullptr) {
+      void* ptr = events[i].data.ptr;
+      if (ptr == nullptr) {
         std::uint64_t drain = 0;
         [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
         continue;  // wake: loop re-checks stop_
       }
+      if (ptr == static_cast<void*>(&timer_fd_)) {
+        FireTimers();
+        continue;
+      }
+      if (ptr == static_cast<void*>(&listen_fd_)) {
+        AcceptReady();
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(ptr);
       if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
         ReadReady(conn);
       }
@@ -347,20 +424,231 @@ void TcpEndpoint::EventLoop() {
 }
 
 void TcpEndpoint::ReadReady(Connection* conn) {
+  if (conn->fd < 0) {
+    return;  // stale event for a socket the loss path already tore down
+  }
   std::uint8_t buf[65536];
   while (true) {
     const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
     if (r < 0) {
-      NIMBUS_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      NIMBUS_CHECK(IsConnectionLossErrno(errno))
           << "read from " << conn->peer << ": " << std::strerror(errno);
-      break;
+      DrainFrames(conn);  // deliver complete frames that beat the failure
+      HandleConnectionLoss(conn);
+      return;
     }
     if (r == 0) {
-      break;  // peer closed during teardown; stop_ ends the loop shortly
+      // Read-zero: the peer closed. During orderly teardown this is expected; otherwise
+      // it enters the loss path (redial / suspicion).
+      DrainFrames(conn);
+      HandleConnectionLoss(conn);
+      return;
     }
     AppendRaw(&conn->recv_buffer, buf, static_cast<std::size_t>(r));
   }
   DrainFrames(conn);
+}
+
+void TcpEndpoint::HandleConnectionLoss(Connection* conn) {
+  if (conn->fd < 0) {
+    return;
+  }
+  const bool orderly = stop_.load() || draining_.load();
+  {
+    std::lock_guard<std::mutex> lock(conn->send_mutex);
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+    // Resend the front frame from byte zero after reconnect: frame-granularity
+    // at-least-once. Deterministic fault tests only sever at quiescent points, so no
+    // frame is ever half-delivered and replays cannot duplicate.
+    conn->send_offset = 0;
+    conn->want_write = false;
+  }
+  conn->recv_buffer.clear();  // a partial frame from the dead socket is garbage
+  if (orderly) {
+    return;  // the whole mesh is coming down; nothing to heal, nobody to suspect
+  }
+  {
+    std::lock_guard<std::mutex> clock(counter_mutex_);
+    ++counters_.connection_losses;
+  }
+  if (conn->dialer) {
+    conn->redial_attempts = 0;
+    ScheduleTimer(kRedialBackoffBase, [this, conn]() { TryRedial(conn); });
+  }
+  // Acceptor side: the original dialer redials; the listening socket re-accepts.
+}
+
+void TcpEndpoint::TryRedial(Connection* conn) {
+  if (stop_.load() || draining_.load() || conn->fd >= 0 || conn->declared_lost) {
+    return;  // torn down, already healed by a concurrent re-accept, or given up
+  }
+  {
+    std::lock_guard<std::mutex> clock(counter_mutex_);
+    ++counters_.redials;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NIMBUS_CHECK_GE(fd, 0) << "socket: " << std::strerror(errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(conn->peer_port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ++conn->redial_attempts;
+    if (conn->redial_attempts >= kMaxRedialAttempts) {
+      conn->declared_lost = true;
+      if (peer_loss_handler_) {
+        peer_loss_handler_(conn->peer);
+      }
+      return;
+    }
+    // Exponential backoff: base << attempts.
+    ScheduleTimer(kRedialBackoffBase << conn->redial_attempts,
+                  [this, conn]() { TryRedial(conn); });
+    return;
+  }
+  SetNoDelay(fd);
+  const std::vector<std::uint8_t> hello =
+      BuildFrame(kHelloKind, self_, conn->peer, ParameterBlob{});
+  WriteAll(fd, hello.data(), hello.size());
+  SetNonBlocking(fd);
+  // epoll ADD before publishing the fd: once conn->fd is set, a concurrent sender's
+  // FlushLocked may arm EPOLLOUT via MOD, which requires prior registration.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn;
+  NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev), 0)
+      << "epoll_ctl(redial): " << std::strerror(errno);
+  {
+    std::lock_guard<std::mutex> clock(counter_mutex_);
+    ++counters_.redials_succeeded;
+  }
+  std::lock_guard<std::mutex> lock(conn->send_mutex);
+  conn->fd = fd;
+  conn->send_offset = 0;
+  conn->want_write = false;
+  conn->redial_attempts = 0;
+  FlushLocked(conn);  // backlogged frames from the outage go out now
+}
+
+void TcpEndpoint::AcceptReady() {
+  // One accept per EPOLLIN event; the level-triggered loop fires again if more wait.
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return;  // raced shutdown or a dialer that gave up mid-handshake
+  }
+  if (stop_.load() || draining_.load()) {
+    ::close(fd);
+    return;
+  }
+  SetNoDelay(fd);
+  std::uint8_t header[kFrameHeaderSize];
+  ReadAll(fd, header, sizeof(header));  // fresh fd is blocking; hello follows connect
+  std::uint32_t payload_len = 0;
+  std::uint8_t kind = 0;
+  std::int64_t src = 0;
+  std::memcpy(&payload_len, header, sizeof(payload_len));
+  std::memcpy(&kind, header + 4, sizeof(kind));
+  std::memcpy(&src, header + 5, sizeof(src));
+  NIMBUS_CHECK_EQ(static_cast<int>(kind), static_cast<int>(kHelloKind))
+      << "runtime accept: expected a hello frame";
+  NIMBUS_CHECK_EQ(payload_len, 0u) << "runtime accept: hello frames carry no payload";
+  const NodeAddress peer(src);
+  const std::size_t index = peer.DenseIndex();
+  NIMBUS_CHECK(index < by_peer_.size() && by_peer_[index] != nullptr)
+      << "runtime accept from unknown peer " << peer;
+  Connection* conn = by_peer_[index];
+  SetNonBlocking(fd);
+  conn->recv_buffer.clear();
+  // epoll ADD before publishing the fd (see TryRedial).
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn;
+  NIMBUS_CHECK_GE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev), 0)
+      << "epoll_ctl(reaccept): " << std::strerror(errno);
+  std::lock_guard<std::mutex> lock(conn->send_mutex);
+  if (conn->fd >= 0) {
+    // The peer redialed before we observed the old socket dying; retire it.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+  }
+  conn->fd = fd;
+  conn->send_offset = 0;
+  conn->want_write = false;
+  conn->redial_attempts = 0;
+  conn->declared_lost = false;
+  FlushLocked(conn);
+}
+
+void TcpEndpoint::FireTimers() {
+  std::uint64_t expirations = 0;
+  [[maybe_unused]] const ssize_t r = ::read(timer_fd_, &expirations, sizeof(expirations));
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lock(timer_mutex_);
+    due = wheel_.PopDue(NowNanos());
+    ArmTimerLocked();
+  }
+  // Outside the lock: callbacks routinely schedule follow-up timers.
+  for (auto& fn : due) {
+    fn();
+  }
+}
+
+void TcpEndpoint::ArmTimerLocked() {
+  if (timer_fd_ < 0) {
+    return;
+  }
+  itimerspec spec{};  // all-zero it_value disarms
+  const sim::TimePoint next = wheel_.NextDeadline();
+  if (next != TimerWheel::kNever) {
+    spec.it_value.tv_sec = static_cast<time_t>(next / 1000000000);
+    spec.it_value.tv_nsec = static_cast<long>(next % 1000000000);
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;  // "now" must still arm, not disarm
+    }
+  }
+  NIMBUS_CHECK_GE(::timerfd_settime(timer_fd_, TFD_TIMER_ABSTIME, &spec, nullptr), 0)
+      << "timerfd_settime: " << std::strerror(errno);
+}
+
+TimerQueue::TimerId TcpEndpoint::ScheduleTimer(sim::Duration delay,
+                                               std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  const TimerQueue::TimerId id = wheel_.Schedule(NowNanos(), delay, std::move(fn));
+  ArmTimerLocked();  // no-op before Start (timer_fd_ not created yet)
+  return id;
+}
+
+bool TcpEndpoint::CancelTimer(TimerQueue::TimerId id) {
+  std::lock_guard<std::mutex> lock(timer_mutex_);
+  return wheel_.Cancel(id);
+}
+
+sim::TimePoint TcpEndpoint::NowNanos() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<sim::TimePoint>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void TcpEndpoint::SetPeerLossHandler(std::function<void(NodeAddress)> fn) {
+  NIMBUS_CHECK(!running_.load()) << "set the loss handler before Start";
+  peer_loss_handler_ = std::move(fn);
+}
+
+void TcpEndpoint::SeverPeer(NodeAddress peer) {
+  Connection* conn = ConnectionTo(peer);
+  std::lock_guard<std::mutex> lock(conn->send_mutex);
+  if (conn->fd >= 0) {
+    // shutdown(2), not close: both event loops observe read-zero on a still-valid fd and
+    // run their loss paths symmetrically.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
 }
 
 void TcpEndpoint::DrainFrames(Connection* conn) {

@@ -17,6 +17,15 @@
 // stalls (backpressure). Counters record queue depth, partial writes, and per-kind frame
 // traffic. Delivery invokes the registered handler on the event-loop thread; the cluster
 // wraps handlers with per-node serialization.
+//
+// Failure handling (DESIGN.md §14): a timerfd drives the endpoint's TimerWheel inside the
+// same epoll loop, so heartbeat/suspicion timers fire on the delivery thread. Connection
+// loss (read-zero, ECONNRESET, EPIPE) tears the socket out of the Connection but keeps
+// the object (senders hold pointers; queued frames survive for resend). The original
+// dialer redials with bounded exponential backoff; the acceptor re-accepts at runtime via
+// the listening socket. Redial exhaustion invokes the peer-loss handler, which the
+// cluster routes into the controller's suspicion state. `PrepareShutdown` suppresses all
+// of this during orchestrated teardown so closing one node cannot "fail" its live peers.
 
 #ifndef NIMBUS_SRC_NET_TCP_TRANSPORT_H_
 #define NIMBUS_SRC_NET_TCP_TRANSPORT_H_
@@ -24,6 +33,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -31,6 +41,7 @@
 
 #include "src/common/stats.h"
 #include "src/net/address.h"
+#include "src/net/timer_wheel.h"
 #include "src/net/transport.h"
 
 namespace nimbus::net {
@@ -49,8 +60,29 @@ class TcpEndpoint final : public Transport {
   void AcceptPeer();
   // Spawns the epoll event-loop thread. All connections must already stand.
   void Start();
+  // Marks this endpoint as tearing down: subsequent peer closes are treated as orderly,
+  // not as failures (no redial, no loss handler). The cluster calls this on EVERY
+  // endpoint before shutting down ANY of them.
+  void PrepareShutdown();
   // Stops the event loop, joins the thread, and closes every socket. Idempotent.
   void Shutdown();
+
+  // ---- Timers (event-loop clock domain) ----
+  // Runs `fn` once on the event-loop thread, `delay` after now. Thread-safe; callable
+  // before Start (the wheel holds the entry and the timerfd arms when the loop spawns).
+  TimerQueue::TimerId ScheduleTimer(sim::Duration delay, std::function<void()> fn);
+  bool CancelTimer(TimerQueue::TimerId id);
+  // CLOCK_MONOTONIC in nanoseconds — the clock the wheel and liveness deadlines share.
+  static sim::TimePoint NowNanos();
+
+  // ---- Failure handling ----
+  // Invoked on the event-loop thread when a peer is declared unreachable (redial budget
+  // exhausted). The cluster wraps it with the node's serialization mutex.
+  void SetPeerLossHandler(std::function<void(NodeAddress)> fn);
+  // Test/fault-injection hook: force both directions of the standing connection to
+  // `peer` down (shutdown(2)), as if the wire was cut. Both ends then run their normal
+  // loss paths. Safe from any thread.
+  void SeverPeer(NodeAddress peer);
 
   // ---- Transport seam ----
   // Only this endpoint's own address may register (each node owns one endpoint).
@@ -70,6 +102,9 @@ class TcpEndpoint final : public Transport {
     std::uint64_t partial_writes = 0;  // flushes that left queued bytes behind
     std::uint64_t peak_queued_bytes = 0;
     std::uint64_t queued_bytes = 0;  // currently waiting behind the socket
+    std::uint64_t connection_losses = 0;  // sockets torn down outside orderly shutdown
+    std::uint64_t redials = 0;            // reconnect attempts (dialer side)
+    std::uint64_t redials_succeeded = 0;  // reconnects that re-established the link
   };
   Counters counters() const;
 
@@ -80,17 +115,24 @@ class TcpEndpoint final : public Transport {
     int fd = -1;
     NodeAddress peer;
     // Send side: framed buffers waiting for the socket, guarded by `send_mutex` (shared
-    // between sending threads and the event loop's EPOLLOUT flushes).
+    // between sending threads and the event loop's EPOLLOUT flushes). `fd` is written
+    // only by the event-loop thread, under this mutex (loss/reconnect swap), so the loop
+    // reads it bare while senders read it under the lock.
     std::mutex send_mutex;
     std::deque<std::vector<std::uint8_t>> send_queue;
     std::size_t send_offset = 0;  // consumed bytes of the front buffer
     bool want_write = false;      // EPOLLOUT currently armed
     // Receive side: event-loop thread only.
     std::vector<std::uint8_t> recv_buffer;
+    // Redial state (event-loop thread only).
+    bool dialer = false;          // this endpoint originally dialed the peer
+    std::uint16_t peer_port = 0;  // the peer's listen port (dialer side; for redial)
+    int redial_attempts = 0;
+    bool declared_lost = false;   // loss handler already fired for the current outage
   };
 
   Connection* ConnectionTo(NodeAddress peer) const;
-  void AdoptSocket(int fd, NodeAddress peer);
+  Connection* AdoptSocket(int fd, NodeAddress peer);
   // Flushes `conn`'s queue with writev; arms/disarms EPOLLOUT as needed. Requires
   // `conn->send_mutex`.
   void FlushLocked(Connection* conn);
@@ -99,18 +141,34 @@ class TcpEndpoint final : public Transport {
   void ReadReady(Connection* conn);
   // Parses complete frames out of `conn->recv_buffer`, dispatching each to the handler.
   void DrainFrames(Connection* conn);
+  // Event-loop thread: tears the socket out of `conn` (keeping queued frames), then
+  // schedules a redial (dialer side) or waits for a re-accept (acceptor side).
+  void HandleConnectionLoss(Connection* conn);
+  void TryRedial(Connection* conn);
+  // Event-loop thread: runtime accept — swaps a fresh socket into the peer's Connection.
+  void AcceptReady();
+  // Drains the timerfd and runs every due wheel callback (event-loop thread).
+  void FireTimers();
+  // Programs the timerfd to the wheel's next deadline. Requires `timer_mutex_`.
+  void ArmTimerLocked();
 
   NodeAddress self_;
   Handler handler_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: kicks the loop for shutdown
+  int wake_fd_ = -1;   // eventfd: kicks the loop for shutdown
+  int timer_fd_ = -1;  // timerfd driving the wheel, CLOCK_MONOTONIC
   std::vector<std::unique_ptr<Connection>> connections_;
   // Peer DenseIndex -> connection (flat table; -1 entries are absent peers).
   std::vector<Connection*> by_peer_;
   std::thread loop_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};  // orderly teardown: peer closes are not failures
+
+  std::mutex timer_mutex_;
+  TimerWheel wheel_;
+  std::function<void(NodeAddress)> peer_loss_handler_;
 
   mutable std::mutex counter_mutex_;
   Counters counters_;

@@ -1,0 +1,170 @@
+#include "src/net/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/simulation.h"
+
+namespace nimbus::net {
+
+TimerQueue::TimerId SimTimerQueue::Schedule(sim::Duration delay, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  pending_.insert(id);
+  simulation_->ScheduleAfter(delay, [this, id, fn = std::move(fn)]() {
+    if (cancelled_.erase(id) > 0) {
+      return;  // tombstoned: the simulation queue has no removal, so skip at fire time
+    }
+    pending_.erase(id);
+    fn();
+  });
+  return id;
+}
+
+bool SimTimerQueue::Cancel(TimerId id) {
+  if (pending_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);
+  return true;
+}
+
+sim::TimePoint SimTimerQueue::Now() const { return simulation_->now(); }
+
+TimerWheel::TimerWheel(sim::Duration tick, std::size_t slots) : tick_(tick), slots_(slots) {
+  NIMBUS_CHECK_GT(tick, 0);
+  NIMBUS_CHECK_GT(slots, 0u);
+}
+
+std::uint64_t TimerWheel::TickFor(sim::TimePoint deadline) const {
+  if (deadline <= 0) {
+    return 0;
+  }
+  // Round up: an entry may fire up to one tick late but never before its deadline.
+  return static_cast<std::uint64_t>((deadline + tick_ - 1) / tick_);
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(sim::TimePoint now, sim::Duration delay,
+                                         std::function<void()> fn) {
+  NIMBUS_CHECK_GE(delay, 0);
+  if (!started_) {
+    // Lazily anchor the cursor to the caller's clock (virtual time starts at 0;
+    // CLOCK_MONOTONIC starts wherever the kernel says).
+    cursor_ = now <= 0 ? 0 : static_cast<std::uint64_t>(now / tick_);
+    started_ = true;
+  }
+  Entry e;
+  // Past-due and sub-tick deadlines land on the next undrained tick rather than a drained
+  // one they could never fire from.
+  e.tick = std::max(TickFor(now + delay), cursor_ + 1);
+  e.seq = next_seq_++;
+  e.id = next_id_++;
+  e.fn = std::move(fn);
+  const TimerId id = e.id;
+  slots_[e.tick % slots_.size()].push_back(std::move(e));
+  ++pending_;
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  if (id == TimerQueue::kInvalidTimer || id >= next_id_) {
+    return false;
+  }
+  for (auto& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (e.id == id && cancelled_.count(id) == 0) {
+        cancelled_.insert(id);
+        --pending_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+sim::TimePoint TimerWheel::NextDeadline() const {
+  if (pending_ == 0) {
+    return kNever;
+  }
+  std::uint64_t best = UINT64_MAX;
+  for (const auto& slot : slots_) {
+    for (const Entry& e : slot) {
+      if (e.tick < best && cancelled_.count(e.id) == 0) {
+        best = e.tick;
+      }
+    }
+  }
+  if (best == UINT64_MAX) {
+    return kNever;
+  }
+  return static_cast<sim::TimePoint>(best) * tick_;
+}
+
+std::vector<std::function<void()>> TimerWheel::PopDue(sim::TimePoint now) {
+  std::vector<std::function<void()>> fns;
+  if (!started_) {
+    cursor_ = now <= 0 ? 0 : static_cast<std::uint64_t>(now / tick_);
+    started_ = true;
+    return fns;
+  }
+  const std::uint64_t target =
+      std::max(cursor_, now <= 0 ? 0 : static_cast<std::uint64_t>(now / tick_));
+  if (target == cursor_ || pending_ == 0) {
+    cursor_ = target;
+    return fns;
+  }
+  std::vector<Entry> due;
+  auto drain_slot = [&](std::vector<Entry>* slot, std::uint64_t max_tick) {
+    auto keep = slot->begin();
+    for (auto it = slot->begin(); it != slot->end(); ++it) {
+      if (it->tick <= max_tick) {
+        if (cancelled_.erase(it->id) == 0) {
+          due.push_back(std::move(*it));
+        }
+      } else {
+        if (keep != it) {
+          *keep = std::move(*it);
+        }
+        ++keep;
+      }
+    }
+    slot->erase(keep, slot->end());
+  };
+  if (target - cursor_ >= slots_.size()) {
+    // A full revolution (or more) elapsed: every slot is reachable, sweep each once.
+    for (auto& slot : slots_) {
+      drain_slot(&slot, target);
+    }
+  } else {
+    for (std::uint64_t t = cursor_ + 1; t <= target; ++t) {
+      // Only entries whose absolute tick matches are due; later revolutions stay queued.
+      auto& slot = slots_[t % slots_.size()];
+      auto keep = slot.begin();
+      for (auto it = slot.begin(); it != slot.end(); ++it) {
+        if (it->tick == t) {
+          if (cancelled_.erase(it->id) == 0) {
+            due.push_back(std::move(*it));
+          }
+        } else {
+          if (keep != it) {
+            *keep = std::move(*it);
+          }
+          ++keep;
+        }
+      }
+      slot.erase(keep, slot.end());
+    }
+  }
+  cursor_ = target;
+  pending_ -= due.size();
+  std::sort(due.begin(), due.end(), [](const Entry& a, const Entry& b) {
+    return a.tick != b.tick ? a.tick < b.tick : a.seq < b.seq;
+  });
+  fns.reserve(due.size());
+  for (Entry& e : due) {
+    fns.push_back(std::move(e.fn));
+  }
+  return fns;
+}
+
+}  // namespace nimbus::net

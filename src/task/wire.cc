@@ -139,6 +139,9 @@ DecodedBatch DecodeBatch(const ParameterBlob& bytes) {
   out.header.task_id_base = r.ReadU64();
   out.header.task_count = r.ReadU64();
 
+  // 42 = fixed bytes of the smallest command record (kTask: 22 shared + 20 tail); a lying
+  // count must fail here, not ask the allocator for count * sizeof(Command) first.
+  NIMBUS_CHECK_LE(static_cast<std::size_t>(out.header.command_count) * 42, r.remaining());
   out.commands.reserve(out.header.command_count);
   std::uint64_t tasks_seen = 0;
   for (std::uint32_t i = 0; i < out.header.command_count; ++i) {
@@ -648,19 +651,58 @@ LoadObjectsEnvelope DecodeLoadObjectsEnvelope(const ParameterBlob& bytes) {
   return e;
 }
 
-ParameterBlob EncodeHeartbeatEnvelope(WorkerId worker) {
+ParameterBlob EncodeHeartbeatEnvelope(const HeartbeatEnvelope& e) {
   BlobWriter w;
   WriteEnvelopeHeader(&w, EnvelopeType::kHeartbeat);
-  w.WriteU64(worker.value());
+  w.WriteU64(e.worker.value());
+  w.WriteU64(e.seq);
   return w.Take();
 }
 
-WorkerId DecodeHeartbeatEnvelope(const ParameterBlob& bytes) {
+HeartbeatEnvelope DecodeHeartbeatEnvelope(const ParameterBlob& bytes) {
   BlobReader r(bytes);
   OpenEnvelope(&r, EnvelopeType::kHeartbeat);
-  const WorkerId worker(r.ReadU64());
+  HeartbeatEnvelope e;
+  e.worker = WorkerId(r.ReadU64());
+  e.seq = r.ReadU64();
   NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the heartbeat body";
-  return worker;
+  return e;
+}
+
+ParameterBlob EncodeHeartbeatAckEnvelope(const HeartbeatAckEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kHeartbeatAck);
+  w.WriteU64(e.worker.value());
+  w.WriteU64(e.seq);
+  return w.Take();
+}
+
+HeartbeatAckEnvelope DecodeHeartbeatAckEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kHeartbeatAck);
+  HeartbeatAckEnvelope e;
+  e.worker = WorkerId(r.ReadU64());
+  e.seq = r.ReadU64();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the heartbeat ack body";
+  return e;
+}
+
+ParameterBlob EncodeSuspectNoticeEnvelope(const SuspectNoticeEnvelope& e) {
+  BlobWriter w;
+  WriteEnvelopeHeader(&w, EnvelopeType::kSuspectNotice);
+  w.WriteU64(e.worker.value());
+  w.WriteU64(e.missed_beats);
+  return w.Take();
+}
+
+SuspectNoticeEnvelope DecodeSuspectNoticeEnvelope(const ParameterBlob& bytes) {
+  BlobReader r(bytes);
+  OpenEnvelope(&r, EnvelopeType::kSuspectNotice);
+  SuspectNoticeEnvelope e;
+  e.worker = WorkerId(r.ReadU64());
+  e.missed_beats = r.ReadU64();
+  NIMBUS_CHECK(r.AtEnd()) << "trailing bytes after the suspect notice body";
+  return e;
 }
 
 ParameterBlob EncodeGroupCompleteEnvelope(const GroupCompleteEnvelope& e) {

@@ -158,8 +158,11 @@ enum class EnvelopeType : std::uint8_t {
   kBlockDone,          // block finished (carries scalar results)
   kCheckpointDone,     // checkpoint finished
   kRecoveryNotice,     // a worker failed; state reverted to a checkpoint
+  // Failure detection (DESIGN.md §14).
+  kHeartbeatAck,       // controller -> worker: echoes a heartbeat's sequence number
+  kSuspectNotice,      // controller -> driver: a worker missed beats and is suspected
 };
-inline constexpr std::uint8_t kEnvelopeTypeCount = 15;
+inline constexpr std::uint8_t kEnvelopeTypeCount = 17;
 
 // Reads and validates the envelope header, returning the type. CHECK-fails on a short
 // buffer, a bad magic, or an unknown type byte.
@@ -209,8 +212,12 @@ LoadObjectsEnvelope DecodeLoadObjectsEnvelope(const ParameterBlob& bytes);
 
 // -- Worker -> controller --
 
-ParameterBlob EncodeHeartbeatEnvelope(WorkerId worker);
-WorkerId DecodeHeartbeatEnvelope(const ParameterBlob& bytes);
+struct HeartbeatEnvelope {
+  WorkerId worker;
+  std::uint64_t seq = 0;  // monotonic per worker; echoed back in kHeartbeatAck
+};
+ParameterBlob EncodeHeartbeatEnvelope(const HeartbeatEnvelope& e);
+HeartbeatEnvelope DecodeHeartbeatEnvelope(const ParameterBlob& bytes);
 
 struct GroupCompleteEnvelope {
   WorkerId worker;
@@ -276,6 +283,22 @@ std::uint64_t DecodeCheckpointDoneEnvelope(const ParameterBlob& bytes);
 
 ParameterBlob EncodeRecoveryNoticeEnvelope(std::uint64_t marker);
 std::uint64_t DecodeRecoveryNoticeEnvelope(const ParameterBlob& bytes);
+
+// -- Failure detection (DESIGN.md §14) --
+
+struct HeartbeatAckEnvelope {
+  WorkerId worker;            // the acked worker (echoed so the frame is self-describing)
+  std::uint64_t seq = 0;      // the heartbeat sequence being acknowledged
+};
+ParameterBlob EncodeHeartbeatAckEnvelope(const HeartbeatAckEnvelope& e);
+HeartbeatAckEnvelope DecodeHeartbeatAckEnvelope(const ParameterBlob& bytes);
+
+struct SuspectNoticeEnvelope {
+  WorkerId worker;
+  std::uint64_t missed_beats = 0;
+};
+ParameterBlob EncodeSuspectNoticeEnvelope(const SuspectNoticeEnvelope& e);
+SuspectNoticeEnvelope DecodeSuspectNoticeEnvelope(const ParameterBlob& bytes);
 
 }  // namespace nimbus::wire
 

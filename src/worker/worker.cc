@@ -15,10 +15,13 @@ inline std::uint32_t TraceTrack(WorkerId id) {
 
 Worker::Worker(WorkerId id, sim::Simulation* simulation, net::Transport* transport,
                const sim::CostModel* costs, const FunctionRegistry* functions,
-               DurableStore* durable)
+               DurableStore* durable, net::TimerQueue* timers)
     : id_(id),
       simulation_(simulation),
       transport_(transport),
+      owned_timers_(timers == nullptr ? std::make_unique<net::SimTimerQueue>(simulation)
+                                      : nullptr),
+      timers_(timers == nullptr ? owned_timers_.get() : timers),
       costs_(costs),
       functions_(functions),
       durable_(durable),
@@ -28,6 +31,9 @@ Worker::Worker(WorkerId id, sim::Simulation* simulation, net::Transport* transpo
 void Worker::OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob bytes) {
   static_cast<void>(src);
   static_cast<void>(kind);
+  if (failed_) {
+    return;  // a dead worker processes nothing — in-flight deliveries fall on the floor
+  }
   switch (wire::PeekEnvelopeType(bytes)) {
     case wire::EnvelopeType::kCommands: {
       wire::CommandsEnvelope e = wire::DecodeCommandsEnvelope(bytes);
@@ -59,6 +65,9 @@ void Worker::OnEnvelope(net::NodeAddress src, MessageKind kind, ParameterBlob by
       OnLoadObjects(e.group_seq, std::move(e.objects));
       break;
     }
+    case wire::EnvelopeType::kHeartbeatAck:
+      OnHeartbeatAck(wire::DecodeHeartbeatAckEnvelope(bytes).seq);
+      break;
     case wire::EnvelopeType::kDataCopy: {
       wire::DataCopyEnvelope e = wire::DecodeDataCopyEnvelope(bytes);
       OnDataMessage(e.copy, e.object, e.version, std::move(e.payload));
@@ -83,9 +92,18 @@ void Worker::HeartbeatTick(sim::Duration period) {
     heartbeats_running_ = false;
     return;
   }
+  wire::HeartbeatEnvelope beat;
+  beat.worker = id_;
+  beat.seq = ++heartbeat_seq_;
   transport_->Send(address(), net::NodeAddress::Controller(), MessageKind::kControl,
-                   wire::EncodeHeartbeatEnvelope(id_), /*cost_bytes=*/16);
-  simulation_->ScheduleAfter(period, [this, period]() { HeartbeatTick(period); });
+                   wire::EncodeHeartbeatEnvelope(beat), /*cost_bytes=*/16);
+  ++failure_counters_.heartbeats_sent;
+  timers_->Schedule(period, [this, period]() { HeartbeatTick(period); });
+}
+
+void Worker::OnHeartbeatAck(std::uint64_t seq) {
+  last_acked_heartbeat_ = std::max(last_acked_heartbeat_, seq);
+  ++failure_counters_.heartbeat_acks;
 }
 
 Worker::Group& Worker::GetOrCreateGroup(std::uint64_t seq, bool barrier) {

@@ -37,6 +37,7 @@
 #include "src/core/worker_template.h"
 #include "src/data/durable_store.h"
 #include "src/data/object_store.h"
+#include "src/net/timer_wheel.h"
 #include "src/net/transport.h"
 #include "src/runtime/executor.h"
 #include "src/sim/cost_model.h"
@@ -50,9 +51,12 @@ namespace nimbus {
 
 class Worker {
  public:
+  // `timers` is the clock heartbeats are scheduled against (DESIGN.md §14). Null means
+  // "own a SimTimerQueue over `simulation`"; the TCP cluster passes the node's
+  // timerfd-backed queue so beats keep flowing on real time between deliveries.
   Worker(WorkerId id, sim::Simulation* simulation, net::Transport* transport,
          const sim::CostModel* costs, const FunctionRegistry* functions,
-         DurableStore* durable);
+         DurableStore* durable, net::TimerQueue* timers = nullptr);
 
   WorkerId id() const { return id_; }
   net::NodeAddress address() const { return net::NodeAddress::ForWorker(id_); }
@@ -132,6 +136,11 @@ class Worker {
   const MaterializeCounters& materialize_counters() const { return materialize_counters_; }
 
   void StartHeartbeats(sim::Duration period);
+  // Controller's echo of a heartbeat's sequence number (failure detection armed).
+  void OnHeartbeatAck(std::uint64_t seq);
+  // Highest heartbeat sequence the controller has acknowledged (0 before any ack).
+  std::uint64_t last_acked_heartbeat() const { return last_acked_heartbeat_; }
+  const FailureCounters& failure_counters() const { return failure_counters_; }
 
  private:
   struct RuntimeCommand {
@@ -239,6 +248,9 @@ class Worker {
   WorkerId id_;
   sim::Simulation* simulation_;
   net::Transport* transport_;
+  // Heartbeat clock (see ctor comment); owned_timers_ backs timers_ when not supplied.
+  std::unique_ptr<net::SimTimerQueue> owned_timers_;
+  net::TimerQueue* timers_;
   const sim::CostModel* costs_;
   const FunctionRegistry* functions_;
   DurableStore* durable_;
@@ -285,6 +297,9 @@ class Worker {
 
   bool failed_ = false;
   bool heartbeats_running_ = false;
+  std::uint64_t heartbeat_seq_ = 0;        // sequence stamped into each beat
+  std::uint64_t last_acked_heartbeat_ = 0;  // highest seq echoed back by the controller
+  FailureCounters failure_counters_;
   std::uint64_t tasks_executed_ = 0;
 
   // Test-only explicit-command arrival log (see EnableCommandLog).

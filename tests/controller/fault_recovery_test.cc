@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "src/apps/logistic_regression.h"
 #include "src/driver/cluster.h"
 #include "src/driver/job.h"
@@ -168,6 +172,187 @@ TEST(FaultRecoveryTest, RestoreAfterLongRevocationDoesNotTripFailureDetection) {
   EXPECT_TRUE(cluster.controller().HeartbeatTracked(WorkerId(3)));
   app.RunInnerLoop(2);
   EXPECT_EQ(cluster.trace().Counter("recoveries"), 0);
+}
+
+// Satellite of DESIGN.md §14: a worker death is not polite enough to wait for an
+// iteration boundary. The controller's phase probe fires inside InstantiateSet at each
+// pipeline phase; killing the worker there means the rest of the pipeline runs against a
+// silently-dead node (its deliveries fall on the floor), the block hangs, and detection +
+// checkpoint recovery must still converge to the failure-free result.
+void RunPhaseFailure(const char* phase, ControlMode mode, bool serialized_batching) {
+  SCOPED_TRACE(std::string("failure during phase '") + phase + "'");
+  const int total_iterations = 8;
+
+  const auto expected =
+      LogisticRegressionApp::ReferenceInnerLoop(SmallConfig(), total_iterations);
+
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  options.mode = mode;
+  options.serialized_batching = serialized_batching;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  LogisticRegressionApp app(&job, SmallConfig());
+  app.Setup();
+  cluster.controller().EnableFailureDetection(sim::Millis(100), sim::Millis(500));
+
+  bool armed = false;
+  bool killed = false;
+  cluster.controller().set_phase_probe([&](const char* p) {
+    if (armed && !killed && std::string(p) == phase) {
+      killed = true;
+      cluster.FailWorker(WorkerId(2));
+    }
+  });
+
+  int iter = 0;
+  while (iter < total_iterations) {
+    armed = iter == 3 && !killed;  // kill mid-pipeline of the 4th iteration
+    auto result = app.RunInnerIteration();
+    if (result.recovered) {
+      iter = static_cast<int>(result.resume_marker);
+      continue;
+    }
+    ++iter;
+    if (iter == 2) {
+      job.Checkpoint(static_cast<std::uint64_t>(iter));
+    }
+  }
+
+  EXPECT_TRUE(killed) << "phase probe never fired for '" << phase << "'";
+  EXPECT_EQ(cluster.trace().Counter("recoveries"), 1);
+  const auto actual = app.CoeffSnapshot();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t d = 0; d < expected.size(); ++d) {
+    EXPECT_DOUBLE_EQ(expected[d], actual[d]) << "coefficient " << d;
+  }
+}
+
+TEST(FaultRecoveryTest, FailureDuringValidatePhaseRecovers) {
+  RunPhaseFailure("validate", ControlMode::kTemplates, false);
+}
+
+TEST(FaultRecoveryTest, FailureDuringApplyPhaseRecovers) {
+  RunPhaseFailure("apply", ControlMode::kTemplates, false);
+}
+
+TEST(FaultRecoveryTest, FailureDuringAssemblePhaseRecovers) {
+  RunPhaseFailure("assemble", ControlMode::kTemplates, false);
+}
+
+TEST(FaultRecoveryTest, FailureDuringDispatchPhaseRecovers) {
+  RunPhaseFailure("dispatch", ControlMode::kTemplates, false);
+}
+
+TEST(FaultRecoveryTest, FailureDuringSerializedDispatchRecovers) {
+  // The serialized central path assembles NBW1 batches (memcpy + header patch); a death
+  // between assembly and dispatch must not leak a stale pre-serialized batch past recovery.
+  RunPhaseFailure("dispatch", ControlMode::kCentralOnly, true);
+}
+
+// Lookahead consumption only happens on block alternation — a block following itself
+// auto-validates and skips the consumption path entirely — so the probe program alternates
+// the inner and outer LR blocks with correct hints (the pipelined-loop pattern). The twin
+// runs share an identical prefix; `churn` then injects a revoke/restore cycle at the
+// moment an inner-block sweep is armed, and the very next instantiation is the probe.
+//
+// Revocation moves no objects — captured sets keep their placement and the version map is
+// untouched — so the armed sweep's stamps (map uid, churn epoch, set generation) still
+// prove reuse legal and the probe must HIT on both sides. The opposite direction, stamps
+// refusing a sweep after real churn, is pinned by the phase-failure tests above: recovery
+// drops the dead worker from the version map and the rerun still matches the reference.
+struct LookaheadProbe {
+  std::vector<double> coefficients;
+  std::uint64_t hits_at_churn = 0;
+  std::uint64_t hits_after_probe = 0;
+  std::uint64_t hits_final = 0;
+  std::uint64_t scheduled_final = 0;
+  std::int64_t recoveries = 0;
+};
+
+LookaheadProbe RunLookaheadProbe(bool churn) {
+  ClusterOptions options;
+  options.workers = 4;
+  options.partitions = 8;
+  options.mode = ControlMode::kTemplates;
+  Cluster cluster(options);
+  Job job(&cluster);
+
+  LogisticRegressionApp app(&job, SmallConfig());
+  app.Setup();
+
+  // Bring-up: capture and install both templates, no hints yet.
+  for (int i = 0; i < 3; ++i) {
+    app.RunInnerIteration();
+    app.RunOuterIteration();
+  }
+  // Hinted alternation: each instantiation carries the next block's name, so an overlapped
+  // sweep is armed for — and consumed by — the instantiation that follows it.
+  for (int i = 0; i < 2; ++i) {
+    job.HintNextBlock(app.OuterBlockName());
+    app.RunInnerIteration();
+    job.HintNextBlock(app.InnerBlockName());
+    app.RunOuterIteration();
+  }
+
+  LookaheadProbe out;
+  out.hits_at_churn = cluster.controller().lookahead_hits();
+  // The outer run above armed a sweep for the inner block; park worker 3 out of and back
+  // into the allocation right under it, then probe with the consuming instantiation.
+  if (churn) {
+    cluster.controller().RevokeWorkers({WorkerId(3)});
+    cluster.controller().RestoreWorkers({WorkerId(3)});
+  }
+  app.RunInnerIteration();
+  out.hits_after_probe = cluster.controller().lookahead_hits();
+
+  // Either way the machinery keeps arming: another alternation cycle hits again.
+  job.HintNextBlock(app.OuterBlockName());
+  app.RunInnerIteration();
+  job.HintNextBlock(app.InnerBlockName());
+  app.RunOuterIteration();
+  job.HintNextBlock(std::string());
+  app.RunInnerIteration();
+
+  out.hits_final = cluster.controller().lookahead_hits();
+  out.scheduled_final = cluster.controller().lookaheads_scheduled();
+  out.recoveries = cluster.trace().Counter("recoveries");
+  out.coefficients = app.CoeffSnapshot();
+  return out;
+}
+
+TEST(FaultRecoveryTest, RevokeRestoreKeepsLookaheadAndPatchStampsValid) {
+  const LookaheadProbe control = RunLookaheadProbe(/*churn=*/false);
+  const LookaheadProbe churned = RunLookaheadProbe(/*churn=*/true);
+
+  // Identical prefixes: both runs arrive at the revocation point with the same hit count,
+  // and the alternation actually exercised the lookahead path.
+  ASSERT_EQ(control.hits_at_churn, churned.hits_at_churn);
+  EXPECT_GT(control.hits_at_churn, 0u);
+  EXPECT_GT(control.scheduled_final, 0u);
+
+  // The probe instantiation consumes the armed sweep on both sides: revocation left the
+  // version map untouched, so invalidating here would be spurious (and throw away the
+  // overlap win for every allocation blip).
+  EXPECT_EQ(control.hits_after_probe, control.hits_at_churn + 1);
+  EXPECT_EQ(churned.hits_after_probe, churned.hits_at_churn + 1)
+      << "revoke/restore spuriously invalidated a still-valid lookahead sweep";
+  EXPECT_GT(control.hits_final, control.hits_after_probe);
+  EXPECT_GT(churned.hits_final, churned.hits_after_probe);
+
+  // Revocation is not a failure: no recovery fired in either run.
+  EXPECT_EQ(control.recoveries, 0);
+  EXPECT_EQ(churned.recoveries, 0);
+
+  // Bit-identical coefficients pin the reuse (lookahead result AND patch-cache entries):
+  // if any stamp let stale state through — or refused state it should have kept — the
+  // churned run's command stream would split from the control's.
+  ASSERT_EQ(control.coefficients.size(), churned.coefficients.size());
+  for (std::size_t d = 0; d < control.coefficients.size(); ++d) {
+    EXPECT_EQ(control.coefficients[d], churned.coefficients[d]) << "coefficient " << d;
+  }
 }
 
 TEST(FaultRecoveryTest, FailureWithoutCheckpointAborts) {

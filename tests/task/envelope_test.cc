@@ -176,8 +176,29 @@ TEST(EnvelopeCodecTest, InstantiateEnvelopeRoundTripsParamsAndSeq) {
 TEST(EnvelopeCodecTest, ControlEnvelopesRoundTrip) {
   wire::DecodeHaltEnvelope(wire::EncodeHaltEnvelope());
 
-  EXPECT_EQ(wire::DecodeHeartbeatEnvelope(wire::EncodeHeartbeatEnvelope(WorkerId(7))),
-            WorkerId(7));
+  wire::HeartbeatEnvelope hb;
+  hb.worker = WorkerId(7);
+  hb.seq = 42;
+  const wire::HeartbeatEnvelope hbd =
+      wire::DecodeHeartbeatEnvelope(wire::EncodeHeartbeatEnvelope(hb));
+  EXPECT_EQ(hbd.worker, WorkerId(7));
+  EXPECT_EQ(hbd.seq, 42u);
+
+  wire::HeartbeatAckEnvelope ack;
+  ack.worker = WorkerId(7);
+  ack.seq = 42;
+  const wire::HeartbeatAckEnvelope ackd =
+      wire::DecodeHeartbeatAckEnvelope(wire::EncodeHeartbeatAckEnvelope(ack));
+  EXPECT_EQ(ackd.worker, WorkerId(7));
+  EXPECT_EQ(ackd.seq, 42u);
+
+  wire::SuspectNoticeEnvelope suspect;
+  suspect.worker = WorkerId(3);
+  suspect.missed_beats = 2;
+  const wire::SuspectNoticeEnvelope suspectd =
+      wire::DecodeSuspectNoticeEnvelope(wire::EncodeSuspectNoticeEnvelope(suspect));
+  EXPECT_EQ(suspectd.worker, WorkerId(3));
+  EXPECT_EQ(suspectd.missed_beats, 2u);
 
   wire::LoadObjectsEnvelope lo;
   lo.group_seq = 88;
@@ -243,7 +264,8 @@ TEST(EnvelopeCodecTest, DataCopyEnvelopeCarriesScalarAndVectorPayloads) {
   e.object = LogicalObjectId(5);
   e.version = 3;
   e.payload = std::make_unique<ScalarPayload>(6.75);
-  const wire::DataCopyEnvelope d = wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(e));
+  const wire::DataCopyEnvelope d =
+      wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(e));
   EXPECT_EQ(d.copy, CopyId(77));
   EXPECT_EQ(d.object, LogicalObjectId(5));
   EXPECT_EQ(d.version, 3u);
@@ -258,7 +280,8 @@ TEST(EnvelopeCodecTest, DataCopyEnvelopeCarriesScalarAndVectorPayloads) {
   auto vec = std::make_unique<VectorPayload>();
   vec->values() = {1.0, -2.5, 3.125};
   v.payload = std::move(vec);
-  const wire::DataCopyEnvelope vd = wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(v));
+  const wire::DataCopyEnvelope vd =
+      wire::DecodeDataCopyEnvelope(wire::EncodeDataCopyEnvelope(v));
   const auto* pv = dynamic_cast<const VectorPayload*>(vd.payload.get());
   ASSERT_NE(pv, nullptr);
   EXPECT_EQ(pv->values(), (std::vector<double>{1.0, -2.5, 3.125}));
@@ -281,7 +304,9 @@ TEST(EnvelopeCodecDeathTest, TruncationAtEveryBoundaryDies) {
 }
 
 TEST(EnvelopeCodecDeathTest, TrailingBytesDie) {
-  ParameterBlob bytes = wire::EncodeHeartbeatEnvelope(WorkerId(1));
+  wire::HeartbeatEnvelope hb;
+  hb.worker = WorkerId(1);
+  ParameterBlob bytes = wire::EncodeHeartbeatEnvelope(hb);
   bytes.push_back(0);
   EXPECT_DEATH(wire::DecodeHeartbeatEnvelope(bytes), "trailing");
 
